@@ -1,0 +1,98 @@
+// E2 / Fig. 2 — the compilation flow: cQASM program + machine description
+// in, scheduled physical operations out.
+//
+// Regenerates the figure's data flow stage by stage on Surface-7 (the
+// device drawn in Fig. 2) and Surface-17, reporting what each compiler
+// stage produced, and times the full pipeline.
+#include <benchmark/benchmark.h>
+
+#include "arch/config.hpp"
+#include "bench_util.hpp"
+#include "qasm/cqasm.hpp"
+
+namespace {
+
+using namespace qmap;
+using namespace qmap::bench;
+
+const char* kProgram = R"(version 1.0
+qubits 3
+h q[0]
+cnot q[0], q[1]
+cnot q[1], q[2]
+h q[2]
+cnot q[2], q[0]
+measure q[0]
+measure q[1]
+measure q[2]
+)";
+
+void run_pipeline(const Device& device) {
+  section("Fig. 2 pipeline on " + device.name());
+  // Left input: the algorithm as cQASM.
+  const Circuit circuit = parse_cqasm(kProgram);
+  std::cout << "input: " << circuit.size() << " gates ("
+            << compute_metrics(circuit).to_string() << ")\n";
+  // Right input: the machine description (JSON config round trip, exactly
+  // what a config file would contain).
+  const Device loaded = device_from_json(device_to_json(device));
+  std::cout << "machine description: " << loaded.summary();
+
+  CompilerOptions options;
+  options.placer = "exhaustive";
+  options.router = "qmap";
+  const Compiler compiler(loaded, options);
+  const CompilationResult result = compiler.compile(circuit);
+
+  std::cout << "stage 1 (gate decomposition): "
+            << compute_metrics(result.lowered).to_string() << "\n";
+  std::cout << "stage 2 (initial placement):  "
+            << result.routing.initial.to_string() << "\n";
+  std::cout << "stage 3 (routing):            " << result.routing.to_string()
+            << "\n";
+  std::cout << "stage 4 (native circuit):     "
+            << result.final_metrics.to_string() << "\n";
+  std::cout << "stage 5 (schedule):           " << result.scheduled_cycles
+            << " cycles = "
+            << result.scheduled_cycles * loaded.durations().cycle_ns
+            << " ns (baseline " << result.baseline_cycles << " cycles)\n";
+  std::cout << "final placement:              " << result.routing.final.to_string()
+            << "\n";
+  paper_note(
+      "Fig. 2: 'The initial placement of the program qubits may differ from "
+      "the final placement.'");
+  if (!Compiler::verify(result)) {
+    std::cerr << "FATAL: pipeline verification failed\n";
+    std::exit(1);
+  }
+  std::cout << "verification: EQUIVALENT\n";
+}
+
+void BM_FullPipeline(benchmark::State& state) {
+  const Device device =
+      state.range(0) == 0 ? devices::surface7() : devices::surface17();
+  const Circuit circuit = parse_cqasm(kProgram);
+  const Compiler compiler(device);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler.compile(circuit));
+  }
+  state.SetLabel(device.name());
+}
+BENCHMARK(BM_FullPipeline)->Arg(0)->Arg(1);
+
+void BM_CqasmParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_cqasm(kProgram));
+  }
+}
+BENCHMARK(BM_CqasmParse);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_pipeline(devices::surface7());
+  run_pipeline(devices::surface17());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

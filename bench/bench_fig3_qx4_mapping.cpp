@@ -1,0 +1,111 @@
+// E3 / Fig. 3 — mapping the example circuit on IBM QX4:
+//   (b) the naive SWAP-chain solution ("significant overhead"),
+//   (c) a heuristic solution [54] ("significantly cheaper", uses H gates to
+//       flip CNOT directions),
+//   (d) the exact minimal-SWAP/H solution [57].
+//
+// Reproduces the figure's qualitative ordering — naive >= heuristic >=
+// exact in added cost — on the Fig. 1 skeleton with the paper's trivial
+// placement, then across a small benchmark suite. Expected shape: the
+// overhead columns shrink monotonically left to right.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace qmap;
+using namespace qmap::bench;
+
+struct Row {
+  std::string workload;
+  Circuit circuit;
+};
+
+std::vector<Row> suite() {
+  Rng rng(1234);
+  std::vector<Row> rows;
+  rows.push_back({"fig1_skeleton", workloads::fig1_skeleton()});
+  rows.push_back({"fig1_full", workloads::fig1_example()});
+  rows.push_back({"ghz4", workloads::ghz(4)});
+  rows.push_back({"qft4", workloads::qft(4)});
+  rows.push_back({"grover2", workloads::grover(2, 3)});
+  rows.push_back({"random4_a", workloads::random_circuit(4, 24, rng, 0.5)});
+  rows.push_back({"random4_b", workloads::random_circuit(4, 24, rng, 0.5)});
+  rows.push_back({"random5", workloads::random_circuit(5, 30, rng, 0.5)});
+  return rows;
+}
+
+void print_figure() {
+  const Device qx4 = devices::ibm_qx4();
+
+  section("Fig. 3(a): IBM QX4 coupling graph (control -> target)");
+  for (const auto& edge : qx4.coupling().edges()) {
+    if (edge.a_to_b) {
+      std::cout << "  Q" << edge.a << " -> Q" << edge.b << "\n";
+    }
+    if (edge.b_to_a) {
+      std::cout << "  Q" << edge.b << " -> Q" << edge.a << "\n";
+    }
+  }
+
+  section("Fig. 3(b)-(d): naive vs heuristic [54] vs exact [57]");
+  paper_note(
+      "'the naive approach yields a significant overhead, a heuristic "
+      "solution is significantly cheaper... even this solution can be "
+      "further improved by an exact approach'");
+  TextTable table({"workload", "router", "swaps", "H-fixes", "gates",
+                   "depth", "gate ratio", "runtime ms"});
+  for (const Row& row : suite()) {
+    const CircuitMetrics before = compute_metrics(row.circuit);
+    // Paper setting: trivial placement q_i -> Q_i.
+    const Placement trivial =
+        Placement::identity(row.circuit.num_qubits(), qx4.num_qubits());
+    for (const char* router : {"naive", "astar", "exact"}) {
+      const MappedOutcome outcome =
+          map_and_verify(row.circuit, qx4, router, trivial);
+      table.add_row(
+          {row.workload, router, TextTable::num(outcome.routing.added_swaps),
+           TextTable::num(outcome.routing.direction_fixes),
+           TextTable::num(outcome.metrics.total_gates),
+           TextTable::num(outcome.metrics.depth),
+           TextTable::num(static_cast<double>(outcome.metrics.total_gates) /
+                              static_cast<double>(before.total_gates),
+                          2),
+           TextTable::num(outcome.routing.runtime_ms, 3)});
+    }
+  }
+  std::cout << table.str();
+
+  section("Routed Fig. 1 skeleton, heuristic solution (cf. Fig. 3(c))");
+  const MappedOutcome heuristic = map_and_verify(
+      workloads::fig1_skeleton(), qx4, "astar",
+      Placement::identity(4, 5));
+  AsciiOptions physical;
+  physical.qubit_prefix = 'Q';
+  std::cout << draw_ascii(heuristic.routing.circuit, physical);
+}
+
+void BM_RouteQx4(benchmark::State& state) {
+  static const char* routers[] = {"naive", "astar", "exact"};
+  const char* router = routers[state.range(0)];
+  const Device qx4 = devices::ibm_qx4();
+  const Circuit circuit =
+      lower_to_device(workloads::fig1_skeleton(), qx4, true);
+  const Placement initial = Placement::identity(4, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        make_router(router)->route(circuit, qx4, initial));
+  }
+  state.SetLabel(router);
+}
+BENCHMARK(BM_RouteQx4)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// E6 / Fig. 6 — gate decomposition into the native gates of the
+// superconducting Surface-17 processor (and, for contrast, the IBM set).
+//
+// Regenerates the figure's content: what CNOT, SWAP, H and T compile to on
+// a {Rx, Ry, CZ} device, verified unitarily, with per-gate cost tables for
+// both device families.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qmap;
+using namespace qmap::bench;
+
+void show_decomposition(const std::string& label, const Circuit& circuit,
+                        const Device& device) {
+  const Circuit lowered = lower_to_device(circuit, device);
+  std::cout << "\n" << label << " on " << device.name() << " ("
+            << lowered.size() << " native gates):\n";
+  std::cout << draw_ascii(lowered);
+  if (circuit.num_qubits() <= 3 &&
+      !circuits_equivalent_exact(circuit, lowered, 1e-7)) {
+    std::cerr << "FATAL: decomposition of " << label << " not equivalent\n";
+    std::exit(1);
+  }
+}
+
+void print_figure() {
+  const Device s17_small =
+      [] {
+        // A 2-qubit CZ device with the Surface-17 native set, so the ASCII
+        // diagrams match the figure's 2-wire layout.
+        Device d("surface_native", [] {
+          CouplingGraph g(2);
+          g.add_edge(0, 1);
+          return g;
+        }());
+        d.set_native_two_qubit(GateKind::CZ);
+        d.set_native_single_qubit({GateKind::Rx, GateKind::Ry, GateKind::X,
+                                   GateKind::Y, GateKind::I});
+        return d;
+      }();
+  const Device qx_small = [] {
+    Device d("ibm_native", [] {
+      CouplingGraph g(2);
+      g.add_edge(0, 1, true);
+      g.add_edge(1, 0, true);
+      return g;
+    }());
+    d.set_native_two_qubit(GateKind::CX);
+    d.set_native_single_qubit({GateKind::U, GateKind::I});
+    return d;
+  }();
+
+  section("Fig. 6: decomposition into Surface-17 native gates {Rx, Ry, CZ}");
+  Circuit cnot(2, "cnot");
+  cnot.cx(0, 1);
+  show_decomposition("CNOT", cnot, s17_small);
+  Circuit swap_circuit(2, "swap");
+  swap_circuit.swap(0, 1);
+  show_decomposition("SWAP", swap_circuit, s17_small);
+  paper_note(
+      "Sec. V: 'qubits can be moved to adjacent positions by using SWAP "
+      "operations that in Surface-17 chip need to be further decomposed "
+      "into CZ and Y rotations.'");
+  Circuit hadamard(1, "h");
+  hadamard.h(0);
+  show_decomposition("H", hadamard, s17_small);
+  Circuit t_gate(1, "t");
+  t_gate.t(0);
+  show_decomposition("T", t_gate, s17_small);
+
+  section("Same gates on the IBM native set {U(theta,phi,lambda), CX}");
+  show_decomposition("SWAP", swap_circuit, qx_small);
+  Circuit cz(2, "cz");
+  cz.cz(0, 1);
+  show_decomposition("CZ", cz, qx_small);
+  show_decomposition("H", hadamard, qx_small);
+
+  section("Native-gate cost table");
+  TextTable table({"gate", "surface {rx,ry,cz}", "ibm {u,cx}"});
+  const auto cost = [](const Circuit& c, const Device& d) {
+    return TextTable::num(lower_to_device(c, d).size());
+  };
+  Circuit toffoli(3, "ccx");
+  toffoli.ccx(0, 1, 2);
+  Device s17_3q = devices::surface17();
+  Device qx_3q = devices::ibm_qx5();
+  table.add_row({"cnot", cost(cnot, s17_small), cost(cnot, qx_small)});
+  table.add_row({"cz", cost(cz, s17_small), cost(cz, qx_small)});
+  table.add_row(
+      {"swap", cost(swap_circuit, s17_small), cost(swap_circuit, qx_small)});
+  table.add_row({"h", cost(hadamard, s17_small), cost(hadamard, qx_small)});
+  table.add_row({"t", cost(t_gate, s17_small), cost(t_gate, qx_small)});
+  table.add_row({"toffoli", cost(toffoli, s17_3q), cost(toffoli, qx_3q)});
+  std::cout << table.str();
+}
+
+void BM_LowerFig1ToSurface(benchmark::State& state) {
+  const Device s17 = devices::surface17();
+  const Circuit circuit = workloads::fig1_example();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lower_to_device(circuit, s17));
+  }
+}
+BENCHMARK(BM_LowerFig1ToSurface);
+
+void BM_LowerFig1ToIbm(benchmark::State& state) {
+  const Device qx4 = devices::ibm_qx4();
+  const Circuit circuit = workloads::fig1_example();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lower_to_device(circuit, qx4));
+  }
+}
+BENCHMARK(BM_LowerFig1ToIbm);
+
+void BM_FuseSingleQubitRuns(benchmark::State& state) {
+  Rng rng(5);
+  const Circuit circuit = workloads::random_circuit(8, 200, rng, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuse_single_qubit(circuit));
+  }
+}
+BENCHMARK(BM_FuseSingleQubitRuns);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E8 / Sec. III-B — the survey's solution-space, made measurable:
+//   * cost functions: gate count vs depth vs latency (Sec. III-B "Cost
+//     function") across routers that optimize different objectives,
+//   * solution features: look-ahead (sabre/astar) and look-back (qmap),
+//   * exact vs heuristic quality gap.
+//
+// One table per device over the standard workload suite. Expected shape:
+// naive is worst on every metric; the latency-aware router wins latency;
+// lookahead routers win SWAP count on deep circuits.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "schedule/constraints.hpp"
+
+namespace {
+
+using namespace qmap;
+using namespace qmap::bench;
+
+std::vector<std::pair<std::string, Circuit>> suite() {
+  Rng rng(99);
+  std::vector<std::pair<std::string, Circuit>> rows;
+  rows.emplace_back("fig1", workloads::fig1_example());
+  rows.emplace_back("ghz8", workloads::ghz(8));
+  rows.emplace_back("qft6", workloads::qft(6));
+  rows.emplace_back("bv7",
+                    workloads::bernstein_vazirani({1, 0, 1, 1, 0, 1})
+                        .unitary_part());
+  rows.emplace_back("adder2", workloads::cuccaro_adder(2));
+  rows.emplace_back("qv8", workloads::quantum_volume(8, 2, rng));
+  rows.emplace_back("random10", workloads::random_circuit(10, 80, rng, 0.45));
+  return rows;
+}
+
+void print_figure() {
+  paper_note(
+      "Sec. III-B: 'The most common cost functions are the number of gates "
+      "... and the circuit depth or latency.' Different routers optimize "
+      "different objectives; this table measures all three per router.");
+  for (const Device& device :
+       {devices::surface17(), devices::ibm_qx5(), devices::grid(4, 4)}) {
+    section("Router comparison on " + device.name());
+    TextTable table({"workload", "router", "swaps", "gates", "depth",
+                     "latency cycles", "runtime ms"});
+    for (const auto& [label, circuit] : suite()) {
+      if (circuit.num_qubits() > device.num_qubits()) continue;
+      const Circuit lowered =
+          lower_to_device(circuit, device, /*keep_swaps=*/true);
+      const Placement initial = GreedyPlacer().place(lowered, device);
+      for (const char* router : {"naive", "sabre", "astar", "qmap"}) {
+        const MappedOutcome outcome =
+            map_and_verify(circuit, device, router, initial);
+        const Schedule schedule =
+            schedule_for_device(outcome.final_circuit, device);
+        table.add_row({label, router,
+                       TextTable::num(outcome.routing.added_swaps),
+                       TextTable::num(outcome.metrics.total_gates),
+                       TextTable::num(outcome.metrics.depth),
+                       TextTable::num(schedule.total_cycles()),
+                       TextTable::num(outcome.routing.runtime_ms, 3)});
+      }
+    }
+    std::cout << table.str();
+  }
+}
+
+void BM_Router(benchmark::State& state) {
+  static const char* routers[] = {"naive", "sabre", "astar", "qmap"};
+  const char* router = routers[state.range(0)];
+  const Device device = devices::surface17();
+  Rng rng(99);
+  const Circuit circuit =
+      lower_to_device(workloads::random_circuit(10, 80, rng, 0.45), device,
+                      true);
+  const Placement initial = GreedyPlacer().place(circuit, device);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        make_router(router)->route(circuit, device, initial));
+  }
+  state.SetLabel(router);
+}
+BENCHMARK(BM_Router)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_GreedyPlacement(benchmark::State& state) {
+  const Device device = devices::surface17();
+  Rng rng(99);
+  const Circuit circuit = workloads::random_circuit(10, 80, rng, 0.45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyPlacer().place(circuit, device));
+  }
+}
+BENCHMARK(BM_GreedyPlacement);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E7 / Sec. V latency claim — "the circuit latency will be 26 cycles
+// (20 ns per cycle) that is an ~2x increase compared to the circuit
+// latency before mapping, in which the circuit is decomposed into the
+// native gates and operations are scheduled only considering the
+// dependencies between them."
+//
+// Regenerates both numbers for the Fig. 1 example on Surface-17: the
+// dependency-only baseline and the mapped + control-constrained latency,
+// for every router, reporting the ratio. Expected shape: ratio ~2x
+// (absolute cycle counts depend on the exact figure circuit, which is
+// reconstructed — see DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "schedule/constraints.hpp"
+
+namespace {
+
+using namespace qmap;
+using namespace qmap::bench;
+
+void print_figure() {
+  const Device s17 = devices::surface17();
+  const Circuit circuit = workloads::fig1_example();
+
+  section("Sec. V: circuit latency on Surface-17 (20 ns cycles)");
+  const Circuit baseline = lower_to_device(circuit, s17);
+  const int baseline_cycles = schedule_asap(baseline, s17).total_cycles();
+  std::printf("before mapping (native gates, dependencies only): %d cycles "
+              "= %.0f ns\n",
+              baseline_cycles, baseline_cycles * s17.durations().cycle_ns);
+  paper_note("after mapping + control constraints: 26 cycles (~2x)");
+
+  TextTable table({"placer", "router", "swaps", "cycles", "ns", "ratio"});
+  for (const char* placer : {"exhaustive", "greedy"}) {
+    for (const char* router : {"qmap", "sabre", "astar", "naive"}) {
+      CompilerOptions options;
+      options.placer = placer;
+      options.router = router;
+      const Compiler compiler(s17, options);
+      const CompilationResult result = compiler.compile(circuit);
+      if (!Compiler::verify(result)) {
+        std::cerr << "FATAL: verification failed\n";
+        std::exit(1);
+      }
+      table.add_row(
+          {placer, router, TextTable::num(result.routing.added_swaps),
+           TextTable::num(result.scheduled_cycles),
+           TextTable::num(result.scheduled_cycles * s17.durations().cycle_ns,
+                          0),
+           TextTable::num(result.latency_ratio(), 2)});
+    }
+  }
+  // Best case: Qmap's ILP co-optimizes the placement with routing; with the
+  // joint-optimal placement only one SWAP remains (Fig. 5) and the latency
+  // approaches the paper's 26-cycle figure.
+  {
+    const Circuit lowered = lower_to_device(circuit, s17, /*keep_swaps=*/true);
+    const Placement joint = best_optimal_placement(lowered, s17, "qmap");
+    const MappedOutcome outcome = map_and_verify(circuit, s17, "qmap", joint);
+    const Schedule schedule = schedule_constrained(
+        outcome.final_circuit, s17, surface_control_constraints());
+    table.add_row({"joint (ILP)", "qmap",
+                   TextTable::num(outcome.routing.added_swaps),
+                   TextTable::num(schedule.total_cycles()),
+                   TextTable::num(schedule.total_cycles() *
+                                      s17.durations().cycle_ns,
+                                  0),
+                   TextTable::num(static_cast<double>(schedule.total_cycles()) /
+                                      baseline_cycles,
+                                  2)});
+  }
+  std::cout << table.str();
+
+  // Where do the extra cycles go? Break the overhead into mapping (SWAP)
+  // and control-constraint components.
+  section("Latency decomposition (qmap router, exhaustive placement)");
+  CompilerOptions options;
+  options.placer = "exhaustive";
+  options.router = "qmap";
+  options.use_control_constraints = false;
+  const CompilationResult unconstrained =
+      Compiler(s17, options).compile(circuit);
+  options.use_control_constraints = true;
+  const CompilationResult constrained = Compiler(s17, options).compile(circuit);
+  std::printf("  dependency-only baseline:        %d cycles\n",
+              constrained.baseline_cycles);
+  std::printf("  + routing SWAPs (no constraints): %d cycles\n",
+              unconstrained.scheduled_cycles);
+  std::printf("  + control constraints:            %d cycles  (ratio %.2fx)\n",
+              constrained.scheduled_cycles, constrained.latency_ratio());
+}
+
+void BM_ScheduleConstrained(benchmark::State& state) {
+  const Device s17 = devices::surface17();
+  CompilerOptions options;
+  options.run_scheduler = false;
+  const CompilationResult routed =
+      Compiler(s17, options).compile(workloads::fig1_example());
+  const auto constraints = surface_control_constraints();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        schedule_constrained(routed.final_circuit, s17, constraints));
+  }
+}
+BENCHMARK(BM_ScheduleConstrained);
+
+void BM_ScheduleAsap(benchmark::State& state) {
+  const Device s17 = devices::surface17();
+  CompilerOptions options;
+  options.run_scheduler = false;
+  const CompilationResult routed =
+      Compiler(s17, options).compile(workloads::fig1_example());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_asap(routed.final_circuit, s17));
+  }
+}
+BENCHMARK(BM_ScheduleAsap);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E13 / Sec. VI-C — shuttling as an alternative to SWAP-based routing on
+// silicon quantum-dot arrays.
+//
+// "The electron movement can be interpreted either as a change in the
+//  device connectivity or as an alternative qubit routing not based on
+//  SWAP gates. Specialized mappers are required to take full advantage of
+//  these capabilities."
+//
+// Compares the SWAP-only SABRE router against the shuttle-aware router on
+// dot arrays at varying occupancy (program qubits / dots). Cost unit:
+// native two-qubit-equivalent operations (SWAP = 3, Move = 1). Expected
+// shape: the shuttle router's advantage grows as occupancy drops (more
+// empty dots to move through) and vanishes at 100% occupancy.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "route/sabre.hpp"
+#include "route/shuttle.hpp"
+
+namespace {
+
+using namespace qmap;
+using namespace qmap::bench;
+
+void print_figure() {
+  paper_note("Sec. VI-C: shuttling routing on quantum-dot arrays.");
+  section("Routing cost vs array occupancy (2x5 dot array, random "
+          "circuits, native-2q-op units)");
+  TextTable table({"program qubits", "occupancy %", "swap-only ops",
+                   "shuttle ops (3*swap+move)", "moves", "saving %"});
+  const Device dots = devices::quantum_dot_array(2, 5);
+  Rng rng(17);
+  for (const int n : {3, 4, 5, 6, 8, 10}) {
+    double swap_only_total = 0.0;
+    double shuttle_total = 0.0;
+    double moves_total = 0.0;
+    const int trials = 5;
+    for (int trial = 0; trial < trials; ++trial) {
+      const Circuit circuit = workloads::random_circuit(n, 6 * n, rng, 0.5);
+      const Placement initial = GreedyPlacer().place(circuit, dots);
+      const RoutingResult swapped =
+          SabreRouter().route(circuit, dots, initial);
+      const RoutingResult shuttled =
+          ShuttleRouter().route(circuit, dots, initial);
+      swap_only_total += 3.0 * static_cast<double>(swapped.added_swaps);
+      shuttle_total += 3.0 * static_cast<double>(shuttled.added_swaps) +
+                       static_cast<double>(shuttled.added_moves);
+      moves_total += static_cast<double>(shuttled.added_moves);
+      // Sanity: both must be correct.
+      Rng verify_rng(5);
+      const Circuit legal = expand_swaps(shuttled.circuit, dots);
+      if (!mapping_equivalent(circuit, legal,
+                              shuttled.initial.wire_to_phys(),
+                              shuttled.final.wire_to_phys(), verify_rng, 2)) {
+        std::cerr << "FATAL: shuttle routing incorrect\n";
+        std::exit(1);
+      }
+    }
+    const double saving =
+        swap_only_total > 0.0
+            ? 100.0 * (1.0 - shuttle_total / swap_only_total)
+            : 0.0;
+    table.add_row({TextTable::num(n),
+                   TextTable::num(100.0 * n / dots.num_qubits(), 0),
+                   TextTable::num(swap_only_total / trials, 1),
+                   TextTable::num(shuttle_total / trials, 1),
+                   TextTable::num(moves_total / trials, 1),
+                   TextTable::num(saving, 1)});
+  }
+  std::cout << table.str();
+
+  section("End-to-end: QFT-4 on a 2x4 dot array through the full compiler");
+  CompilerOptions options;
+  options.router = "shuttle";
+  const Device array = devices::quantum_dot_array(2, 4);
+  const Compiler compiler(array, options);
+  const CompilationResult result = compiler.compile(workloads::qft(4));
+  std::cout << result.report();
+  if (!Compiler::verify(result)) {
+    std::cerr << "FATAL: pipeline verification failed\n";
+    std::exit(1);
+  }
+  std::cout << "verification: EQUIVALENT\n";
+}
+
+void BM_ShuttleRouter(benchmark::State& state) {
+  const Device dots = devices::quantum_dot_array(2, 5);
+  Rng rng(17);
+  const Circuit circuit = workloads::random_circuit(5, 30, rng, 0.5);
+  const Placement initial = GreedyPlacer().place(circuit, dots);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShuttleRouter().route(circuit, dots, initial));
+  }
+}
+BENCHMARK(BM_ShuttleRouter);
+
+void BM_SwapOnlyRouterSameInstance(benchmark::State& state) {
+  const Device dots = devices::quantum_dot_array(2, 5);
+  Rng rng(17);
+  const Circuit circuit = workloads::random_circuit(5, 30, rng, 0.5);
+  const Placement initial = GreedyPlacer().place(circuit, dots);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SabreRouter().route(circuit, dots, initial));
+  }
+}
+BENCHMARK(BM_SwapOnlyRouterSameInstance);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Noise-aware mapping walkthrough — the Sec. III-B "reliability" cost
+// function in action.
+//
+// Builds a Surface-17 with heterogeneous calibration data (as a real cloud
+// backend would publish), maps a circuit twice — once optimizing distance,
+// once optimizing reliability — and compares the two mappings on the
+// analytic Estimated Success Probability and on Monte Carlo trajectory
+// fidelity.
+#include <cstdio>
+#include <iostream>
+
+#include "arch/builtin.hpp"
+#include "core/compiler.hpp"
+#include "core/report.hpp"
+#include "noise/estimator.hpp"
+#include "noise/trajectory.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace qmap;
+
+  // A Surface-17 with a bad corner: heterogeneous calibration, 4x spread.
+  Device device = devices::surface17();
+  Rng calibration_rng(2026);
+  device.set_noise(NoiseModel::randomized(device.coupling(), calibration_rng,
+                                          /*1q*/ 1e-3, /*2q*/ 1.5e-2,
+                                          /*readout*/ 2e-2, /*spread*/ 4.0));
+  std::cout << "calibration snapshot (two-qubit error per coupler):\n";
+  for (const auto& edge : device.coupling().edges()) {
+    std::printf("  Q%-2d - Q%-2d : %.4f\n", edge.a, edge.b,
+                device.noise().two_qubit_error(edge.a, edge.b));
+  }
+
+  const Circuit circuit = workloads::qft(5);
+  std::cout << "\nworkload: " << circuit.name() << "\n\n";
+
+  TextTable table(
+      {"objective", "placer", "router", "swaps", "ESP", "MC fidelity"});
+  for (const auto& [objective, placer, router] :
+       {std::tuple{"distance", "greedy", "sabre"},
+        std::tuple{"reliability", "reliability", "reliability"}}) {
+    CompilerOptions options;
+    options.placer = placer;
+    options.router = router;
+    const Compiler compiler(device, options);
+    const CompilationResult result = compiler.compile(circuit);
+    if (!Compiler::verify(result)) {
+      std::cerr << "verification failed for " << objective << "\n";
+      return 1;
+    }
+    const double esp =
+        estimated_success_probability(result.final_circuit, device);
+    Rng mc_rng(7);
+    // 60 trajectories keeps the 17-qubit Monte Carlo interactive; raise it
+    // for tighter error bars.
+    const TrajectoryResult mc =
+        simulate_noisy(result.final_circuit, device, mc_rng, 60);
+    table.add_row({objective, placer, router,
+                   TextTable::num(result.routing.added_swaps),
+                   TextTable::num(esp, 4), TextTable::num(mc.fidelity, 3)});
+  }
+  std::cout << table.str();
+  std::cout << "\nBoth mappings are unitarily equivalent to the input; the "
+               "reliability-aware one simply spends its SWAP budget on "
+               "better-calibrated couplers (Sec. III-B, [45]-[47], [50]).\n";
+  return 0;
+}

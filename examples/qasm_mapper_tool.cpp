@@ -1,0 +1,83 @@
+// qasm_mapper_tool: a small command-line mapper, the shape of tool a user
+// of this library would actually ship.
+//
+//   example_qasm_mapper_tool <circuit.qasm> [device] [router] [placer]
+//                            [--json]
+//
+//   device: qx4 | qx5 | surface17 | surface7 | path to a JSON device config
+//   router: naive | sabre | sabre+commute | astar | exact | qmap |
+//           reliability | shuttle                       (default sabre)
+//   placer: identity | greedy | exhaustive | annealing | bidirectional |
+//           reliability                                 (default greedy)
+//   --json: print the machine-readable compilation report to stderr
+//
+// Reads OpenQASM 2.0 (or cQASM when the file ends in .cq/.cqasm), compiles
+// it to the device, verifies the result by simulation, prints a report and
+// writes the mapped circuit as OpenQASM to stdout.
+//
+// Without arguments it runs a self-demo on the built-in Fig. 1 example.
+#include <iostream>
+#include <string>
+
+#include "arch/builtin.hpp"
+#include "arch/config.hpp"
+#include "core/compiler.hpp"
+#include "qasm/cqasm.hpp"
+#include "qasm/openqasm.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+qmap::Device select_device(const std::string& name) {
+  using namespace qmap;
+  if (name == "qx4") return devices::ibm_qx4();
+  if (name == "qx5") return devices::ibm_qx5();
+  if (name == "surface17" || name == "s17") return devices::surface17();
+  if (name == "surface7" || name == "s7") return devices::surface7();
+  return load_device(name);  // treat as config-file path
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qmap;
+  try {
+    bool json_report = false;
+    std::vector<char*> positional;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") json_report = true;
+      else positional.push_back(argv[i]);
+    }
+    argc = static_cast<int>(positional.size()) + 1;
+    for (std::size_t i = 0; i < positional.size(); ++i) {
+      argv[i + 1] = positional[i];
+    }
+    Circuit circuit =
+        argc > 1 ? (std::string(argv[1]).ends_with(".cq") ||
+                            std::string(argv[1]).ends_with(".cqasm")
+                        ? load_cqasm(argv[1])
+                        : load_openqasm(argv[1]))
+                 : workloads::fig1_example();
+    const Device device = select_device(argc > 2 ? argv[2] : "qx4");
+    CompilerOptions options;
+    if (argc > 3) options.router = argv[3];
+    if (argc > 4) options.placer = argv[4];
+
+    const Compiler compiler(device, options);
+    const CompilationResult result = compiler.compile(circuit);
+
+    if (json_report) {
+      std::cerr << result.to_json().dump(2) << "\n";
+    } else {
+      std::cerr << result.report();
+    }
+    std::cerr << "verification: "
+              << (Compiler::verify(result) ? "EQUIVALENT" : "MISMATCH")
+              << "\n";
+    std::cout << to_openqasm(result.final_circuit);
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,198 @@
+#include "arch/builtin.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace qmap::devices {
+namespace {
+
+Device make_ibm(std::string name, int n,
+                const std::vector<std::pair<int, int>>& directed_edges) {
+  CouplingGraph coupling(n);
+  for (const auto& [control, target] : directed_edges) {
+    coupling.add_edge(control, target, /*directed=*/true);
+  }
+  Device device(std::move(name), std::move(coupling));
+  device.set_native_two_qubit(GateKind::CX);
+  device.set_native_single_qubit({GateKind::U, GateKind::I});
+  // IBM devices in this model run a 10 ns-resolution schedule; what matters
+  // for the benchmarks is relative cost, so reuse the default cycle.
+  return device;
+}
+
+}  // namespace
+
+Device ibm_qx4() {
+  // Fig. 3(a): arrows give the allowed CNOT (control -> target) pairs.
+  return make_ibm("ibm_qx4", 5,
+                  {{1, 0}, {2, 0}, {2, 1}, {2, 4}, {3, 2}, {3, 4}});
+}
+
+Device ibm_qx5() {
+  return make_ibm(
+      "ibm_qx5", 16,
+      {{1, 0},  {1, 2},   {2, 3},   {3, 4},   {3, 14},  {5, 4},
+       {6, 5},  {6, 7},   {6, 11},  {7, 10},  {8, 7},   {9, 8},
+       {9, 10}, {11, 10}, {12, 5},  {12, 11}, {12, 13}, {13, 4},
+       {13, 14}, {15, 0}, {15, 2},  {15, 14}});
+}
+
+namespace {
+
+/// Builds a device from lattice coordinates: qubits are adjacent when their
+/// (row, col) positions differ by exactly (+-1, +-1) — the rotated
+/// surface-code lattice geometry.
+Device make_surface(std::string name,
+                    const std::vector<std::pair<int, int>>& coords) {
+  const int n = static_cast<int>(coords.size());
+  CouplingGraph coupling(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const int dr = std::abs(coords[static_cast<std::size_t>(a)].first -
+                              coords[static_cast<std::size_t>(b)].first);
+      const int dc = std::abs(coords[static_cast<std::size_t>(a)].second -
+                              coords[static_cast<std::size_t>(b)].second);
+      if (dr == 1 && dc == 1) coupling.add_edge(a, b, /*directed=*/false);
+    }
+  }
+  Device device(std::move(name), std::move(coupling));
+  device.set_native_two_qubit(GateKind::CZ);
+  device.set_native_single_qubit(
+      {GateKind::Rx, GateKind::Ry, GateKind::X, GateKind::Y, GateKind::I});
+  Durations d;
+  d.cycle_ns = 20.0;        // Sec. V: 20 ns per cycle
+  d.single_qubit_cycles = 1;
+  d.two_qubit_cycles = 2;   // 40 ns CZ flux pulse
+  d.measure_cycles = 30;    // 600 ns measurement
+  device.set_durations(d);
+  std::vector<std::pair<double, double>> dcoords;
+  dcoords.reserve(coords.size());
+  for (const auto& [r, c] : coords) dcoords.emplace_back(r, c);
+  device.set_coordinates(std::move(dcoords));
+  return device;
+}
+
+}  // namespace
+
+Device surface17() {
+  // Rotated distance-3 surface-code lattice, numbered in reading order.
+  // Data qubits sit at (even, even); ancillas at (odd, odd), including the
+  // four boundary ancillas that stick out of the 3x3 data block.
+  const std::vector<std::pair<int, int>> coords = {
+      {-1, 3},                    // 0
+      {0, 0}, {0, 2}, {0, 4},     // 1  2  3
+      {1, -1}, {1, 1}, {1, 3},    // 4  5  6
+      {2, 0}, {2, 2}, {2, 4},     // 7  8  9
+      {3, 1}, {3, 3}, {3, 5},     // 10 11 12
+      {4, 0}, {4, 2}, {4, 4},     // 13 14 15
+      {5, 1},                     // 16
+  };
+  Device device = make_surface("surface17", coords);
+
+  // Three microwave frequencies f1 > f2 > f3 (groups 0, 1, 2; Fig. 4's
+  // red / blue / pink). Data qubits alternate f1/f3 in a checkerboard; all
+  // ancillas sit at the intermediate f2, so every CZ pairs adjacent
+  // frequency groups (Versluis et al. scheme).
+  std::vector<int> groups(17, 1);  // default: f2 (ancillas)
+  for (std::size_t q = 0; q < coords.size(); ++q) {
+    const auto [r, c] = coords[q];
+    if (r % 2 == 0 && c % 2 == 0) {
+      groups[q] = ((r / 2 + c / 2) % 2 == 0) ? 0 : 2;  // f1 or f3
+    }
+  }
+  device.set_frequency_groups(std::move(groups));
+
+  // Three feedlines running diagonally across the chip. The first matches
+  // the paper's example: "qubits 0, 2, 3, 6, 9, and 12 are coupled to the
+  // same feedline".
+  std::vector<int> feedlines(17, -1);
+  for (const int q : {0, 2, 3, 6, 9, 12}) feedlines[static_cast<std::size_t>(q)] = 0;
+  for (const int q : {1, 4, 5, 7, 8, 10}) feedlines[static_cast<std::size_t>(q)] = 1;
+  for (const int q : {11, 13, 14, 15, 16}) feedlines[static_cast<std::size_t>(q)] = 2;
+  device.set_feedlines(std::move(feedlines));
+  return device;
+}
+
+Device surface7() {
+  //    0   1
+  //  2   3   4
+  //    5   6
+  const std::vector<std::pair<int, int>> coords = {
+      {0, 1}, {0, 3},          // 0 1
+      {1, 0}, {1, 2}, {1, 4},  // 2 3 4
+      {2, 1}, {2, 3},          // 5 6
+  };
+  Device device = make_surface("surface7", coords);
+  // Same control scheme at smaller scale: data qubits (row 1) at f1/f3,
+  // ancillas (rows 0 and 2) at f2.
+  device.set_frequency_groups({1, 1, 0, 2, 0, 1, 1});
+  device.set_feedlines({0, 0, 1, 1, 1, 2, 2});
+  return device;
+}
+
+Device linear(int n, GateKind two_qubit) {
+  CouplingGraph coupling(n);
+  for (int q = 0; q + 1 < n; ++q) coupling.add_edge(q, q + 1);
+  Device device("linear" + std::to_string(n), std::move(coupling));
+  device.set_native_two_qubit(two_qubit);
+  return device;
+}
+
+Device grid(int rows, int cols, GateKind two_qubit) {
+  CouplingGraph coupling(rows * cols);
+  const auto index = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) coupling.add_edge(index(r, c), index(r, c + 1));
+      if (r + 1 < rows) coupling.add_edge(index(r, c), index(r + 1, c));
+    }
+  }
+  Device device("grid" + std::to_string(rows) + "x" + std::to_string(cols),
+                std::move(coupling));
+  device.set_native_two_qubit(two_qubit);
+  return device;
+}
+
+Device trapped_ion(int n) {
+  Device device = all_to_all(n, GateKind::CX);
+  device = Device("ion" + std::to_string(n), device.coupling());
+  device.set_native_two_qubit(GateKind::CX);
+  device.set_max_parallel_two_qubit(1);  // one XX gate on the bus at a time
+  Durations d;
+  d.cycle_ns = 1000.0;        // ions run microsecond-scale gates
+  d.single_qubit_cycles = 1;  // ~1 us single-qubit rotation
+  d.two_qubit_cycles = 10;    // ~10 us Molmer-Sorensen interaction
+  d.measure_cycles = 100;     // ~100 us fluorescence readout
+  device.set_durations(d);
+  return device;
+}
+
+Device quantum_dot_array(int rows, int cols) {
+  Device device = grid(rows, cols, GateKind::CZ);
+  device = Device("qdot" + std::to_string(rows) + "x" + std::to_string(cols),
+                  device.coupling());
+  device.set_native_two_qubit(GateKind::CZ);
+  device.set_native_single_qubit(
+      {GateKind::Rx, GateKind::Ry, GateKind::X, GateKind::Y, GateKind::I});
+  device.set_supports_shuttling(true);
+  Durations d;
+  d.cycle_ns = 20.0;
+  d.single_qubit_cycles = 1;
+  d.two_qubit_cycles = 2;
+  d.move_cycles = 1;  // coherent shuttles are fast relative to exchange CZs
+  d.measure_cycles = 30;
+  device.set_durations(d);
+  return device;
+}
+
+Device all_to_all(int n, GateKind two_qubit) {
+  CouplingGraph coupling(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) coupling.add_edge(a, b);
+  }
+  Device device("all_to_all" + std::to_string(n), std::move(coupling));
+  device.set_native_two_qubit(two_qubit);
+  return device;
+}
+
+}  // namespace qmap::devices

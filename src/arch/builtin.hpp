@@ -1,0 +1,54 @@
+// Built-in device models: the two devices the paper studies in depth
+// (IBM QX4, Sec. IV; Surface-17, Sec. V), their relatives (IBM QX5,
+// Surface-7), and parametric generators for the topology families the
+// prior-work survey classifies (1D linear, 2D grid, all-to-all).
+#pragma once
+
+#include "arch/device.hpp"
+
+namespace qmap::devices {
+
+/// IBM QX4 "Tenerife": 5 qubits, *directed* CNOT coupling graph of
+/// Fig. 3(a); native gates U(theta, phi, lambda) and CX.
+/// Directed edges: Q1->Q0, Q2->Q0, Q2->Q1, Q2->Q4, Q3->Q2, Q3->Q4.
+[[nodiscard]] Device ibm_qx4();
+
+/// IBM QX5 "Albatross": 16 qubits, directed ladder.
+[[nodiscard]] Device ibm_qx5();
+
+/// QuTech/Intel Surface-17 (Fig. 4): 17 transmons in the rotated
+/// distance-3 surface-code lattice, symmetric CZ coupling, native gates
+/// {Rx, Ry, CZ}, three microwave frequency groups (f1 > f2 > f3), three
+/// measurement feedlines, and CZ parking.
+///
+/// Numbering is reading order of the standard lattice drawing, which
+/// reproduces the facts stated in the paper: qubits 1 and 5 are connected,
+/// 1 and 7 are not, and qubits {0, 2, 3, 6, 9, 12} share a feedline.
+[[nodiscard]] Device surface17();
+
+/// QuTech Surface-7: the 7-qubit predecessor used in Fig. 2's example
+/// (rows of 2/3/2 qubits, symmetric CZ coupling).
+[[nodiscard]] Device surface7();
+
+/// 1D chain of n qubits, symmetric native `two_qubit` gate.
+[[nodiscard]] Device linear(int n, GateKind two_qubit = GateKind::CX);
+
+/// rows x cols nearest-neighbour grid, symmetric coupling.
+[[nodiscard]] Device grid(int rows, int cols,
+                          GateKind two_qubit = GateKind::CZ);
+
+/// All-to-all connectivity (trapped-ion-like, Sec. VI-C).
+[[nodiscard]] Device all_to_all(int n, GateKind two_qubit = GateKind::CX);
+
+/// Trapped-ion module (Sec. VI-C): all-to-all connectivity inside the
+/// trap, but two-qubit gates are serialized on the shared motional bus
+/// (max_parallel_two_qubit = 1) and run much slower than single-qubit
+/// rotations.
+[[nodiscard]] Device trapped_ion(int n);
+
+/// Silicon quantum-dot array (Sec. VI-C): a rows x cols grid of dots with
+/// exchange-interaction CZ gates and native shuttling (Move) — qubits can
+/// be relocated into empty dots, enabling non-SWAP routing.
+[[nodiscard]] Device quantum_dot_array(int rows, int cols);
+
+}  // namespace qmap::devices

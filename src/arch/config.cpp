@@ -1,0 +1,173 @@
+#include "arch/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+Device device_from_json(const Json& config) {
+  const int n = config.at("num_qubits").as_int();
+  CouplingGraph coupling(n);
+  if (const Json* edges = config.find("edges")) {
+    for (const Json& edge : edges->as_array()) {
+      coupling.add_edge(edge.at(0).as_int(), edge.at(1).as_int(),
+                        /*directed=*/false);
+    }
+  }
+  if (const Json* edges = config.find("directed_edges")) {
+    for (const Json& edge : edges->as_array()) {
+      coupling.add_edge(edge.at(0).as_int(), edge.at(1).as_int(),
+                        /*directed=*/true);
+    }
+  }
+  std::string name = "device";
+  if (const Json* j = config.find("name")) name = j->as_string();
+  Device device(name, std::move(coupling));
+
+  if (const Json* j = config.find("native_two_qubit")) {
+    device.set_native_two_qubit(gate_kind_from_name(j->as_string()));
+  }
+  if (const Json* j = config.find("native_single_qubit")) {
+    std::vector<GateKind> kinds;
+    for (const Json& k : j->as_array()) {
+      kinds.push_back(gate_kind_from_name(k.as_string()));
+    }
+    device.set_native_single_qubit(std::move(kinds));
+  }
+  if (const Json* j = config.find("durations")) {
+    Durations d;
+    if (const Json* v = j->find("cycle_ns")) d.cycle_ns = v->as_number();
+    if (const Json* v = j->find("single_qubit")) {
+      d.single_qubit_cycles = v->as_int();
+    }
+    if (const Json* v = j->find("two_qubit")) d.two_qubit_cycles = v->as_int();
+    if (const Json* v = j->find("measure")) d.measure_cycles = v->as_int();
+    if (const Json* v = j->find("move")) d.move_cycles = v->as_int();
+    device.set_durations(d);
+  }
+  if (const Json* j = config.find("supports_shuttling")) {
+    device.set_supports_shuttling(j->as_bool());
+  }
+  if (const Json* j = config.find("max_parallel_two_qubit")) {
+    device.set_max_parallel_two_qubit(j->as_int());
+  }
+  if (const Json* j = config.find("measurable")) {
+    std::vector<bool> mask;
+    for (const Json& v : j->as_array()) mask.push_back(v.as_bool());
+    device.set_measurable(std::move(mask));
+  }
+  const auto read_int_vector = [](const Json& array) {
+    std::vector<int> out;
+    for (const Json& v : array.as_array()) out.push_back(v.as_int());
+    return out;
+  };
+  if (const Json* j = config.find("frequency_groups")) {
+    device.set_frequency_groups(read_int_vector(*j));
+  }
+  if (const Json* j = config.find("feedlines")) {
+    device.set_feedlines(read_int_vector(*j));
+  }
+  if (const Json* j = config.find("noise")) {
+    device.set_noise(NoiseModel::from_json(*j));
+  }
+  if (const Json* j = config.find("coordinates")) {
+    std::vector<std::pair<double, double>> coords;
+    for (const Json& pair : j->as_array()) {
+      coords.emplace_back(pair.at(0).as_number(), pair.at(1).as_number());
+    }
+    if (coords.size() != static_cast<std::size_t>(n)) {
+      throw DeviceError("coordinates array size mismatch");
+    }
+    device.set_coordinates(std::move(coords));
+  }
+  return device;
+}
+
+Device device_from_json_text(const std::string& text) {
+  return device_from_json(Json::parse(text));
+}
+
+Device load_device(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DeviceError("cannot open device config: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return device_from_json_text(buffer.str());
+}
+
+Json device_to_json(const Device& device) {
+  Json out;
+  out["name"] = Json(device.name());
+  out["num_qubits"] = Json(device.num_qubits());
+  JsonArray symmetric;
+  JsonArray directed;
+  for (const auto& edge : device.coupling().edges()) {
+    if (edge.a_to_b && edge.b_to_a) {
+      symmetric.push_back(Json(JsonArray{Json(edge.a), Json(edge.b)}));
+    } else if (edge.a_to_b) {
+      directed.push_back(Json(JsonArray{Json(edge.a), Json(edge.b)}));
+    } else {
+      directed.push_back(Json(JsonArray{Json(edge.b), Json(edge.a)}));
+    }
+  }
+  if (!symmetric.empty()) out["edges"] = Json(std::move(symmetric));
+  if (!directed.empty()) out["directed_edges"] = Json(std::move(directed));
+  out["native_two_qubit"] =
+      Json(std::string(gate_info(device.native_two_qubit()).name));
+  if (!device.native_single_qubit().empty()) {
+    JsonArray singles;
+    for (const GateKind kind : device.native_single_qubit()) {
+      singles.push_back(Json(std::string(gate_info(kind).name)));
+    }
+    out["native_single_qubit"] = Json(std::move(singles));
+  }
+  const Durations& d = device.durations();
+  Json durations;
+  durations["cycle_ns"] = Json(d.cycle_ns);
+  durations["single_qubit"] = Json(d.single_qubit_cycles);
+  durations["two_qubit"] = Json(d.two_qubit_cycles);
+  durations["measure"] = Json(d.measure_cycles);
+  durations["move"] = Json(d.move_cycles);
+  out["durations"] = std::move(durations);
+  if (device.supports_shuttling()) out["supports_shuttling"] = Json(true);
+  if (device.max_parallel_two_qubit() > 0) {
+    out["max_parallel_two_qubit"] = Json(device.max_parallel_two_qubit());
+  }
+  if (!device.measurable_mask().empty()) {
+    JsonArray mask;
+    for (const bool m : device.measurable_mask()) mask.push_back(Json(m));
+    out["measurable"] = Json(std::move(mask));
+  }
+  const auto write_int_vector = [](const std::vector<int>& values) {
+    JsonArray array;
+    for (const int v : values) array.push_back(Json(v));
+    return Json(std::move(array));
+  };
+  if (!device.frequency_groups().empty()) {
+    out["frequency_groups"] = write_int_vector(device.frequency_groups());
+  }
+  if (!device.feedlines().empty()) {
+    out["feedlines"] = write_int_vector(device.feedlines());
+  }
+  if (device.has_noise()) {
+    out["noise"] = device.noise().to_json();
+  }
+  if (!device.coordinates().empty()) {
+    JsonArray coords;
+    for (const auto& [r, c] : device.coordinates()) {
+      coords.push_back(Json(JsonArray{Json(r), Json(c)}));
+    }
+    out["coordinates"] = Json(std::move(coords));
+  }
+  return out;
+}
+
+void save_device(const Device& device, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw DeviceError("cannot write device config: " + path);
+  out << device_to_json(device).dump(2) << "\n";
+}
+
+}  // namespace qmap

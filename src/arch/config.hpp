@@ -1,0 +1,38 @@
+// JSON device configuration files.
+//
+// Sec. V: "It is embedded in the OpenQL compiler and it adapts the quantum
+// circuit to the quantum hardware constraints that are described in a
+// configuration file. Note that Qmap can easily target other quantum
+// devices by just changing the parameters in this file."
+//
+// Schema (all constraint sections optional):
+// {
+//   "name": "surface17",
+//   "num_qubits": 17,
+//   "edges": [[1, 5], ...],            // symmetric connections
+//   "directed_edges": [[1, 0], ...],   // control -> target only
+//   "native_two_qubit": "cz",
+//   "native_single_qubit": ["rx", "ry"],
+//   "durations": {"cycle_ns": 20, "single_qubit": 1, "two_qubit": 2,
+//                 "measure": 30},
+//   "frequency_groups": [1, 0, 2, ...],
+//   "feedlines": [0, 1, ...],
+//   "coordinates": [[-1, 3], ...]
+// }
+#pragma once
+
+#include <string>
+
+#include "arch/device.hpp"
+#include "common/json.hpp"
+
+namespace qmap {
+
+[[nodiscard]] Device device_from_json(const Json& config);
+[[nodiscard]] Device device_from_json_text(const std::string& text);
+[[nodiscard]] Device load_device(const std::string& path);
+
+[[nodiscard]] Json device_to_json(const Device& device);
+void save_device(const Device& device, const std::string& path);
+
+}  // namespace qmap

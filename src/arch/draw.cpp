@@ -1,0 +1,140 @@
+#include "arch/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qmap {
+
+std::string draw_device(const Device& device) {
+  const auto& coords = device.coordinates();
+  if (coords.empty()) {
+    // Fallback: plain edge list.
+    std::string out = device.name() + ":\n";
+    for (const auto& edge : device.coupling().edges()) {
+      out += "  Q" + std::to_string(edge.a);
+      if (edge.a_to_b && edge.b_to_a) out += " -- ";
+      else if (edge.a_to_b) out += " -> ";
+      else out += " <- ";
+      out += "Q" + std::to_string(edge.b) + "\n";
+    }
+    return out;
+  }
+
+  // Canvas: 4 columns per lattice column, 2 rows per lattice row.
+  double min_r = coords[0].first;
+  double min_c = coords[0].second;
+  double max_r = min_r;
+  double max_c = min_c;
+  for (const auto& [r, c] : coords) {
+    min_r = std::min(min_r, r);
+    max_r = std::max(max_r, r);
+    min_c = std::min(min_c, c);
+    max_c = std::max(max_c, c);
+  }
+  const int cell_w = 5;
+  const int cell_h = 2;
+  const int width =
+      static_cast<int>((max_c - min_c) + 1.0) * cell_w + cell_w;
+  const int height =
+      static_cast<int>((max_r - min_r) + 1.0) * cell_h + cell_h;
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width),
+                                              ' '));
+  const auto x_of = [&](double c) {
+    return static_cast<int>(std::lround((c - min_c) * cell_w)) + 1;
+  };
+  const auto y_of = [&](double r) {
+    return static_cast<int>(std::lround((r - min_r) * cell_h)) + 1;
+  };
+  const auto put = [&](int y, int x, const std::string& text) {
+    if (y < 0 || y >= height) return;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      const int xi = x + static_cast<int>(i);
+      if (xi >= 0 && xi < width) {
+        canvas[static_cast<std::size_t>(y)][static_cast<std::size_t>(xi)] =
+            text[i];
+      }
+    }
+  };
+
+  // Bonds first so node labels overwrite them.
+  for (const auto& edge : device.coupling().edges()) {
+    const auto [ra, ca] = coords[static_cast<std::size_t>(edge.a)];
+    const auto [rb, cb] = coords[static_cast<std::size_t>(edge.b)];
+    const int ya = y_of(ra);
+    const int xa = x_of(ca);
+    const int yb = y_of(rb);
+    const int xb = x_of(cb);
+    if (ya == yb) {
+      for (int x = std::min(xa, xb) + 1; x < std::max(xa, xb); ++x) {
+        put(ya, x, "-");
+      }
+    } else if (xa == xb) {
+      for (int y = std::min(ya, yb) + 1; y < std::max(ya, yb); ++y) {
+        put(y, xa, "|");
+      }
+    } else {
+      // Diagonal bond (rotated lattices): draw a single slash midway.
+      const int ym = (ya + yb) / 2;
+      const int xm = (xa + xb) / 2;
+      const bool down_right = (yb - ya) * (xb - xa) > 0;
+      put(ym, xm + (down_right ? 0 : 1), down_right ? "\\" : "/");
+    }
+  }
+  // Nodes.
+  const char group_letters[] = {'a', 'b', 'c', 'd'};
+  for (int q = 0; q < device.num_qubits(); ++q) {
+    const auto [r, c] = coords[static_cast<std::size_t>(q)];
+    std::string label = std::to_string(q);
+    const int group = device.frequency_group(q);
+    if (group >= 0 && group < 4) label += group_letters[group];
+    put(y_of(r), x_of(c) - static_cast<int>(label.size() / 2), label);
+  }
+
+  std::string out = device.name() + " (labels: qubit index";
+  if (!device.frequency_groups().empty()) {
+    out += " + frequency group a=f1, b=f2, c=f3";
+  }
+  out += ")\n";
+  for (std::string& line : canvas) {
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    if (!line.empty()) out += line + "\n";
+  }
+  return out;
+}
+
+std::string device_to_dot(const Device& device) {
+  bool any_directed = false;
+  for (const auto& edge : device.coupling().edges()) {
+    if (!edge.a_to_b || !edge.b_to_a) any_directed = true;
+  }
+  std::string out = any_directed ? "digraph " : "graph ";
+  out += "\"" + device.name() + "\" {\n";
+  for (int q = 0; q < device.num_qubits(); ++q) {
+    out += "  Q" + std::to_string(q) + " [label=\"Q" + std::to_string(q);
+    const int group = device.frequency_group(q);
+    if (group >= 0) out += "\\nf" + std::to_string(group + 1);
+    const int line = device.feedline(q);
+    if (line >= 0) out += "\\nFL" + std::to_string(line);
+    out += "\"];\n";
+  }
+  for (const auto& edge : device.coupling().edges()) {
+    if (any_directed) {
+      if (edge.a_to_b) {
+        out += "  Q" + std::to_string(edge.a) + " -> Q" +
+               std::to_string(edge.b) + ";\n";
+      }
+      if (edge.b_to_a) {
+        out += "  Q" + std::to_string(edge.b) + " -> Q" +
+               std::to_string(edge.a) + ";\n";
+      }
+    } else {
+      out += "  Q" + std::to_string(edge.a) + " -- Q" +
+             std::to_string(edge.b) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace qmap

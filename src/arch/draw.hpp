@@ -1,0 +1,22 @@
+// Device visualization: ASCII lattice drawings (the Fig. 3(a)/Fig. 4
+// style) and Graphviz DOT export for papers/dashboards.
+#pragma once
+
+#include <string>
+
+#include "arch/device.hpp"
+
+namespace qmap {
+
+/// ASCII drawing of a device with coordinates: qubits at their (row, col)
+/// lattice positions, diagonal/straight bonds between coupled neighbours,
+/// frequency group as a suffix letter when the device declares groups.
+/// Devices without coordinates fall back to an edge list.
+[[nodiscard]] std::string draw_device(const Device& device);
+
+/// Graphviz DOT: one node per qubit (labelled with frequency group and
+/// feedline when present), one edge per coupling (directed when the
+/// orientation is restricted).
+[[nodiscard]] std::string device_to_dot(const Device& device);
+
+}  // namespace qmap

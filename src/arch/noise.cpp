@@ -1,0 +1,185 @@
+#include "arch/noise.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+NoiseModel::NoiseModel(int num_qubits)
+    : single_qubit_error_(static_cast<std::size_t>(num_qubits), 0.0),
+      readout_error_(static_cast<std::size_t>(num_qubits), 0.0),
+      t1_us_(static_cast<std::size_t>(num_qubits), 50.0),
+      t2_us_(static_cast<std::size_t>(num_qubits), 30.0) {}
+
+NoiseModel NoiseModel::uniform(const CouplingGraph& coupling,
+                               double single_qubit_error,
+                               double two_qubit_error, double readout_error,
+                               double t1_us, double t2_us) {
+  NoiseModel model(coupling.num_qubits());
+  for (int q = 0; q < coupling.num_qubits(); ++q) {
+    model.set_single_qubit_error(q, single_qubit_error);
+    model.set_readout_error(q, readout_error);
+    model.set_coherence(q, t1_us, t2_us);
+  }
+  for (const auto& edge : coupling.edges()) {
+    model.set_two_qubit_error(edge.a, edge.b, two_qubit_error);
+  }
+  return model;
+}
+
+NoiseModel NoiseModel::randomized(const CouplingGraph& coupling, Rng& rng,
+                                  double single_qubit_error,
+                                  double two_qubit_error,
+                                  double readout_error, double spread,
+                                  double t1_us, double t2_us) {
+  if (spread < 1.0) throw DeviceError("noise spread must be >= 1");
+  NoiseModel model(coupling.num_qubits());
+  const auto draw = [&](double center) {
+    // Log-uniform in [center/spread, center*spread].
+    const double exponent = rng.uniform(-1.0, 1.0);
+    return center * std::pow(spread, exponent);
+  };
+  for (int q = 0; q < coupling.num_qubits(); ++q) {
+    model.set_single_qubit_error(q, draw(single_qubit_error));
+    model.set_readout_error(q, draw(readout_error));
+    model.set_coherence(q, draw(t1_us), draw(t2_us));
+  }
+  for (const auto& edge : coupling.edges()) {
+    model.set_two_qubit_error(edge.a, edge.b, draw(two_qubit_error));
+  }
+  return model;
+}
+
+void NoiseModel::check_qubit(int qubit) const {
+  if (qubit < 0 || qubit >= num_qubits()) {
+    throw DeviceError("noise model: qubit out of range");
+  }
+}
+
+double NoiseModel::single_qubit_error(int qubit) const {
+  check_qubit(qubit);
+  return single_qubit_error_[static_cast<std::size_t>(qubit)];
+}
+
+double NoiseModel::readout_error(int qubit) const {
+  check_qubit(qubit);
+  return readout_error_[static_cast<std::size_t>(qubit)];
+}
+
+double NoiseModel::t1_us(int qubit) const {
+  check_qubit(qubit);
+  return t1_us_[static_cast<std::size_t>(qubit)];
+}
+
+double NoiseModel::t2_us(int qubit) const {
+  check_qubit(qubit);
+  return t2_us_[static_cast<std::size_t>(qubit)];
+}
+
+double NoiseModel::two_qubit_error(int a, int b) const {
+  check_qubit(a);
+  check_qubit(b);
+  const auto it =
+      two_qubit_error_.find({std::min(a, b), std::max(a, b)});
+  if (it == two_qubit_error_.end()) {
+    throw DeviceError("noise model: no two-qubit calibration for Q" +
+                      std::to_string(a) + "-Q" + std::to_string(b));
+  }
+  return it->second;
+}
+
+namespace {
+void check_probability(double p, const char* what) {
+  if (p < 0.0 || p >= 1.0) {
+    throw DeviceError(std::string("noise model: ") + what +
+                      " must be in [0, 1)");
+  }
+}
+}  // namespace
+
+void NoiseModel::set_single_qubit_error(int qubit, double error) {
+  check_qubit(qubit);
+  check_probability(error, "single-qubit error");
+  single_qubit_error_[static_cast<std::size_t>(qubit)] = error;
+}
+
+void NoiseModel::set_readout_error(int qubit, double error) {
+  check_qubit(qubit);
+  check_probability(error, "readout error");
+  readout_error_[static_cast<std::size_t>(qubit)] = error;
+}
+
+void NoiseModel::set_coherence(int qubit, double t1_us, double t2_us) {
+  check_qubit(qubit);
+  if (t1_us <= 0.0 || t2_us <= 0.0) {
+    throw DeviceError("noise model: coherence times must be positive");
+  }
+  t1_us_[static_cast<std::size_t>(qubit)] = t1_us;
+  t2_us_[static_cast<std::size_t>(qubit)] = t2_us;
+}
+
+void NoiseModel::set_two_qubit_error(int a, int b, double error) {
+  check_qubit(a);
+  check_qubit(b);
+  check_probability(error, "two-qubit error");
+  two_qubit_error_[{std::min(a, b), std::max(a, b)}] = error;
+}
+
+double NoiseModel::swap_log_cost(int a, int b) const {
+  const double per_gate = two_qubit_error(a, b);
+  return -3.0 * std::log(1.0 - per_gate);
+}
+
+Json NoiseModel::to_json() const {
+  Json out;
+  JsonArray single, readout, t1, t2;
+  for (int q = 0; q < num_qubits(); ++q) {
+    single.push_back(Json(single_qubit_error(q)));
+    readout.push_back(Json(readout_error(q)));
+    t1.push_back(Json(t1_us(q)));
+    t2.push_back(Json(t2_us(q)));
+  }
+  out["single_qubit_error"] = Json(std::move(single));
+  out["readout_error"] = Json(std::move(readout));
+  out["t1_us"] = Json(std::move(t1));
+  out["t2_us"] = Json(std::move(t2));
+  JsonArray edges;
+  for (const auto& [pair, error] : two_qubit_error_) {
+    edges.push_back(Json(JsonArray{Json(pair.first), Json(pair.second),
+                                   Json(error)}));
+  }
+  out["two_qubit_error"] = Json(std::move(edges));
+  return out;
+}
+
+NoiseModel NoiseModel::from_json(const Json& json) {
+  const JsonArray& single = json.at("single_qubit_error").as_array();
+  NoiseModel model(static_cast<int>(single.size()));
+  for (int q = 0; q < model.num_qubits(); ++q) {
+    model.set_single_qubit_error(q,
+                                 single[static_cast<std::size_t>(q)].as_number());
+  }
+  if (const Json* readout = json.find("readout_error")) {
+    for (int q = 0; q < model.num_qubits(); ++q) {
+      model.set_readout_error(
+          q, readout->at(static_cast<std::size_t>(q)).as_number());
+    }
+  }
+  if (const Json* t1 = json.find("t1_us")) {
+    const Json* t2 = json.find("t2_us");
+    for (int q = 0; q < model.num_qubits(); ++q) {
+      model.set_coherence(
+          q, t1->at(static_cast<std::size_t>(q)).as_number(),
+          t2 != nullptr ? t2->at(static_cast<std::size_t>(q)).as_number()
+                        : t1->at(static_cast<std::size_t>(q)).as_number());
+    }
+  }
+  for (const Json& edge : json.at("two_qubit_error").as_array()) {
+    model.set_two_qubit_error(edge.at(0).as_int(), edge.at(1).as_int(),
+                              edge.at(2).as_number());
+  }
+  return model;
+}
+
+}  // namespace qmap

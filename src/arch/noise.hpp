@@ -1,0 +1,84 @@
+// Noise model: per-qubit and per-edge calibration data.
+//
+// Sec. III-B: "Recent works started optimising directly for circuit
+// reliability (i.e. minimize the error rate by choosing the most reliable
+// paths) [45]-[47]", and [50] ("Not all qubits are created equal") shows
+// that real devices have strongly heterogeneous error rates. This model
+// carries the calibration data a cloud backend publishes: single-qubit
+// gate error, two-qubit gate error per coupling, readout error, and
+// coherence times.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+
+namespace qmap {
+
+class NoiseModel {
+ public:
+  NoiseModel() = default;
+
+  /// Uniform calibration: every qubit/edge gets the same numbers.
+  [[nodiscard]] static NoiseModel uniform(const CouplingGraph& coupling,
+                                          double single_qubit_error,
+                                          double two_qubit_error,
+                                          double readout_error,
+                                          double t1_us = 50.0,
+                                          double t2_us = 30.0);
+
+  /// Heterogeneous calibration: each parameter drawn log-uniformly from
+  /// [value/spread, value*spread] — the "not all qubits are created equal"
+  /// regime of [50].
+  [[nodiscard]] static NoiseModel randomized(const CouplingGraph& coupling,
+                                             Rng& rng,
+                                             double single_qubit_error,
+                                             double two_qubit_error,
+                                             double readout_error,
+                                             double spread = 4.0,
+                                             double t1_us = 50.0,
+                                             double t2_us = 30.0);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return single_qubit_error_.empty();
+  }
+  [[nodiscard]] int num_qubits() const noexcept {
+    return static_cast<int>(single_qubit_error_.size());
+  }
+
+  [[nodiscard]] double single_qubit_error(int qubit) const;
+  [[nodiscard]] double readout_error(int qubit) const;
+  [[nodiscard]] double t1_us(int qubit) const;
+  [[nodiscard]] double t2_us(int qubit) const;
+  /// Error of a two-qubit gate on (a, b); operand order irrelevant.
+  /// Throws DeviceError when the pair is not calibrated (not an edge).
+  [[nodiscard]] double two_qubit_error(int a, int b) const;
+
+  void set_single_qubit_error(int qubit, double error);
+  void set_readout_error(int qubit, double error);
+  void set_coherence(int qubit, double t1_us, double t2_us);
+  void set_two_qubit_error(int a, int b, double error);
+
+  /// -log(1 - error) of a SWAP over edge (a, b): three two-qubit gates.
+  /// Used as the edge weight for reliability-aware routing.
+  [[nodiscard]] double swap_log_cost(int a, int b) const;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static NoiseModel from_json(const Json& json);
+
+ private:
+  explicit NoiseModel(int num_qubits);
+  void check_qubit(int qubit) const;
+
+  std::vector<double> single_qubit_error_;
+  std::vector<double> readout_error_;
+  std::vector<double> t1_us_;
+  std::vector<double> t2_us_;
+  std::map<std::pair<int, int>, double> two_qubit_error_;
+};
+
+}  // namespace qmap

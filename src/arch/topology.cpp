@@ -1,0 +1,174 @@
+#include "arch/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+CouplingGraph::CouplingGraph(int num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits < 0) throw DeviceError("negative qubit count");
+  adjacency_.resize(static_cast<std::size_t>(num_qubits));
+}
+
+void CouplingGraph::check_qubit(int q) const {
+  if (q < 0 || q >= num_qubits_) {
+    throw DeviceError("physical qubit Q" + std::to_string(q) +
+                      " out of range (device has " +
+                      std::to_string(num_qubits_) + " qubits)");
+  }
+}
+
+void CouplingGraph::add_edge(int a, int b, bool directed) {
+  check_qubit(a);
+  check_qubit(b);
+  if (a == b) throw DeviceError("self-loop edge on Q" + std::to_string(a));
+  const int lo = std::min(a, b);
+  const int hi = std::max(a, b);
+  for (Edge& edge : edges_) {
+    if (edge.a == lo && edge.b == hi) {
+      // Existing connection: widen the allowed orientations.
+      if (!directed) {
+        edge.a_to_b = edge.b_to_a = true;
+      } else if (a == lo) {
+        edge.a_to_b = true;
+      } else {
+        edge.b_to_a = true;
+      }
+      return;
+    }
+  }
+  Edge edge;
+  edge.a = lo;
+  edge.b = hi;
+  if (!directed) {
+    edge.a_to_b = edge.b_to_a = true;
+  } else if (a == lo) {
+    edge.a_to_b = true;
+  } else {
+    edge.b_to_a = true;
+  }
+  edges_.push_back(edge);
+  adjacency_[static_cast<std::size_t>(lo)].push_back(hi);
+  adjacency_[static_cast<std::size_t>(hi)].push_back(lo);
+  std::sort(adjacency_[static_cast<std::size_t>(lo)].begin(),
+            adjacency_[static_cast<std::size_t>(lo)].end());
+  std::sort(adjacency_[static_cast<std::size_t>(hi)].begin(),
+            adjacency_[static_cast<std::size_t>(hi)].end());
+  distances_valid_ = false;
+}
+
+bool CouplingGraph::connected(int a, int b) const {
+  check_qubit(a);
+  check_qubit(b);
+  const auto& adj = adjacency_[static_cast<std::size_t>(a)];
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+bool CouplingGraph::orientation_allowed(int control, int target) const {
+  check_qubit(control);
+  check_qubit(target);
+  const int lo = std::min(control, target);
+  const int hi = std::max(control, target);
+  for (const Edge& edge : edges_) {
+    if (edge.a == lo && edge.b == hi) {
+      return control == lo ? edge.a_to_b : edge.b_to_a;
+    }
+  }
+  return false;
+}
+
+const std::vector<int>& CouplingGraph::neighbors(int q) const {
+  check_qubit(q);
+  return adjacency_[static_cast<std::size_t>(q)];
+}
+
+void CouplingGraph::compute_distances() const {
+  const auto n = static_cast<std::size_t>(num_qubits_);
+  distances_.assign(n, std::vector<int>(n, -1));
+  for (std::size_t source = 0; source < n; ++source) {
+    auto& dist = distances_[source];
+    dist[source] = 0;
+    std::deque<int> queue{static_cast<int>(source)};
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (const int v : adjacency_[static_cast<std::size_t>(u)]) {
+        if (dist[static_cast<std::size_t>(v)] < 0) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  distances_valid_ = true;
+}
+
+int CouplingGraph::distance(int a, int b) const {
+  check_qubit(a);
+  check_qubit(b);
+  if (!distances_valid_) compute_distances();
+  return distances_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+std::vector<int> CouplingGraph::shortest_path(int a, int b) const {
+  check_qubit(a);
+  check_qubit(b);
+  if (a == b) return {a};
+  std::vector<int> parent(static_cast<std::size_t>(num_qubits_), -1);
+  parent[static_cast<std::size_t>(a)] = a;
+  std::deque<int> queue{a};
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    if (u == b) break;
+    for (const int v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (parent[static_cast<std::size_t>(v)] < 0) {
+        parent[static_cast<std::size_t>(v)] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  if (parent[static_cast<std::size_t>(b)] < 0) return {};
+  std::vector<int> path;
+  for (int v = b; v != a; v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  path.push_back(a);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool CouplingGraph::is_connected() const {
+  if (num_qubits_ == 0) return true;
+  for (int q = 1; q < num_qubits_; ++q) {
+    if (distance(0, q) < 0) return false;
+  }
+  return true;
+}
+
+int CouplingGraph::diameter() const {
+  int best = 0;
+  for (int a = 0; a < num_qubits_; ++a) {
+    for (int b = a + 1; b < num_qubits_; ++b) {
+      const int d = distance(a, b);
+      if (d < 0) return -1;
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+long CouplingGraph::total_distance_from(int q) const {
+  long sum = 0;
+  for (int other = 0; other < num_qubits_; ++other) {
+    const int d = distance(q, other);
+    if (d < 0) return -1;
+    sum += d;
+  }
+  return sum;
+}
+
+}  // namespace qmap

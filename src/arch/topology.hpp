@@ -1,0 +1,77 @@
+// Coupling graph: which physical-qubit pairs may host a two-qubit gate.
+//
+// IBM devices (Sec. IV of the paper) publish a *directed* coupling graph —
+// an edge Qi -> Qj means a CNOT with control Qi and target Qj is allowed,
+// and nothing else. Devices like Surface-17 (Sec. V) are symmetric: a CZ
+// may run on any connected pair in either orientation. Both are captured
+// here: connectivity is stored undirected, and each undirected edge records
+// which orientations are permitted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qmap {
+
+class CouplingGraph {
+ public:
+  CouplingGraph() = default;
+  explicit CouplingGraph(int num_qubits);
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Adds an edge. `directed == true` permits only the (a -> b) orientation
+  /// for directional gates; `false` permits both. Adding both (a,b) and
+  /// (b,a) directed edges yields a fully symmetric connection.
+  void add_edge(int a, int b, bool directed = false);
+
+  /// True when a two-qubit gate may couple a and b in *some* orientation.
+  [[nodiscard]] bool connected(int a, int b) const;
+
+  /// True when a *directional* two-qubit gate with control `control` and
+  /// target `target` is allowed as-is (without inserting direction fixes).
+  [[nodiscard]] bool orientation_allowed(int control, int target) const;
+
+  [[nodiscard]] const std::vector<int>& neighbors(int q) const;
+
+  /// Undirected edge list, each pair with a < b plus orientation flags.
+  struct Edge {
+    int a = 0;
+    int b = 0;
+    bool a_to_b = false;  // orientation a(control) -> b(target) allowed
+    bool b_to_a = false;
+  };
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Hop distance over the undirected graph; -1 when disconnected.
+  [[nodiscard]] int distance(int a, int b) const;
+
+  /// One shortest undirected path from a to b (inclusive of endpoints).
+  /// Empty when disconnected.
+  [[nodiscard]] std::vector<int> shortest_path(int a, int b) const;
+
+  [[nodiscard]] bool is_connected() const;
+  [[nodiscard]] int diameter() const;
+
+  /// Sum of distances from q to all other qubits (used by placement
+  /// heuristics to find the graph center).
+  [[nodiscard]] long total_distance_from(int q) const;
+
+ private:
+  void check_qubit(int q) const;
+  void compute_distances() const;
+
+  int num_qubits_ = 0;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<Edge> edges_;
+  // Distance matrix, computed lazily and invalidated by add_edge.
+  mutable std::vector<std::vector<int>> distances_;
+  mutable bool distances_valid_ = false;
+};
+
+}  // namespace qmap

@@ -1,0 +1,65 @@
+// Error types shared across the library.
+//
+// All qmap subsystems report unrecoverable misuse or malformed input by
+// throwing an exception derived from qmap::Error. Each subsystem has its
+// own subclass so callers can discriminate without string matching.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qmap {
+
+/// Base class of all exceptions thrown by qmaplib.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed textual input (QASM, cQASM, JSON device configs).
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line = 0, int column = 0)
+      : Error(format(what, line, column)), line_(line), column_(column) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  static std::string format(const std::string& what, int line, int column) {
+    if (line <= 0) return what;
+    return what + " (line " + std::to_string(line) + ", column " +
+           std::to_string(column) + ")";
+  }
+
+  int line_ = 0;
+  int column_ = 0;
+};
+
+/// Violation of a circuit-level invariant (qubit out of range, duplicate
+/// operands, malformed gate arity, ...).
+class CircuitError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Violation of a device-model invariant (unknown qubit, bad edge, ...).
+class DeviceError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A mapping/routing/scheduling pass was asked to do something impossible
+/// (disconnected device, circuit larger than device, ...).
+class MappingError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Simulation-layer failures (too many qubits for a state vector, ...).
+class SimulationError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace qmap

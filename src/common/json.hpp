@@ -1,0 +1,91 @@
+// Minimal JSON value type + recursive-descent parser + serializer.
+//
+// Qmap-style mappers (Sec. V of the paper) read the device description from
+// a configuration file; this module provides the parser for those configs.
+// It supports the full JSON grammar except \u escapes beyond Latin-1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// std::map keeps keys ordered which makes serialization deterministic.
+using JsonObject = std::map<std::string, Json>;
+
+/// A dynamically typed JSON value with value semantics.
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const;
+  [[nodiscard]] bool is_null() const { return type() == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type() == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type() == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type() == Type::String; }
+  [[nodiscard]] bool is_array() const { return type() == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type() == Type::Object; }
+
+  /// Checked accessors; throw ParseError on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] int as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+  [[nodiscard]] JsonArray& as_array();
+  [[nodiscard]] JsonObject& as_object();
+
+  /// Object lookup; throws if not an object or key missing.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// Object lookup with default.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Array element; throws on bad index.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Mutable object insertion (creates object if null).
+  Json& operator[](const std::string& key);
+
+  /// Parse a complete JSON document. Throws ParseError.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  /// Serialize. `indent` < 0 means compact single-line output.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  friend bool operator==(const Json& a, const Json& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+}  // namespace qmap

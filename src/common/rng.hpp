@@ -1,0 +1,50 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component (random workloads, annealing placer, SABRE
+// tie-breaking) takes an explicit Rng so results are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace qmap {
+
+/// Thin wrapper around std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xC0FFEE) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  [[nodiscard]] std::size_t index(std::size_t bound) {
+    std::uniform_int_distribution<std::size_t> dist(0, bound - 1);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int integer(int lo, int hi) {
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw.
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qmap

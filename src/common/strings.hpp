@@ -1,0 +1,29 @@
+// Small string helpers used by the parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qmap {
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on any run of ASCII whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> split_whitespace(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Join the elements of `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Format a double compactly: no trailing zeros, "pi"-free plain decimal.
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace qmap

@@ -1,0 +1,89 @@
+// Compiler facade: the full Fig. 2 pipeline.
+//
+//   quantum circuit (program qubits)          device description
+//        |                                        |
+//        +---> gate decomposition  <--------------+
+//        +---> initial placement
+//        +---> qubit routing (SWAP insertion, direction fixes)
+//        +---> SWAP expansion + re-lowering to native gates
+//        +---> operation scheduling (control constraints included)
+//        |
+//        v
+//   scheduled native circuit on physical qubits
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "arch/device.hpp"
+#include "common/json.hpp"
+#include "ir/circuit.hpp"
+#include "ir/metrics.hpp"
+#include "layout/placers.hpp"
+#include "route/router.hpp"
+#include "schedule/schedule.hpp"
+
+namespace qmap {
+
+struct CompilerOptions {
+  std::string placer = "greedy";   // identity | greedy | exhaustive | annealing
+  std::string router = "sabre";    // naive | sabre | astar | exact | qmap
+  bool lower_to_native = true;     // decompose before routing
+  bool peephole = true;            // post-routing gate-count clean-up
+  bool run_scheduler = true;
+  bool use_control_constraints = true;  // when the device declares them
+};
+
+struct CompilationResult {
+  Circuit original;        // input, program qubits
+  Circuit lowered;         // after decomposition (program qubits)
+  RoutingResult routing;   // physical qubits, SWAP placeholders
+  Circuit final_circuit;   // native gate set, coupling-legal
+  Schedule schedule;       // empty unless run_scheduler
+  CircuitMetrics original_metrics;
+  CircuitMetrics final_metrics;
+  /// Latency of the lowered-but-unrouted circuit, dependencies only —
+  /// the paper's "before mapping" baseline (Sec. V).
+  int baseline_cycles = 0;
+  /// Latency of the final scheduled circuit (0 unless run_scheduler).
+  int scheduled_cycles = 0;
+
+  [[nodiscard]] double latency_ratio() const {
+    return baseline_cycles > 0
+               ? static_cast<double>(scheduled_cycles) / baseline_cycles
+               : 0.0;
+  }
+  [[nodiscard]] std::string report() const;
+
+  /// Machine-readable report (for toolchain integration / CI dashboards):
+  /// metrics before/after, routing statistics, placements, latency.
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Factory helpers shared by the compiler, benches and tests.
+[[nodiscard]] std::unique_ptr<Placer> make_placer(const std::string& name);
+[[nodiscard]] std::unique_ptr<Router> make_router(const std::string& name);
+
+class Compiler {
+ public:
+  Compiler(Device device, CompilerOptions options = {});
+
+  [[nodiscard]] const Device& device() const noexcept { return device_; }
+  [[nodiscard]] const CompilerOptions& options() const noexcept {
+    return options_;
+  }
+
+  [[nodiscard]] CompilationResult compile(const Circuit& circuit) const;
+
+  /// Randomized end-to-end correctness check of a compilation result
+  /// (state-vector equivalence under the reported placements).
+  [[nodiscard]] static bool verify(const CompilationResult& result,
+                                   int trials = 3,
+                                   std::uint64_t seed = 0xC0FFEE);
+
+ private:
+  Device device_;
+  CompilerOptions options_;
+};
+
+}  // namespace qmap

@@ -1,0 +1,57 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw Error("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += c == 0 ? "| " : " | ";
+      std::string cell = row[c];
+      cell.resize(width[c], ' ');
+      line += cell;
+    }
+    line += " |\n";
+    return line;
+  };
+  std::string out = emit_row(header_);
+  std::string rule = "|";
+  for (const std::size_t w : width) {
+    rule += std::string(w + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+}  // namespace qmap

@@ -1,0 +1,36 @@
+// Fixed-width text tables for the benchmark harness output — every bench
+// prints the rows/series its paper figure reports through this helper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qmap {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+  [[nodiscard]] static std::string num(int value) {
+    return std::to_string(value);
+  }
+  [[nodiscard]] static std::string num(long value) {
+    return std::to_string(value);
+  }
+  [[nodiscard]] static std::string num(std::size_t value) {
+    return std::to_string(value);
+  }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qmap

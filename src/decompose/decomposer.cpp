@@ -1,0 +1,271 @@
+#include "decompose/decomposer.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "common/error.hpp"
+#include "decompose/euler.hpp"
+
+namespace qmap {
+namespace {
+
+constexpr double kAngleTolerance = 1e-12;
+
+/// Stage A: expand arity-3 gates and exotic two-qubit gates into
+/// {single-qubit, CX, CZ, SWAP} form. CX/CZ/SWAP pass through untouched.
+class StageA {
+ public:
+  explicit StageA(Circuit& out) : out_(out) {}
+
+  void gate(const Gate& g) {
+    switch (g.kind) {
+      case GateKind::ISWAP: {
+        // iSWAP(a,b) = (S x S) . H_a . CX(a,b) . CX(b,a) . H_b
+        const int a = g.qubits[0];
+        const int b = g.qubits[1];
+        out_.s(a).s(b).h(a).cx(a, b).cx(b, a).h(b);
+        break;
+      }
+      case GateKind::CPhase: {
+        const int a = g.qubits[0];
+        const int b = g.qubits[1];
+        const double lambda = g.params[0];
+        out_.p(lambda / 2.0, a)
+            .cx(a, b)
+            .p(-lambda / 2.0, b)
+            .cx(a, b)
+            .p(lambda / 2.0, b);
+        break;
+      }
+      case GateKind::CRz: {
+        const int a = g.qubits[0];
+        const int b = g.qubits[1];
+        const double lambda = g.params[0];
+        out_.rz(lambda / 2.0, b).cx(a, b).rz(-lambda / 2.0, b).cx(a, b);
+        break;
+      }
+      case GateKind::CCX:
+        toffoli(g.qubits[0], g.qubits[1], g.qubits[2]);
+        break;
+      case GateKind::CSWAP: {
+        // Fredkin(c; a, b) = CX(b,a) . CCX(c,a,b) . CX(b,a)
+        const int c = g.qubits[0];
+        const int a = g.qubits[1];
+        const int b = g.qubits[2];
+        out_.cx(b, a);
+        toffoli(c, a, b);
+        out_.cx(b, a);
+        break;
+      }
+      default:
+        out_.add(g);
+    }
+  }
+
+ private:
+  void toffoli(int a, int b, int c) {
+    // Standard 6-CNOT, 7-T decomposition (Nielsen & Chuang Fig. 4.9).
+    out_.h(c)
+        .cx(b, c)
+        .tdg(c)
+        .cx(a, c)
+        .t(c)
+        .cx(b, c)
+        .tdg(c)
+        .cx(a, c)
+        .t(b)
+        .t(c)
+        .h(c)
+        .cx(a, b)
+        .t(a)
+        .tdg(b)
+        .cx(a, b);
+  }
+
+  Circuit& out_;
+};
+
+void emit_two_qubit(Circuit& out, GateKind kind, GateKind target, int a,
+                    int b) {
+  if (kind == target) {
+    out.add(make_gate(kind, {a, b}));
+    return;
+  }
+  // CX <-> CZ via Hadamards on the target qubit: CX(a,b) = H_b CZ(a,b) H_b.
+  if (kind == GateKind::CX && target == GateKind::CZ) {
+    out.h(b).cz(a, b).h(b);
+    return;
+  }
+  if (kind == GateKind::CZ && target == GateKind::CX) {
+    out.h(b).cx(a, b).h(b);
+    return;
+  }
+  throw MappingError("unsupported two-qubit lowering target");
+}
+
+bool is_identity_up_to_phase(const Matrix& m) {
+  return m.equal_up_to_global_phase(Matrix::identity(2), 1e-10);
+}
+
+}  // namespace
+
+Circuit lower_two_qubit(const Circuit& circuit, GateKind target,
+                        bool keep_swaps) {
+  if (target != GateKind::CX && target != GateKind::CZ) {
+    throw MappingError("two-qubit lowering target must be CX or CZ");
+  }
+  // Stage A: everything into {1q, CX, CZ, SWAP}.
+  Circuit intermediate(circuit.num_qubits(), circuit.name());
+  StageA stage_a(intermediate);
+  for (const Gate& gate : circuit) stage_a.gate(gate);
+
+  // Stage B: convert the two-qubit kinds to the target.
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const Gate& gate : intermediate) {
+    switch (gate.kind) {
+      case GateKind::CX:
+      case GateKind::CZ:
+        emit_two_qubit(out, gate.kind, target, gate.qubits[0],
+                       gate.qubits[1]);
+        break;
+      case GateKind::SWAP: {
+        if (keep_swaps) {
+          out.add(gate);
+          break;
+        }
+        const int a = gate.qubits[0];
+        const int b = gate.qubits[1];
+        emit_two_qubit(out, GateKind::CX, target, a, b);
+        emit_two_qubit(out, GateKind::CX, target, b, a);
+        emit_two_qubit(out, GateKind::CX, target, a, b);
+        break;
+      }
+      default:
+        out.add(gate);
+    }
+  }
+  return out;
+}
+
+Circuit fuse_single_qubit(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.name());
+  // Pending accumulated single-qubit unitary per qubit.
+  std::vector<std::optional<Matrix>> pending(
+      static_cast<std::size_t>(circuit.num_qubits()));
+
+  const auto flush = [&](int q) {
+    auto& entry = pending[static_cast<std::size_t>(q)];
+    if (!entry.has_value()) return;
+    if (!is_identity_up_to_phase(*entry)) {
+      const EulerAngles angles = zyz_decompose(*entry);
+      out.u(angles.theta, angles.phi, angles.lambda, q);
+    }
+    entry.reset();
+  };
+
+  for (const Gate& gate : circuit) {
+    if (gate.is_unitary() && gate_info(gate.kind).arity == 1) {
+      auto& entry = pending[static_cast<std::size_t>(gate.qubits[0])];
+      const Matrix m = gate.matrix();
+      entry = entry.has_value() ? m * *entry : m;
+      continue;
+    }
+    for (const int q : gate.qubits) flush(q);
+    out.add(gate);
+  }
+  for (int q = 0; q < circuit.num_qubits(); ++q) flush(q);
+  return out;
+}
+
+Circuit lower_single_qubit(const Circuit& circuit, const Device& device) {
+  const auto& natives = device.native_single_qubit();
+  if (natives.empty()) return circuit;  // unrestricted device
+  const bool has_u =
+      device.is_native_kind(GateKind::U);
+  const bool has_rx = device.is_native_kind(GateKind::Rx);
+  const bool has_ry = device.is_native_kind(GateKind::Ry);
+  if (!has_u && !(has_rx && has_ry)) {
+    throw MappingError(
+        "device native single-qubit set must include u or {rx, ry}");
+  }
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const Gate& gate : circuit) {
+    if (!gate.is_unitary() || gate_info(gate.kind).arity != 1 ||
+        device.is_native_kind(gate.kind)) {
+      out.add(gate);
+      continue;
+    }
+    const int q = gate.qubits[0];
+    if (has_u) {
+      const EulerAngles angles = zyz_decompose(gate.matrix());
+      out.u(angles.theta, angles.phi, angles.lambda, q);
+      continue;
+    }
+    const EulerAngles angles = yxy_decompose(gate.matrix());
+    if (std::abs(angles.lambda) > kAngleTolerance) out.ry(angles.lambda, q);
+    if (std::abs(angles.theta) > kAngleTolerance) out.rx(angles.theta, q);
+    if (std::abs(angles.phi) > kAngleTolerance) out.ry(angles.phi, q);
+  }
+  return out;
+}
+
+Circuit lower_to_device(const Circuit& circuit, const Device& device,
+                        bool keep_swaps) {
+  Circuit lowered =
+      lower_two_qubit(circuit, device.native_two_qubit(), keep_swaps);
+  lowered = fuse_single_qubit(lowered);
+  return lower_single_qubit(lowered, device);
+}
+
+Circuit fix_cx_directions(const Circuit& circuit, const Device& device) {
+  const CouplingGraph& coupling = device.coupling();
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const Gate& gate : circuit) {
+    if (!gate.is_two_qubit()) {
+      out.add(gate);
+      continue;
+    }
+    const int a = gate.qubits[0];
+    const int b = gate.qubits[1];
+    if (!coupling.connected(a, b)) {
+      throw MappingError("two-qubit gate on unconnected qubits Q" +
+                         std::to_string(a) + ", Q" + std::to_string(b) +
+                         " — route the circuit first");
+    }
+    if (!gate.is_directional() || coupling.orientation_allowed(a, b)) {
+      out.add(gate);
+      continue;
+    }
+    if (gate.kind != GateKind::CX) {
+      throw MappingError("cannot fix direction of non-CX directional gate");
+    }
+    // Sec. IV: "H gates are employed to flip the direction of the control
+    // and target qubits": CX(a,b) = (H x H) CX(b,a) (H x H).
+    out.h(a).h(b).cx(b, a).h(a).h(b);
+  }
+  return out;
+}
+
+Circuit expand_swaps(const Circuit& circuit, const Device& device) {
+  const GateKind target = device.native_two_qubit();
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const Gate& gate : circuit) {
+    if (gate.kind != GateKind::SWAP) {
+      out.add(gate);
+      continue;
+    }
+    const int a = gate.qubits[0];
+    const int b = gate.qubits[1];
+    emit_two_qubit(out, GateKind::CX, target, a, b);
+    emit_two_qubit(out, GateKind::CX, target, b, a);
+    emit_two_qubit(out, GateKind::CX, target, a, b);
+  }
+  return out;
+}
+
+int swap_two_qubit_cost(const Device& device) {
+  (void)device;
+  return 3;  // three native two-qubit gates on both CX and CZ devices
+}
+
+}  // namespace qmap

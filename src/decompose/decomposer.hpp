@@ -1,0 +1,56 @@
+// Gate-decomposition passes (task 1 of the compiler in Sec. III-A).
+//
+// The passes are deliberately split so the mapping pipeline can interleave
+// them with routing the way Sec. VI-A describes: lowering to the native
+// two-qubit gate and fusing single-qubit runs is placement-independent and
+// happens before routing; fixing CNOT directions on directed-coupling
+// devices (extra Hadamards, Sec. IV) can only happen at routing time when
+// the placement is known.
+#pragma once
+
+#include "arch/device.hpp"
+#include "ir/circuit.hpp"
+
+namespace qmap {
+
+/// Rewrites every gate of arity >= 3 and every non-`target` two-qubit gate
+/// into single-qubit gates plus `target` (CX or CZ) two-qubit gates.
+/// SWAPs are preserved when `keep_swaps` is set (routers insert SWAPs as
+/// placeholders that are lowered at the end).
+[[nodiscard]] Circuit lower_two_qubit(const Circuit& circuit, GateKind target,
+                                      bool keep_swaps = false);
+
+/// Merges maximal runs of adjacent single-qubit gates on each qubit into a
+/// single U(theta, phi, lambda) gate; exact identities are dropped.
+[[nodiscard]] Circuit fuse_single_qubit(const Circuit& circuit);
+
+/// Re-expresses every single-qubit gate in the device's native basis:
+///  * IBM-style ({U}): one U gate via ZYZ;
+///  * Surface-style ({Rx, Ry}): up to three rotations via YXY, with
+///    zero-angle rotations skipped;
+///  * unrestricted: gates pass through unchanged.
+[[nodiscard]] Circuit lower_single_qubit(const Circuit& circuit,
+                                         const Device& device);
+
+/// Full placement-independent lowering: lower_two_qubit to the device's
+/// native two-qubit gate, fuse, then lower_single_qubit.
+[[nodiscard]] Circuit lower_to_device(const Circuit& circuit,
+                                      const Device& device,
+                                      bool keep_swaps = false);
+
+/// Replaces CX gates whose orientation the coupling graph forbids with the
+/// 4-Hadamard inversion H H . CX(reversed) . H H (Sec. IV / Fig. 3(c)).
+/// Throws MappingError if some CX connects qubits that are not coupled at
+/// all (that is a routing failure, not a direction issue).
+[[nodiscard]] Circuit fix_cx_directions(const Circuit& circuit,
+                                        const Device& device);
+
+/// Expands every SWAP into the device-native sequence: 3 CX (CX devices)
+/// or 3 (H-wrapped) CZ (CZ devices, Fig. 6). Other gates pass through.
+[[nodiscard]] Circuit expand_swaps(const Circuit& circuit,
+                                   const Device& device);
+
+/// Number of native two-qubit gates one routing SWAP costs on this device.
+[[nodiscard]] int swap_two_qubit_cost(const Device& device);
+
+}  // namespace qmap

@@ -1,0 +1,102 @@
+#include "decompose/euler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qmap {
+namespace {
+
+constexpr double kTolerance = 1e-10;
+
+Matrix rz(double angle) {
+  const Complex e = std::polar(1.0, angle / 2.0);
+  return Matrix(2, {std::conj(e), Complex{0, 0}, Complex{0, 0}, e});
+}
+
+Matrix ry(double angle) {
+  const double c = std::cos(angle / 2.0);
+  const double s = std::sin(angle / 2.0);
+  return Matrix(2, {Complex{c, 0}, Complex{-s, 0}, Complex{s, 0},
+                    Complex{c, 0}});
+}
+
+Matrix rx(double angle) {
+  const double c = std::cos(angle / 2.0);
+  const double s = std::sin(angle / 2.0);
+  const Complex mis{0.0, -s};
+  return Matrix(2, {Complex{c, 0}, mis, mis, Complex{c, 0}});
+}
+
+/// The Bloch-sphere rotation by -120 degrees about (1,1,1)/sqrt(3):
+/// conjugation by this unitary maps Rz -> Ry and Ry -> Rx, which turns a
+/// ZYZ decomposition of the conjugated matrix into a YXY decomposition of
+/// the original.
+Matrix axis_cycle() {
+  // T = (I + i(X + Y + Z)) / 2.
+  const Complex i{0.0, 1.0};
+  const Complex half{0.5, 0.0};
+  return Matrix(2, {half * (Complex{1, 0} + i), half * (i + Complex{1, 0}),
+                    half * (i - Complex{1, 0}), half * (Complex{1, 0} - i)});
+}
+
+}  // namespace
+
+EulerAngles zyz_decompose(const Matrix& u) {
+  if (u.rows() != 2 || u.cols() != 2) {
+    throw Error("zyz_decompose: expected 2x2 matrix");
+  }
+  if (!u.is_unitary(1e-8)) {
+    throw Error("zyz_decompose: matrix is not unitary");
+  }
+  const Complex a = u.at(0, 0);
+  const Complex b = u.at(0, 1);
+  const Complex c = u.at(1, 0);
+  const Complex d = u.at(1, 1);
+  EulerAngles out;
+  out.theta = 2.0 * std::atan2(std::abs(c), std::abs(a));
+  if (std::abs(c) < kTolerance) {
+    // Diagonal (theta ~ 0): only phi + lambda is determined.
+    out.lambda = 0.0;
+    out.phi = std::arg(d) - std::arg(a);
+    out.phase = std::arg(a) + (out.phi + out.lambda) / 2.0;
+  } else if (std::abs(a) < kTolerance) {
+    // Anti-diagonal (theta ~ pi): only phi - lambda is determined.
+    out.lambda = 0.0;
+    out.phi = std::arg(c) - std::arg(-b);
+    out.phase = (std::arg(c) + std::arg(-b)) / 2.0;
+  } else {
+    out.phi = std::arg(c) - std::arg(a);
+    out.lambda = std::arg(d) - std::arg(c);
+    out.phase = std::arg(a) + (out.phi + out.lambda) / 2.0;
+  }
+  return out;
+}
+
+EulerAngles yxy_decompose(const Matrix& u) {
+  const Matrix t = axis_cycle();
+  const Matrix conjugated = t.dagger() * u * t;
+  return zyz_decompose(conjugated);
+}
+
+Matrix matrix_from_zyz(const EulerAngles& angles) {
+  Matrix m = rz(angles.phi) * ry(angles.theta) * rz(angles.lambda);
+  const Complex phase = std::polar(1.0, angles.phase);
+  Matrix out(2, 2);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) out.at(r, c) = phase * m.at(r, c);
+  }
+  return out;
+}
+
+Matrix matrix_from_yxy(const EulerAngles& angles) {
+  Matrix m = ry(angles.phi) * rx(angles.theta) * ry(angles.lambda);
+  const Complex phase = std::polar(1.0, angles.phase);
+  Matrix out(2, 2);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) out.at(r, c) = phase * m.at(r, c);
+  }
+  return out;
+}
+
+}  // namespace qmap

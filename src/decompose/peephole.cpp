@@ -1,0 +1,154 @@
+#include "decompose/peephole.hpp"
+
+#include <cmath>
+#include <optional>
+
+namespace qmap {
+namespace {
+
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+
+bool same_pair(const Gate& a, const Gate& b, bool allow_reversed) {
+  if (a.qubits == b.qubits) return true;
+  if (!allow_reversed) return false;
+  return a.qubits.size() == 2 && b.qubits.size() == 2 &&
+         a.qubits[0] == b.qubits[1] && a.qubits[1] == b.qubits[0];
+}
+
+/// Is this kind a self-inverse two-qubit gate we cancel in pairs?
+bool cancellable_two_qubit(GateKind kind) {
+  return kind == GateKind::CX || kind == GateKind::CZ ||
+         kind == GateKind::SWAP;
+}
+
+/// Symmetric kinds also cancel when the operand order is reversed.
+bool cancels_reversed(GateKind kind) {
+  return gate_info(kind).symmetric;
+}
+
+}  // namespace
+
+Circuit cancel_two_qubit_pairs(const Circuit& circuit) {
+  // pending[q] = index into `kept` of the unmatched cancellable two-qubit
+  // gate currently "live" on qubit q (or -1).
+  std::vector<std::optional<Gate>> kept;
+  std::vector<int> live(static_cast<std::size_t>(circuit.num_qubits()), -1);
+
+  for (const Gate& gate : circuit) {
+    bool cancelled = false;
+    if (gate.is_two_qubit() && cancellable_two_qubit(gate.kind)) {
+      const int la = live[static_cast<std::size_t>(gate.qubits[0])];
+      const int lb = live[static_cast<std::size_t>(gate.qubits[1])];
+      if (la >= 0 && la == lb && kept[static_cast<std::size_t>(la)] &&
+          kept[static_cast<std::size_t>(la)]->kind == gate.kind &&
+          same_pair(*kept[static_cast<std::size_t>(la)], gate,
+                    cancels_reversed(gate.kind))) {
+        // Annihilate the pair.
+        kept[static_cast<std::size_t>(la)].reset();
+        live[static_cast<std::size_t>(gate.qubits[0])] = -1;
+        live[static_cast<std::size_t>(gate.qubits[1])] = -1;
+        cancelled = true;
+      }
+    }
+    if (cancelled) continue;
+    // The gate interrupts any live candidates on its qubits.
+    for (const int q : gate.qubits) {
+      live[static_cast<std::size_t>(q)] = -1;
+    }
+    kept.emplace_back(gate);
+    if (gate.is_two_qubit() && cancellable_two_qubit(gate.kind)) {
+      const int index = static_cast<int>(kept.size()) - 1;
+      live[static_cast<std::size_t>(gate.qubits[0])] = index;
+      live[static_cast<std::size_t>(gate.qubits[1])] = index;
+    }
+  }
+
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const auto& gate : kept) {
+    if (gate.has_value()) out.add(*gate);
+  }
+  return out;
+}
+
+Circuit merge_rotations(const Circuit& circuit) {
+  const auto mergeable = [](GateKind kind) {
+    return kind == GateKind::Rx || kind == GateKind::Ry ||
+           kind == GateKind::Rz || kind == GateKind::Phase ||
+           kind == GateKind::CPhase || kind == GateKind::CRz;
+  };
+  // Rotations are periodic: Rx/Ry/Rz/CRz with angle ~ 0 mod 4pi are exact
+  // identity (2pi gives a global phase -1, which is unobservable for 1q
+  // rotations but NOT for controlled ones, so be conservative there);
+  // Phase/CPhase have period 2pi.
+  const auto is_identity_angle = [](GateKind kind, double angle) {
+    const double period =
+        (kind == GateKind::Phase || kind == GateKind::CPhase) ? kTwoPi
+                                                              : 2.0 * kTwoPi;
+    const double remainder = std::fmod(std::abs(angle), period);
+    return remainder < 1e-12 || period - remainder < 1e-12;
+  };
+
+  std::vector<std::optional<Gate>> kept;
+  // live rotation per qubit: index into kept; valid only when the gate at
+  // that index is a mergeable rotation whose operand set matches exactly.
+  std::vector<int> live(static_cast<std::size_t>(circuit.num_qubits()), -1);
+
+  for (const Gate& gate : circuit) {
+    if (mergeable(gate.kind)) {
+      // All operands must point at the same live rotation with identical
+      // kind and operand order.
+      int candidate = live[static_cast<std::size_t>(gate.qubits[0])];
+      bool matches = candidate >= 0 &&
+                     kept[static_cast<std::size_t>(candidate)].has_value() &&
+                     kept[static_cast<std::size_t>(candidate)]->kind ==
+                         gate.kind &&
+                     kept[static_cast<std::size_t>(candidate)]->qubits ==
+                         gate.qubits;
+      for (const int q : gate.qubits) {
+        if (live[static_cast<std::size_t>(q)] != candidate) matches = false;
+      }
+      if (matches) {
+        Gate& target = *kept[static_cast<std::size_t>(candidate)];
+        target.params[0] += gate.params[0];
+        if (is_identity_angle(target.kind, target.params[0])) {
+          kept[static_cast<std::size_t>(candidate)].reset();
+          for (const int q : gate.qubits) {
+            live[static_cast<std::size_t>(q)] = -1;
+          }
+        }
+        continue;
+      }
+    }
+    for (const int q : gate.qubits) live[static_cast<std::size_t>(q)] = -1;
+    if (mergeable(gate.kind) &&
+        is_identity_angle(gate.kind, gate.params[0])) {
+      continue;  // drop an exact-identity rotation outright
+    }
+    kept.emplace_back(gate);
+    if (mergeable(gate.kind)) {
+      const int index = static_cast<int>(kept.size()) - 1;
+      for (const int q : gate.qubits) {
+        live[static_cast<std::size_t>(q)] = index;
+      }
+    }
+  }
+
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const auto& gate : kept) {
+    if (gate.has_value()) out.add(*gate);
+  }
+  return out;
+}
+
+Circuit peephole_optimize(const Circuit& circuit, int max_iterations) {
+  Circuit current = circuit;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    const std::size_t before = current.size();
+    current = cancel_two_qubit_pairs(current);
+    current = merge_rotations(current);
+    if (current.size() == before) break;
+  }
+  return current;
+}
+
+}  // namespace qmap

@@ -1,0 +1,34 @@
+// Peephole circuit optimization.
+//
+// Mapping inflates circuits with structured redundancy: consecutive
+// inverted CNOTs produce cancelling Hadamard pairs (handled by
+// fuse_single_qubit), back-to-back identical CX/CZ/SWAP pairs arise when a
+// routed qubit bounces, and rotation chains accumulate. Minimizing the
+// resulting gate count is exactly the paper's first cost function
+// (Sec. III-B); heuristic mappers like [54] bundle such clean-up passes.
+//
+// All passes are semantics-preserving (verified by the tests at the
+// unitary level).
+#pragma once
+
+#include "ir/circuit.hpp"
+
+namespace qmap {
+
+/// Cancels adjacent self-inverse two-qubit pairs: CX(a,b) CX(a,b) -> I
+/// (same for CZ and SWAP; CZ/SWAP also cancel with reversed operands).
+/// "Adjacent" means no other gate touches either qubit in between.
+[[nodiscard]] Circuit cancel_two_qubit_pairs(const Circuit& circuit);
+
+/// Merges runs of same-axis rotations on one qubit: Rz(a) Rz(b) ->
+/// Rz(a+b); drops rotations with angle ~ 0 (mod 4*pi). Also merges
+/// CPhase/CRz pairs on identical operand pairs.
+[[nodiscard]] Circuit merge_rotations(const Circuit& circuit);
+
+/// Runs the peephole stack to a fixed point (bounded iterations):
+/// cancel_two_qubit_pairs + merge_rotations, interleaved with single-qubit
+/// fusion on native-unrestricted circuits is left to the caller.
+[[nodiscard]] Circuit peephole_optimize(const Circuit& circuit,
+                                        int max_iterations = 8);
+
+}  // namespace qmap

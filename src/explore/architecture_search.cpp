@@ -1,0 +1,159 @@
+#include "explore/architecture_search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "decompose/decomposer.hpp"
+#include "layout/placers.hpp"
+
+namespace qmap {
+namespace {
+
+Device device_from_edges(int num_qubits,
+                         const std::vector<std::pair<int, int>>& edges,
+                         GateKind native_two_qubit) {
+  CouplingGraph coupling(num_qubits);
+  for (const auto& [a, b] : edges) coupling.add_edge(a, b);
+  Device device("explored" + std::to_string(num_qubits),
+                std::move(coupling));
+  device.set_native_two_qubit(native_two_qubit);
+  return device;
+}
+
+/// Maximum-weight spanning tree of the combined interaction graph
+/// (Kruskal); qubits without interactions are chained on at weight 0.
+std::vector<std::pair<int, int>> interaction_spanning_tree(
+    int num_qubits, const std::vector<Circuit>& workloads) {
+  std::vector<std::vector<long>> weight(
+      static_cast<std::size_t>(num_qubits),
+      std::vector<long>(static_cast<std::size_t>(num_qubits), 0));
+  for (const Circuit& circuit : workloads) {
+    for (const Gate& gate : circuit) {
+      if (!gate.is_two_qubit()) continue;
+      const int a = gate.qubits[0];
+      const int b = gate.qubits[1];
+      ++weight[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+      ++weight[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)];
+    }
+  }
+  struct Candidate {
+    long w;
+    int a;
+    int b;
+  };
+  std::vector<Candidate> candidates;
+  for (int a = 0; a < num_qubits; ++a) {
+    for (int b = a + 1; b < num_qubits; ++b) {
+      candidates.push_back(
+          {weight[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)],
+           a, b});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& x, const Candidate& y) {
+                     return x.w > y.w;
+                   });
+  // Union-find.
+  std::vector<int> parent(static_cast<std::size_t>(num_qubits));
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+  std::vector<std::pair<int, int>> tree;
+  for (const Candidate& c : candidates) {
+    const int ra = find(c.a);
+    const int rb = find(c.b);
+    if (ra == rb) continue;
+    parent[static_cast<std::size_t>(ra)] = rb;
+    tree.emplace_back(c.a, c.b);
+    if (tree.size() + 1 == static_cast<std::size_t>(num_qubits)) break;
+  }
+  return tree;
+}
+
+}  // namespace
+
+long evaluate_architecture(const Device& device,
+                           const std::vector<Circuit>& workloads,
+                           const ArchitectureSearchOptions& options) {
+  long total = 0;
+  const auto router = make_router(options.router);
+  const auto placer = make_placer(options.placer);
+  for (const Circuit& circuit : workloads) {
+    const Circuit lowered =
+        lower_to_device(circuit, device, /*keep_swaps=*/true);
+    const Placement initial = placer->place(lowered, device);
+    const RoutingResult result = router->route(lowered, device, initial);
+    total += 3 * static_cast<long>(result.added_swaps) +
+             static_cast<long>(result.direction_fixes);
+  }
+  return total;
+}
+
+ArchitectureSearchResult search_architecture(
+    int num_qubits, const std::vector<Circuit>& workloads,
+    const ArchitectureSearchOptions& options) {
+  if (num_qubits < 2) throw MappingError("need at least 2 qubits");
+  for (const Circuit& circuit : workloads) {
+    if (circuit.num_qubits() > num_qubits) {
+      throw MappingError("workload wider than the architecture under search");
+    }
+  }
+  const int budget =
+      options.edge_budget == 0 ? num_qubits - 1 : options.edge_budget;
+  if (budget < num_qubits - 1) {
+    throw MappingError("edge budget cannot connect " +
+                       std::to_string(num_qubits) + " qubits");
+  }
+
+  std::vector<std::pair<int, int>> edges =
+      interaction_spanning_tree(num_qubits, workloads);
+  ArchitectureSearchResult result;
+  {
+    const Device tree =
+        device_from_edges(num_qubits, edges, options.native_two_qubit);
+    result.initial_cost = evaluate_architecture(tree, workloads, options);
+  }
+  long current_cost = result.initial_cost;
+
+  while (static_cast<int>(edges.size()) < budget && current_cost > 0) {
+    long best_cost = current_cost;
+    std::pair<int, int> best_edge{-1, -1};
+    for (int a = 0; a < num_qubits; ++a) {
+      for (int b = a + 1; b < num_qubits; ++b) {
+        if (std::find(edges.begin(), edges.end(), std::pair{a, b}) !=
+            edges.end()) {
+          continue;
+        }
+        std::vector<std::pair<int, int>> trial = edges;
+        trial.emplace_back(a, b);
+        const Device device =
+            device_from_edges(num_qubits, trial, options.native_two_qubit);
+        const long cost = evaluate_architecture(device, workloads, options);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_edge = {a, b};
+        }
+      }
+    }
+    if (best_edge.first < 0) break;  // no edge helps any more
+    edges.push_back(best_edge);
+    result.added_edges.push_back(best_edge);
+    current_cost = best_cost;
+  }
+
+  result.device =
+      device_from_edges(num_qubits, edges, options.native_two_qubit);
+  result.final_cost = current_cost;
+  return result;
+}
+
+}  // namespace qmap

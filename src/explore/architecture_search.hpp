@@ -1,0 +1,52 @@
+// Workload-aware architecture exploration.
+//
+// The paper's closing discussion (Sec. VII) points at [69], "Towards
+// exploring the potential of alternative quantum computing architectures":
+// "these optimizations should consider both the quantum device and the
+// quantum application characteristics. In this direction, reference [69]
+// proposes an approach which takes the planned quantum functionality into
+// account when determining an architecture."
+//
+// This module inverts the mapping problem: given the circuits you plan to
+// run and a coupling-edge budget (edges are resonators/couplers — the
+// expensive resource), find the topology that minimizes the routing cost.
+// The search is greedy: start from a cost-optimal spanning tree of the
+// workload's interaction graph and repeatedly add the edge with the
+// largest measured routing-cost reduction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "ir/circuit.hpp"
+
+namespace qmap {
+
+struct ArchitectureSearchOptions {
+  int edge_budget = 0;          // total edges allowed (>= n-1); 0 = n-1
+  GateKind native_two_qubit = GateKind::CZ;
+  std::string router = "sabre";  // evaluation router
+  std::string placer = "greedy";
+};
+
+struct ArchitectureSearchResult {
+  Device device;                 // the found topology
+  long initial_cost = 0;        // routed cost of the spanning tree
+  long final_cost = 0;          // routed cost of the found topology
+  std::vector<std::pair<int, int>> added_edges;  // in addition order
+};
+
+/// Routed cost of running every workload on `device`: total SWAPs added
+/// (each three native two-qubit gates) summed over the workloads.
+[[nodiscard]] long evaluate_architecture(
+    const Device& device, const std::vector<Circuit>& workloads,
+    const ArchitectureSearchOptions& options = {});
+
+/// Greedy workload-aware topology search over `num_qubits` qubits.
+/// Throws MappingError when the budget cannot connect the device.
+[[nodiscard]] ArchitectureSearchResult search_architecture(
+    int num_qubits, const std::vector<Circuit>& workloads,
+    const ArchitectureSearchOptions& options);
+
+}  // namespace qmap

@@ -1,0 +1,24 @@
+// ASCII circuit diagrams in the style of the paper's figures: qubits as
+// horizontal wires, time flowing left to right, boxed single-qubit gates,
+// '*' control dots, '+' CNOT targets, 'x' SWAP endpoints.
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qmap {
+
+struct AsciiOptions {
+  bool show_qubit_labels = true;
+  /// Wire-name prefix: 'q' for program qubits, 'Q' for physical qubits
+  /// (matching the paper's q_i / Q_i notation).
+  char qubit_prefix = 'q';
+};
+
+/// Renders the circuit as a multi-line ASCII diagram. Gates are packed into
+/// ASAP time slots so that gates drawn in the same column are parallel.
+[[nodiscard]] std::string draw_ascii(const Circuit& circuit,
+                                     const AsciiOptions& options = {});
+
+}  // namespace qmap

@@ -1,0 +1,160 @@
+#include "ir/circuit.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name)) {
+  if (num_qubits < 0) throw CircuitError("negative qubit count");
+}
+
+void Circuit::declare_cbits(int count) {
+  if (count < 0) throw CircuitError("negative classical bit count");
+  num_cbits_ = std::max(num_cbits_, count);
+}
+
+void Circuit::validate(const Gate& gate) const {
+  for (const int q : gate.qubits) {
+    if (q < 0 || q >= num_qubits_) {
+      throw CircuitError("qubit q" + std::to_string(q) +
+                         " out of range for circuit with " +
+                         std::to_string(num_qubits_) + " qubits");
+    }
+  }
+}
+
+std::size_t Circuit::add(Gate gate) {
+  validate(gate);
+  if (gate.kind == GateKind::Measure) {
+    num_cbits_ = std::max(num_cbits_, gate.cbit + 1);
+  }
+  gates_.push_back(std::move(gate));
+  return gates_.size() - 1;
+}
+
+Circuit& Circuit::emit(GateKind kind, std::vector<int> qubits,
+                       std::vector<double> params) {
+  add(make_gate(kind, std::move(qubits), std::move(params)));
+  return *this;
+}
+
+Circuit& Circuit::measure(int qubit, int cbit) {
+  if (cbit < 0) throw CircuitError("negative classical bit index");
+  add(make_measure(qubit, cbit));
+  return *this;
+}
+
+Circuit& Circuit::measure_all() {
+  for (int q = 0; q < num_qubits_; ++q) measure(q, q);
+  return *this;
+}
+
+Circuit& Circuit::barrier(std::vector<int> qubits) {
+  if (qubits.empty()) {
+    qubits.resize(static_cast<std::size_t>(num_qubits_));
+    for (int q = 0; q < num_qubits_; ++q) {
+      qubits[static_cast<std::size_t>(q)] = q;
+    }
+  }
+  add(make_barrier(std::move(qubits)));
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  for (const Gate& gate : other.gates_) add(gate);
+  return *this;
+}
+
+Circuit& Circuit::append_mapped(const Circuit& other,
+                                const std::vector<int>& mapping) {
+  if (mapping.size() != static_cast<std::size_t>(other.num_qubits())) {
+    throw CircuitError("append_mapped: mapping size mismatch");
+  }
+  for (const Gate& gate : other.gates_) {
+    Gate remapped = gate;
+    for (int& q : remapped.qubits) q = mapping[static_cast<std::size_t>(q)];
+    add(std::move(remapped));
+  }
+  return *this;
+}
+
+namespace {
+
+/// Inverse of a single unitary gate as a replacement gate sequence.
+Gate invert_gate(const Gate& gate) {
+  Gate out = gate;
+  switch (gate.kind) {
+    case GateKind::S: out.kind = GateKind::Sdg; return out;
+    case GateKind::Sdg: out.kind = GateKind::S; return out;
+    case GateKind::T: out.kind = GateKind::Tdg; return out;
+    case GateKind::Tdg: out.kind = GateKind::T; return out;
+    case GateKind::SX: out.kind = GateKind::SXdg; return out;
+    case GateKind::SXdg: out.kind = GateKind::SX; return out;
+    case GateKind::Rx:
+    case GateKind::Ry:
+    case GateKind::Rz:
+    case GateKind::Phase:
+    case GateKind::CPhase:
+    case GateKind::CRz:
+      out.params[0] = -gate.params[0];
+      return out;
+    case GateKind::U:
+      // (Rz(phi) Ry(theta) Rz(lambda))^-1 = Rz(-lambda) Ry(-theta) Rz(-phi)
+      out.params = {-gate.params[0], -gate.params[2], -gate.params[1]};
+      return out;
+    case GateKind::ISWAP: {
+      // iSWAP^-1 differs from iSWAP; no single-gate representation here.
+      throw CircuitError("inverse(): iswap inverse not representable");
+    }
+    default:
+      // Self-inverse gates: I, X, Y, Z, H, CX, CZ, SWAP, CCX, CSWAP.
+      return out;
+  }
+}
+
+}  // namespace
+
+Circuit Circuit::inverse() const {
+  Circuit out(num_qubits_, name_ + "_inv");
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+    if (it->kind == GateKind::Barrier) {
+      out.add(*it);
+      continue;
+    }
+    if (!it->is_unitary()) {
+      throw CircuitError("inverse(): circuit contains measurements");
+    }
+    out.add(invert_gate(*it));
+  }
+  return out;
+}
+
+Circuit Circuit::unitary_part() const {
+  Circuit out(num_qubits_, name_);
+  for (const Gate& gate : gates_) {
+    if (gate.is_unitary()) out.add(gate);
+  }
+  return out;
+}
+
+Circuit Circuit::two_qubit_skeleton() const {
+  Circuit out(num_qubits_, name_ + "_2q");
+  for (const Gate& gate : gates_) {
+    if (gate.is_two_qubit()) out.add(gate);
+  }
+  return out;
+}
+
+std::string Circuit::to_string() const {
+  std::string out = name_ + " (" + std::to_string(num_qubits_) + " qubits, " +
+                    std::to_string(gates_.size()) + " gates)\n";
+  for (const Gate& gate : gates_) {
+    out += "  " + gate.to_string() + "\n";
+  }
+  return out;
+}
+
+}  // namespace qmap

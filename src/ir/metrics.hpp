@@ -1,0 +1,55 @@
+// Circuit cost metrics — the quantities every mapper in the paper reports
+// (Sec. III-B "Cost function"): gate counts, added-SWAP counts, circuit
+// depth, and duration-weighted latency.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qmap {
+
+struct CircuitMetrics {
+  std::size_t total_gates = 0;       // excluding barriers
+  std::size_t single_qubit_gates = 0;
+  std::size_t two_qubit_gates = 0;
+  std::size_t swap_gates = 0;
+  std::size_t cx_gates = 0;
+  std::size_t cz_gates = 0;
+  std::size_t h_gates = 0;
+  std::size_t measurements = 0;
+  int depth = 0;            // unit-duration critical path
+  int two_qubit_depth = 0;  // critical path counting only two-qubit gates
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] CircuitMetrics compute_metrics(const Circuit& circuit);
+
+/// Per-kind histogram, keyed by canonical mnemonic.
+[[nodiscard]] std::map<std::string, std::size_t> gate_histogram(
+    const Circuit& circuit);
+
+/// Duration-weighted critical path ("latency" in the paper's Qmap
+/// discussion, Sec. V). `duration(gate)` returns the duration of one gate in
+/// arbitrary units (cycles or ns); barriers always cost 0.
+[[nodiscard]] double circuit_latency(
+    const Circuit& circuit, const std::function<double(const Gate&)>& duration);
+
+/// Overhead summary comparing a mapped circuit against its source.
+struct MappingOverhead {
+  std::size_t added_gates = 0;
+  std::size_t added_two_qubit_gates = 0;
+  int added_depth = 0;
+  double gate_ratio = 1.0;   // mapped/original total gates
+  double depth_ratio = 1.0;  // mapped/original depth
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] MappingOverhead compute_overhead(const Circuit& original,
+                                               const Circuit& mapped);
+
+}  // namespace qmap

@@ -1,0 +1,126 @@
+#include "layout/placement.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+Placement Placement::identity(int num_program_qubits,
+                              int num_physical_qubits) {
+  if (num_program_qubits > num_physical_qubits) {
+    throw MappingError("program needs " + std::to_string(num_program_qubits) +
+                       " qubits but device has only " +
+                       std::to_string(num_physical_qubits));
+  }
+  Placement p;
+  p.num_program_qubits_ = num_program_qubits;
+  p.wire_to_phys_.resize(static_cast<std::size_t>(num_physical_qubits));
+  p.phys_to_wire_.resize(static_cast<std::size_t>(num_physical_qubits));
+  for (int w = 0; w < num_physical_qubits; ++w) {
+    p.wire_to_phys_[static_cast<std::size_t>(w)] = w;
+    p.phys_to_wire_[static_cast<std::size_t>(w)] = w;
+  }
+  return p;
+}
+
+Placement Placement::from_program_map(const std::vector<int>& program_to_phys,
+                                      int num_physical_qubits) {
+  const int n = static_cast<int>(program_to_phys.size());
+  if (n > num_physical_qubits) {
+    throw MappingError("more program qubits than physical qubits");
+  }
+  Placement p;
+  p.num_program_qubits_ = n;
+  p.wire_to_phys_.assign(static_cast<std::size_t>(num_physical_qubits), -1);
+  p.phys_to_wire_.assign(static_cast<std::size_t>(num_physical_qubits), -1);
+  for (int k = 0; k < n; ++k) {
+    const int phys = program_to_phys[static_cast<std::size_t>(k)];
+    if (phys < 0 || phys >= num_physical_qubits) {
+      throw MappingError("placement target out of range");
+    }
+    if (p.phys_to_wire_[static_cast<std::size_t>(phys)] != -1) {
+      throw MappingError("two program qubits placed on physical qubit Q" +
+                         std::to_string(phys));
+    }
+    p.wire_to_phys_[static_cast<std::size_t>(k)] = phys;
+    p.phys_to_wire_[static_cast<std::size_t>(phys)] = k;
+  }
+  // Free wires occupy the remaining physical qubits in ascending order.
+  int wire = n;
+  for (int phys = 0; phys < num_physical_qubits; ++phys) {
+    if (p.phys_to_wire_[static_cast<std::size_t>(phys)] == -1) {
+      p.phys_to_wire_[static_cast<std::size_t>(phys)] = wire;
+      p.wire_to_phys_[static_cast<std::size_t>(wire)] = phys;
+      ++wire;
+    }
+  }
+  return p;
+}
+
+void Placement::check_phys(int p) const {
+  if (p < 0 || p >= num_physical_qubits()) {
+    throw MappingError("physical qubit Q" + std::to_string(p) +
+                       " out of range");
+  }
+}
+
+int Placement::phys_of_program(int k) const {
+  if (k < 0 || k >= num_program_qubits_) {
+    throw MappingError("program qubit q" + std::to_string(k) +
+                       " out of range");
+  }
+  return wire_to_phys_[static_cast<std::size_t>(k)];
+}
+
+int Placement::program_at_phys(int p) const {
+  check_phys(p);
+  const int wire = phys_to_wire_[static_cast<std::size_t>(p)];
+  return wire < num_program_qubits_ ? wire : -1;
+}
+
+int Placement::wire_at_phys(int p) const {
+  check_phys(p);
+  return phys_to_wire_[static_cast<std::size_t>(p)];
+}
+
+int Placement::phys_of_wire(int w) const {
+  if (w < 0 || w >= num_physical_qubits()) {
+    throw MappingError("wire out of range");
+  }
+  return wire_to_phys_[static_cast<std::size_t>(w)];
+}
+
+std::vector<int> Placement::phys_to_program() const {
+  std::vector<int> out(phys_to_wire_.size(), -1);
+  for (std::size_t p = 0; p < phys_to_wire_.size(); ++p) {
+    const int wire = phys_to_wire_[p];
+    out[p] = wire < num_program_qubits_ ? wire : -1;
+  }
+  return out;
+}
+
+void Placement::apply_swap(int phys_a, int phys_b) {
+  check_phys(phys_a);
+  check_phys(phys_b);
+  const int wire_a = phys_to_wire_[static_cast<std::size_t>(phys_a)];
+  const int wire_b = phys_to_wire_[static_cast<std::size_t>(phys_b)];
+  std::swap(phys_to_wire_[static_cast<std::size_t>(phys_a)],
+            phys_to_wire_[static_cast<std::size_t>(phys_b)]);
+  std::swap(wire_to_phys_[static_cast<std::size_t>(wire_a)],
+            wire_to_phys_[static_cast<std::size_t>(wire_b)]);
+}
+
+std::string Placement::to_string() const {
+  std::string out = "[";
+  for (int p = 0; p < num_physical_qubits(); ++p) {
+    if (p != 0) out += ", ";
+    const int program = program_at_phys(p);
+    out += "Q" + std::to_string(p) + ":";
+    out += program < 0 ? "free" : "q" + std::to_string(program);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace qmap

@@ -1,0 +1,71 @@
+// Placement: the program-qubit <-> physical-qubit map (Sec. VI-B).
+//
+// "Qubit placement is represented by an array of integers of size equal to
+//  the number of physical qubits: the k-th entry corresponds to the index
+//  of the program qubit associated to the k-th physical qubit, apart from
+//  a special integer indicating that the qubit is free."
+//
+// We track a full bijection over `wires`: wires 0..n-1 are the program
+// qubits; wires n..m-1 are free-but-tracked. Keeping free wires in the
+// bijection lets the equivalence checker validate routed circuits exactly
+// (SWAPs move free-qubit contents too).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qmap {
+
+class Placement {
+ public:
+  Placement() = default;
+
+  /// Identity placement: wire w on physical qubit w.
+  [[nodiscard]] static Placement identity(int num_program_qubits,
+                                          int num_physical_qubits);
+
+  /// Places program qubit k on `program_to_phys[k]`; free wires fill the
+  /// remaining physical qubits in ascending order.
+  [[nodiscard]] static Placement from_program_map(
+      const std::vector<int>& program_to_phys, int num_physical_qubits);
+
+  [[nodiscard]] int num_program_qubits() const noexcept {
+    return num_program_qubits_;
+  }
+  [[nodiscard]] int num_physical_qubits() const noexcept {
+    return static_cast<int>(wire_to_phys_.size());
+  }
+
+  /// Physical qubit currently holding program qubit k.
+  [[nodiscard]] int phys_of_program(int k) const;
+  /// Program qubit on physical qubit p, or -1 when p holds a free wire
+  /// (the paper's "special integer").
+  [[nodiscard]] int program_at_phys(int p) const;
+  /// Wire (program or free) on physical qubit p.
+  [[nodiscard]] int wire_at_phys(int p) const;
+  [[nodiscard]] int phys_of_wire(int w) const;
+
+  /// Full wire -> physical map, including free wires.
+  [[nodiscard]] const std::vector<int>& wire_to_phys() const noexcept {
+    return wire_to_phys_;
+  }
+
+  /// Paper-style physical -> program array (-1 = free).
+  [[nodiscard]] std::vector<int> phys_to_program() const;
+
+  /// Effect of a SWAP on physical qubits (a, b): their wires exchange.
+  void apply_swap(int phys_a, int phys_b);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Placement& x, const Placement& y) = default;
+
+ private:
+  void check_phys(int p) const;
+
+  int num_program_qubits_ = 0;
+  std::vector<int> wire_to_phys_;
+  std::vector<int> phys_to_wire_;
+};
+
+}  // namespace qmap

@@ -1,0 +1,102 @@
+// Initial-placement algorithms (Sec. III-A task 2).
+//
+// Qmap (Sec. V) uses an ILP for this step; we provide an exhaustive placer
+// with the same optimality guarantee for the paper-scale instances, plus
+// greedy and simulated-annealing placers for larger circuits (see
+// DESIGN.md, substitutions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "layout/placement.hpp"
+
+namespace qmap {
+
+/// Weighted program-qubit interaction graph: entry (i, j) counts the
+/// two-qubit gates between program qubits i and j.
+class InteractionGraph {
+ public:
+  explicit InteractionGraph(const Circuit& circuit);
+
+  [[nodiscard]] int num_qubits() const noexcept { return n_; }
+  [[nodiscard]] int weight(int a, int b) const;
+  /// Total two-qubit gates touching qubit q.
+  [[nodiscard]] int degree(int q) const;
+  /// Pairs with non-zero weight.
+  [[nodiscard]] std::vector<std::pair<int, int>> edges() const;
+
+ private:
+  int n_ = 0;
+  std::vector<int> weights_;  // row-major n x n, symmetric
+};
+
+/// Placement objective: sum over interacting pairs of
+/// weight(i, j) * (device distance between their physical locations - 1),
+/// i.e. 0 when every interacting pair is adjacent. Lower is better.
+[[nodiscard]] long placement_cost(const InteractionGraph& interactions,
+                                  const Placement& placement,
+                                  const Device& device);
+
+/// Interface shared by all initial placers.
+class Placer {
+ public:
+  virtual ~Placer() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Computes an initial placement of `circuit` onto `device`.
+  /// Throws MappingError when the circuit does not fit.
+  [[nodiscard]] virtual Placement place(const Circuit& circuit,
+                                        const Device& device) = 0;
+};
+
+/// Trivial placement: program qubit k -> physical qubit k.
+class IdentityPlacer final : public Placer {
+ public:
+  [[nodiscard]] std::string name() const override { return "identity"; }
+  [[nodiscard]] Placement place(const Circuit& circuit,
+                                const Device& device) override;
+};
+
+/// Greedy: most-interacting program qubit at the device's graph center,
+/// then each next program qubit (by interaction degree) at the free
+/// physical qubit minimizing weighted distance to its placed partners.
+class GreedyPlacer final : public Placer {
+ public:
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  [[nodiscard]] Placement place(const Circuit& circuit,
+                                const Device& device) override;
+};
+
+/// Exhaustive search over all placements (optimal for the
+/// placement_cost objective). Guarded by a work limit; throws MappingError
+/// when the instance is too large (use the annealing placer instead).
+class ExhaustivePlacer final : public Placer {
+ public:
+  explicit ExhaustivePlacer(long max_assignments = 5'000'000)
+      : max_assignments_(max_assignments) {}
+  [[nodiscard]] std::string name() const override { return "exhaustive"; }
+  [[nodiscard]] Placement place(const Circuit& circuit,
+                                const Device& device) override;
+
+ private:
+  long max_assignments_;
+};
+
+/// Simulated annealing over placements, seeded by the greedy placer.
+class AnnealingPlacer final : public Placer {
+ public:
+  explicit AnnealingPlacer(std::uint64_t seed = 0xC0FFEE, int iterations = 20000)
+      : seed_(seed), iterations_(iterations) {}
+  [[nodiscard]] std::string name() const override { return "annealing"; }
+  [[nodiscard]] Placement place(const Circuit& circuit,
+                                const Device& device) override;
+
+ private:
+  std::uint64_t seed_;
+  int iterations_;
+};
+
+}  // namespace qmap

@@ -1,0 +1,73 @@
+#include "noise/estimator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+double gate_log_cost(const Gate& gate, const Device& device) {
+  const NoiseModel& noise = device.noise();
+  switch (gate.kind) {
+    case GateKind::Barrier:
+      return 0.0;
+    case GateKind::Measure:
+      return -std::log(1.0 - noise.readout_error(gate.qubits[0]));
+    case GateKind::SWAP:
+      // SWAP placeholder: three native two-qubit gates on the edge.
+      return noise.swap_log_cost(gate.qubits[0], gate.qubits[1]);
+    default:
+      break;
+  }
+  if (gate.is_two_qubit()) {
+    return -std::log(1.0 -
+                     noise.two_qubit_error(gate.qubits[0], gate.qubits[1]));
+  }
+  return -std::log(1.0 - noise.single_qubit_error(gate.qubits[0]));
+}
+
+double estimated_success_probability(const Circuit& circuit,
+                                     const Device& device) {
+  double log_cost = 0.0;
+  for (const Gate& gate : circuit) {
+    log_cost += gate_log_cost(gate, device);
+  }
+  return std::exp(-log_cost);
+}
+
+double estimated_success_probability(const Schedule& schedule,
+                                     const Device& device) {
+  double log_cost = 0.0;
+  // Gate errors.
+  for (const ScheduledGate& op : schedule.operations()) {
+    log_cost += gate_log_cost(op.gate, device);
+  }
+  // Idle decoherence: from each qubit's first gate to its last gate, every
+  // cycle it is not actively driven decays with T1.
+  const NoiseModel& noise = device.noise();
+  const double cycle_us = device.durations().cycle_ns / 1000.0;
+  std::vector<int> first(static_cast<std::size_t>(schedule.num_qubits()), -1);
+  std::vector<int> last(static_cast<std::size_t>(schedule.num_qubits()), -1);
+  std::vector<int> busy(static_cast<std::size_t>(schedule.num_qubits()), 0);
+  for (const ScheduledGate& op : schedule.operations()) {
+    for (const int q : op.gate.qubits) {
+      const auto idx = static_cast<std::size_t>(q);
+      if (first[idx] < 0 || op.start_cycle < first[idx]) {
+        first[idx] = op.start_cycle;
+      }
+      last[idx] = std::max(last[idx], op.end_cycle());
+      busy[idx] += op.duration_cycles;
+    }
+  }
+  for (int q = 0; q < schedule.num_qubits(); ++q) {
+    const auto idx = static_cast<std::size_t>(q);
+    if (first[idx] < 0) continue;  // untouched qubit: no decoherence counted
+    const int idle_cycles = (last[idx] - first[idx]) - busy[idx];
+    if (idle_cycles <= 0) continue;
+    const double idle_us = idle_cycles * cycle_us;
+    log_cost += idle_us / noise.t1_us(q);
+  }
+  return std::exp(-log_cost);
+}
+
+}  // namespace qmap

@@ -1,0 +1,35 @@
+// Analytic reliability estimator.
+//
+// Sec. III-B / Sec. VII open question 1: "what is the best metric to
+// optimize? ... Recent works started considering the expected reliability
+// of the overall quantum computation." This estimator computes the
+// standard product-form Estimated Success Probability used by [45]-[47],
+// [50]:
+//
+//   ESP = prod_gates (1 - error(gate)) * prod_qubits exp(-t_idle / T1)
+//
+// where t_idle is the qubit's idle time in the schedule (decoherence while
+// waiting). The log-domain version is the cost a reliability-aware mapper
+// minimizes.
+#pragma once
+
+#include "arch/device.hpp"
+#include "ir/circuit.hpp"
+#include "schedule/schedule.hpp"
+
+namespace qmap {
+
+/// Gate-error-only ESP (ignores decoherence): product of (1 - error) over
+/// unitary gates and (1 - readout) over measurements. The circuit must be
+/// on physical qubits; two-qubit gates must be coupling edges.
+[[nodiscard]] double estimated_success_probability(const Circuit& circuit,
+                                                   const Device& device);
+
+/// Full ESP including idle-time decoherence, computed from a schedule.
+[[nodiscard]] double estimated_success_probability(const Schedule& schedule,
+                                                   const Device& device);
+
+/// -log(ESP) of one gate: the additive reliability cost of executing it.
+[[nodiscard]] double gate_log_cost(const Gate& gate, const Device& device);
+
+}  // namespace qmap

@@ -1,0 +1,93 @@
+#include "noise/trajectory.hpp"
+
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+
+namespace qmap {
+namespace {
+
+/// Applies a uniformly random non-identity Pauli string over `qubits`
+/// (the depolarizing-channel trajectory unravelling: one fault event per
+/// gate, drawn from the 4^k - 1 non-identity Paulis, matching the per-gate
+/// error probability the ESP estimator uses).
+void inject_pauli(StateVector& state, const std::vector<int>& qubits,
+                  Rng& rng) {
+  static const GateKind paulis[] = {GateKind::I, GateKind::X, GateKind::Y,
+                                    GateKind::Z};
+  const std::size_t combinations =
+      (std::size_t{1} << (2 * qubits.size())) - 1;  // 4^k - 1
+  std::size_t draw = rng.index(combinations) + 1;   // skip all-identity
+  for (const int q : qubits) {
+    const GateKind kind = paulis[draw & 3];
+    draw >>= 2;
+    if (kind != GateKind::I) state.apply(make_gate(kind, {q}));
+  }
+}
+
+}  // namespace
+
+TrajectoryResult simulate_noisy(const Circuit& circuit, const Device& device,
+                                Rng& rng, int trajectories) {
+  const NoiseModel& noise = device.noise();
+  const Circuit unitary = circuit.unitary_part();
+
+  // Mapped circuits live on the full physical register but usually touch
+  // only a few qubits; untouched |0> qubits factor out of the fidelity, so
+  // simulate on the compacted register (calibration lookups keep the
+  // original physical indices).
+  std::vector<int> local_index(
+      static_cast<std::size_t>(unitary.num_qubits()), -1);
+  int touched = 0;
+  for (const Gate& gate : unitary) {
+    for (const int q : gate.qubits) {
+      if (local_index[static_cast<std::size_t>(q)] < 0) {
+        local_index[static_cast<std::size_t>(q)] = touched++;
+      }
+    }
+  }
+  if (touched == 0) touched = 1;  // empty circuit: trivial state
+  Circuit compact(touched, unitary.name());
+  std::vector<double> error_probability;
+  error_probability.reserve(unitary.size());
+  for (const Gate& gate : unitary) {
+    Gate relabeled = gate;
+    for (int& q : relabeled.qubits) {
+      q = local_index[static_cast<std::size_t>(q)];
+    }
+    compact.add(std::move(relabeled));
+    error_probability.push_back(
+        gate.is_two_qubit()
+            ? noise.two_qubit_error(gate.qubits[0], gate.qubits[1])
+            : (gate_info(gate.kind).arity == 1
+                   ? noise.single_qubit_error(gate.qubits[0])
+                   : 0.0));
+  }
+
+  StateVector ideal(touched);
+  ideal.run(compact);
+
+  TrajectoryResult result;
+  result.trajectories = trajectories;
+  double fidelity_sum = 0.0;
+  int error_free = 0;
+  for (int t = 0; t < trajectories; ++t) {
+    StateVector state(touched);
+    bool fault = false;
+    for (std::size_t g = 0; g < compact.size(); ++g) {
+      const Gate& gate = compact.gate(g);
+      state.apply(gate);
+      if (rng.chance(error_probability[g])) {
+        inject_pauli(state, gate.qubits, rng);
+        fault = true;
+      }
+    }
+    const double overlap = state.fidelity(ideal);
+    fidelity_sum += overlap * overlap;
+    if (!fault) ++error_free;
+  }
+  result.fidelity = fidelity_sum / trajectories;
+  result.error_free_rate = static_cast<double>(error_free) / trajectories;
+  return result;
+}
+
+}  // namespace qmap

@@ -1,0 +1,33 @@
+// Monte Carlo Pauli-trajectory noise simulation.
+//
+// The empirical counterpart of the analytic ESP estimator: each trajectory
+// runs the circuit on the state-vector simulator and, after every gate,
+// injects a uniformly random Pauli on each operand with the calibrated
+// error probability (depolarizing channel, trajectory unravelling).
+// Averaging the squared overlap with the ideal final state over many
+// trajectories estimates the circuit fidelity on the noisy device — what a
+// real NISQ execution would deliver (Sec. I: "The success rate of the
+// algorithm is consequently reduced since quantum operations are error
+// prone").
+#pragma once
+
+#include "arch/device.hpp"
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+
+namespace qmap {
+
+struct TrajectoryResult {
+  double fidelity = 1.0;        // mean |<ideal|noisy>|^2
+  double error_free_rate = 1.0; // fraction of trajectories with no fault
+  int trajectories = 0;
+};
+
+/// Simulates `circuit` (physical qubits, measurement-free after
+/// unitary_part()) under the device's noise model. Throws DeviceError when
+/// the device has no noise model, SimulationError when too wide.
+[[nodiscard]] TrajectoryResult simulate_noisy(const Circuit& circuit,
+                                              const Device& device, Rng& rng,
+                                              int trajectories = 200);
+
+}  // namespace qmap

@@ -1,0 +1,32 @@
+// cQASM v1 front end (reader + writer) — the common quantum assembly
+// language [17] the paper's Fig. 2 uses as compiler input.
+//
+// Supported subset: "version 1.0", "qubits N", '#' comments, the standard
+// gate mnemonics (x, y, z, h, s, sdag, t, tdag, x90/y90/mx90/my90,
+// rx/ry/rz with trailing angle, cnot, cz, swap, toffoli), prep_z,
+// measure / measure_z, and single-line parallel bundles
+// "{ g1 | g2 | ... }" which are parsed and flattened in bundle order.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ir/circuit.hpp"
+
+namespace qmap {
+
+[[nodiscard]] Circuit parse_cqasm(std::string_view source);
+[[nodiscard]] Circuit load_cqasm(const std::string& path);
+
+/// Serializes as cQASM v1. Gates that cQASM cannot express (U, iSWAP, ...)
+/// raise ParseError; lower the circuit first.
+[[nodiscard]] std::string to_cqasm(const Circuit& circuit);
+
+/// One gate as a cQASM instruction (no trailing newline), e.g.
+/// "cnot q[0], q[1]". Throws ParseError for inexpressible gates; returns
+/// an empty string for barriers (cQASM v1 has none).
+[[nodiscard]] std::string cqasm_instruction(const Gate& gate);
+
+void save_cqasm(const Circuit& circuit, const std::string& path);
+
+}  // namespace qmap

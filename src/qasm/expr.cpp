@@ -1,0 +1,139 @@
+#include "qasm/expr.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace qmap {
+namespace {
+
+class ExpressionParser {
+ public:
+  explicit ExpressionParser(std::string_view text) : text_(text) {}
+
+  double parse() {
+    const double value = parse_sum();
+    skip_spaces();
+    if (pos_ != text_.size()) {
+      throw ParseError("trailing characters in expression: '" +
+                       std::string(text_) + "'");
+    }
+    return value;
+  }
+
+ private:
+  void skip_spaces() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_spaces();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  double parse_sum() {
+    double value = parse_product();
+    while (true) {
+      if (consume('+')) {
+        value += parse_product();
+      } else if (consume('-')) {
+        value -= parse_product();
+      } else {
+        return value;
+      }
+    }
+  }
+
+  double parse_product() {
+    double value = parse_power();
+    while (true) {
+      if (consume('*')) {
+        value *= parse_power();
+      } else if (consume('/')) {
+        const double divisor = parse_power();
+        if (divisor == 0.0) throw ParseError("division by zero in expression");
+        value /= divisor;
+      } else {
+        return value;
+      }
+    }
+  }
+
+  double parse_power() {
+    const double base = parse_unary();
+    if (consume('^')) return std::pow(base, parse_power());
+    return base;
+  }
+
+  double parse_unary() {
+    if (consume('-')) return -parse_unary();
+    if (consume('+')) return parse_unary();
+    return parse_atom();
+  }
+
+  double parse_atom() {
+    skip_spaces();
+    if (pos_ >= text_.size()) {
+      throw ParseError("unexpected end of expression: '" + std::string(text_) +
+                       "'");
+    }
+    if (consume('(')) {
+      const double value = parse_sum();
+      if (!consume(')')) throw ParseError("missing ')' in expression");
+      return value;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      std::size_t end = pos_;
+      while (end < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[end]))) {
+        ++end;
+      }
+      const std::string_view word = text_.substr(pos_, end - pos_);
+      pos_ = end;
+      if (word == "pi" || word == "PI") return 3.14159265358979323846;
+      throw ParseError("unknown identifier in expression: '" +
+                       std::string(word) + "'");
+    }
+    // Numeric literal.
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '.' ||
+            ((text_[end] == 'e' || text_[end] == 'E') && end > pos_) ||
+            ((text_[end] == '+' || text_[end] == '-') && end > pos_ &&
+             (text_[end - 1] == 'e' || text_[end - 1] == 'E')))) {
+      ++end;
+    }
+    double value = 0.0;
+    const auto result =
+        std::from_chars(text_.data() + pos_, text_.data() + end, value);
+    if (result.ec != std::errc() || result.ptr == text_.data() + pos_) {
+      throw ParseError("invalid number in expression: '" + std::string(text_) +
+                       "'");
+    }
+    pos_ = static_cast<std::size_t>(result.ptr - text_.data());
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+double eval_expression(std::string_view text) {
+  return ExpressionParser(text).parse();
+}
+
+}  // namespace qmap

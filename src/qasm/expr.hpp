@@ -1,0 +1,13 @@
+// Arithmetic expression evaluator for gate parameters: "pi/2", "-3*pi/4",
+// "0.5*(1+2)". Supported: + - * / ^, parentheses, unary minus, numeric
+// literals, and the constant pi.
+#pragma once
+
+#include <string_view>
+
+namespace qmap {
+
+/// Evaluates the expression; throws ParseError on malformed input.
+[[nodiscard]] double eval_expression(std::string_view text);
+
+}  // namespace qmap

@@ -1,0 +1,25 @@
+// OpenQASM 2.0 front end (reader + writer) for the subset used by mapping
+// benchmarks: register declarations, the standard qelib1 gate names,
+// parameter expressions, measurement, and barriers. Multiple quantum
+// registers are flattened into one contiguous qubit index space.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ir/circuit.hpp"
+
+namespace qmap {
+
+/// Parses OpenQASM 2.0 source text. Throws ParseError with line info.
+[[nodiscard]] Circuit parse_openqasm(std::string_view source);
+
+/// Reads and parses a .qasm file.
+[[nodiscard]] Circuit load_openqasm(const std::string& path);
+
+/// Serializes the circuit as OpenQASM 2.0 (single register q[n]).
+[[nodiscard]] std::string to_openqasm(const Circuit& circuit);
+
+void save_openqasm(const Circuit& circuit, const std::string& path);
+
+}  // namespace qmap

@@ -1,0 +1,190 @@
+#include "route/astar_layer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qmap {
+namespace {
+
+/// ASAP layering: gate -> layer index such that every gate sits one layer
+/// after the latest gate it depends on (barriers force a full cut).
+std::vector<std::vector<int>> build_layers(const Circuit& circuit) {
+  std::vector<int> qubit_layer(static_cast<std::size_t>(circuit.num_qubits()),
+                               -1);
+  std::vector<std::vector<int>> layers;
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Gate& gate = circuit.gate(i);
+    int layer = 0;
+    for (const int q : gate.qubits) {
+      layer = std::max(layer, qubit_layer[static_cast<std::size_t>(q)] + 1);
+    }
+    if (gate.kind == GateKind::Barrier) {
+      // Anything after the barrier starts on a fresh layer.
+      for (int& l : qubit_layer) l = std::max(l, layer);
+    }
+    for (const int q : gate.qubits) {
+      qubit_layer[static_cast<std::size_t>(q)] = layer;
+    }
+    if (static_cast<std::size_t>(layer) >= layers.size()) {
+      layers.resize(static_cast<std::size_t>(layer) + 1);
+    }
+    layers[static_cast<std::size_t>(layer)].push_back(static_cast<int>(i));
+  }
+  return layers;
+}
+
+struct SearchNode {
+  std::vector<int> program_to_phys;
+  int parent = -1;
+  int swap_a = -1;
+  int swap_b = -1;
+  int g = 0;
+};
+
+}  // namespace
+
+RoutingResult AStarLayerRouter::route(const Circuit& circuit,
+                                      const Device& device,
+                                      const Placement& initial) {
+  const auto start_time = std::chrono::steady_clock::now();
+  check_routable(circuit, device);
+  const CouplingGraph& coupling = device.coupling();
+  const std::vector<std::vector<int>> layers = build_layers(circuit);
+  RoutingEmitter emitter(device, initial,
+                         circuit.name() + "@" + device.name());
+  const int n = circuit.num_qubits();
+
+  // Two-qubit gates of one layer as program-qubit pairs.
+  const auto layer_pairs = [&](std::size_t layer_index) {
+    std::vector<std::pair<int, int>> pairs;
+    if (layer_index >= layers.size()) return pairs;
+    for (const int node : layers[layer_index]) {
+      const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
+      if (gate.is_two_qubit()) {
+        pairs.emplace_back(gate.qubits[0], gate.qubits[1]);
+      }
+    }
+    return pairs;
+  };
+
+  const auto pairs_distance_sum =
+      [&](const std::vector<std::pair<int, int>>& pairs,
+          const std::vector<int>& program_to_phys) {
+        int sum = 0;
+        for (const auto& [a, b] : pairs) {
+          sum += coupling.distance(program_to_phys[static_cast<std::size_t>(a)],
+                                   program_to_phys[static_cast<std::size_t>(b)]) -
+                 1;
+        }
+        return sum;
+      };
+
+  for (std::size_t layer_index = 0; layer_index < layers.size();
+       ++layer_index) {
+    const std::vector<std::pair<int, int>> pairs = layer_pairs(layer_index);
+
+    // Current program -> physical map.
+    std::vector<int> current(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      current[static_cast<std::size_t>(k)] =
+          emitter.placement().phys_of_program(k);
+    }
+
+    if (!pairs.empty() && pairs_distance_sum(pairs, current) > 0) {
+      // A* over placements to make the whole layer executable.
+      std::vector<std::pair<int, int>> lookahead_pairs;
+      for (int ahead = 1; ahead <= options_.lookahead_layers; ++ahead) {
+        const auto next = layer_pairs(layer_index + static_cast<std::size_t>(ahead));
+        lookahead_pairs.insert(lookahead_pairs.end(), next.begin(),
+                               next.end());
+      }
+      const auto heuristic = [&](const std::vector<int>& program_to_phys) {
+        const int base = pairs_distance_sum(pairs, program_to_phys);
+        double h = std::ceil(static_cast<double>(base) / 2.0);
+        if (options_.lookahead_weight > 0.0 && !lookahead_pairs.empty()) {
+          h += options_.lookahead_weight *
+               pairs_distance_sum(lookahead_pairs, program_to_phys);
+        }
+        return h;
+      };
+
+      std::vector<SearchNode> arena;
+      arena.push_back(SearchNode{current, -1, -1, -1, 0});
+      using QueueEntry = std::pair<double, int>;  // (f, arena index)
+      std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                          std::greater<>>
+          open;
+      open.emplace(heuristic(current), 0);
+      std::map<std::vector<int>, int> best_g;
+      best_g[current] = 0;
+
+      int goal = -1;
+      std::size_t expansions = 0;
+      while (!open.empty()) {
+        const auto [f, index] = open.top();
+        open.pop();
+        const SearchNode node = arena[static_cast<std::size_t>(index)];
+        const auto seen = best_g.find(node.program_to_phys);
+        if (seen != best_g.end() && seen->second < node.g) continue;
+        if (pairs_distance_sum(pairs, node.program_to_phys) == 0) {
+          goal = index;
+          break;
+        }
+        if (++expansions > options_.max_expansions) break;
+        for (const auto& edge : coupling.edges()) {
+          std::vector<int> next = node.program_to_phys;
+          for (int& phys : next) {
+            if (phys == edge.a) phys = edge.b;
+            else if (phys == edge.b) phys = edge.a;
+          }
+          const int g = node.g + 1;
+          const auto it = best_g.find(next);
+          if (it != best_g.end() && it->second <= g) continue;
+          best_g[next] = g;
+          arena.push_back(SearchNode{std::move(next), index, edge.a, edge.b, g});
+          open.emplace(g + heuristic(arena.back().program_to_phys),
+                       static_cast<int>(arena.size() - 1));
+        }
+      }
+
+      if (goal >= 0) {
+        // Reconstruct and emit the SWAP chain.
+        std::vector<std::pair<int, int>> swaps;
+        for (int index = goal; arena[static_cast<std::size_t>(index)].parent >= 0;
+             index = arena[static_cast<std::size_t>(index)].parent) {
+          swaps.emplace_back(arena[static_cast<std::size_t>(index)].swap_a,
+                             arena[static_cast<std::size_t>(index)].swap_b);
+        }
+        std::reverse(swaps.begin(), swaps.end());
+        for (const auto& [a, b] : swaps) emitter.emit_swap(a, b);
+      } else {
+        // Budget exhausted: fall back to shortest-path walking per pair.
+        for (const auto& [qa, qb] : pairs) {
+          const int pa = emitter.placement().phys_of_program(qa);
+          const int pb = emitter.placement().phys_of_program(qb);
+          const std::vector<int> path = coupling.shortest_path(pa, pb);
+          for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+            emitter.emit_swap(path[i], path[i + 1]);
+          }
+        }
+      }
+    }
+
+    for (const int node : layers[layer_index]) {
+      emitter.emit_program_gate(circuit.gate(static_cast<std::size_t>(node)));
+    }
+  }
+
+  const double runtime_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_time)
+          .count();
+  return std::move(emitter).finish(initial, runtime_ms);
+}
+
+}  // namespace qmap

@@ -1,0 +1,43 @@
+// Layer-based A* router in the style of Zulehner, Paler, Wille [54] — the
+// heuristic used for Fig. 3(c) of the paper.
+//
+// The circuit is split into ASAP layers of disjoint-qubit gates. For every
+// layer whose two-qubit gates are not all executable, an A* search over
+// placements finds a minimal SWAP sequence making the *whole layer*
+// executable at once. The per-layer heuristic
+//     h = ceil( sum_g (dist(g) - 1) / 2 )
+// is admissible (one SWAP moves two wires, and layer gates are
+// qubit-disjoint), so each layer is solved with a minimal number of SWAPs.
+// An optional lookahead term biases the search toward placements that also
+// help the following layers (Sec. III-B "look-ahead feature").
+#pragma once
+
+#include "route/router.hpp"
+
+namespace qmap {
+
+class AStarLayerRouter final : public Router {
+ public:
+  struct Options {
+    /// Weight of the next-layers term added to h (0 = per-layer optimal).
+    double lookahead_weight = 0.0;
+    /// Number of subsequent layers included in the lookahead term.
+    int lookahead_layers = 1;
+    /// A* node-expansion budget per layer before falling back to
+    /// shortest-path routing for that layer.
+    std::size_t max_expansions = 200000;
+  };
+
+  AStarLayerRouter() = default;
+  explicit AStarLayerRouter(const Options& options) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "astar_layer"; }
+  [[nodiscard]] RoutingResult route(const Circuit& circuit,
+                                    const Device& device,
+                                    const Placement& initial) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace qmap

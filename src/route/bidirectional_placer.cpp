@@ -1,0 +1,28 @@
+#include "route/bidirectional_placer.hpp"
+
+#include "route/sabre.hpp"
+
+namespace qmap {
+
+Placement BidirectionalPlacer::place(const Circuit& circuit,
+                                     const Device& device) {
+  // Reversal only needs the two-qubit structure; single-qubit gates do not
+  // influence routing, and the skeleton sidesteps non-invertible gates
+  // (measurements).
+  Circuit forward = circuit.two_qubit_skeleton();
+  Circuit backward(forward.num_qubits(), forward.name() + "_rev");
+  for (auto it = forward.gates().rbegin(); it != forward.gates().rend();
+       ++it) {
+    backward.add(*it);
+  }
+
+  Placement placement = GreedyPlacer().place(circuit, device);
+  SabreRouter router;
+  for (int pass = 0; pass < passes_; ++pass) {
+    placement = router.route(forward, device, placement).final;
+    placement = router.route(backward, device, placement).final;
+  }
+  return placement;
+}
+
+}  // namespace qmap

@@ -1,0 +1,20 @@
+// Naive router — the "straight-forward approach" of Sec. IV / Fig. 3(b):
+// for every two-qubit gate whose operands are not adjacent, SWAP one
+// operand along a shortest path until the pair is connected, then execute
+// the gate. No lookahead, no placement reuse — the overhead baseline every
+// smarter mapper is measured against.
+#pragma once
+
+#include "route/router.hpp"
+
+namespace qmap {
+
+class NaiveRouter final : public Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "naive"; }
+  [[nodiscard]] RoutingResult route(const Circuit& circuit,
+                                    const Device& device,
+                                    const Placement& initial) override;
+};
+
+}  // namespace qmap

@@ -1,0 +1,169 @@
+#include "route/qmap_router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/error.hpp"
+#include "ir/dag.hpp"
+
+namespace qmap {
+
+RoutingResult QmapRouter::route(const Circuit& circuit, const Device& device,
+                                const Placement& initial) {
+  const auto start_time = std::chrono::steady_clock::now();
+  check_routable(circuit, device);
+  const CouplingGraph& coupling = device.coupling();
+  DependencyDag dag(circuit);
+  RoutingEmitter emitter(device, initial,
+                         circuit.name() + "@" + device.name());
+
+  // Look-back state: when each physical qubit becomes free, in cycles.
+  std::vector<double> busy_until(
+      static_cast<std::size_t>(device.num_qubits()), 0.0);
+  const double swap_cycles =
+      device.cycles_for(make_gate(GateKind::SWAP, {0, 1}));
+
+  const auto occupy = [&](const std::vector<int>& phys_qubits,
+                          double cycles) {
+    double start = 0.0;
+    for (const int p : phys_qubits) {
+      start = std::max(start, busy_until[static_cast<std::size_t>(p)]);
+    }
+    for (const int p : phys_qubits) {
+      busy_until[static_cast<std::size_t>(p)] = start + cycles;
+    }
+  };
+
+  const auto executable = [&](int node) {
+    const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
+    if (!gate.is_two_qubit()) return true;
+    return coupling.connected(
+        emitter.placement().phys_of_program(gate.qubits[0]),
+        emitter.placement().phys_of_program(gate.qubits[1]));
+  };
+
+  const auto flush_executable = [&] {
+    bool progressed = true;
+    bool any = false;
+    while (progressed) {
+      progressed = false;
+      const std::vector<int> ready = dag.ready();
+      for (const int node : ready) {
+        if (!executable(node)) continue;
+        const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
+        std::vector<int> phys;
+        phys.reserve(gate.qubits.size());
+        for (const int q : gate.qubits) {
+          phys.push_back(emitter.placement().phys_of_program(q));
+        }
+        emitter.emit_program_gate(gate);
+        occupy(phys, device.cycles_for(gate));
+        dag.mark_scheduled(node);
+        progressed = true;
+        any = true;
+      }
+    }
+    return any;
+  };
+
+  const auto gate_distance = [&](int node, const Placement& placement) {
+    const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
+    return coupling.distance(placement.phys_of_program(gate.qubits[0]),
+                             placement.phys_of_program(gate.qubits[1]));
+  };
+
+  int stall_guard = 0;
+  const int stall_limit = 10 * std::max(1, device.num_qubits());
+  while (!dag.all_scheduled()) {
+    if (flush_executable()) {
+      stall_guard = 0;
+      continue;
+    }
+    const std::vector<int> front = dag.ready_two_qubit();
+    if (front.empty()) {
+      throw MappingError("qmap router: stalled without ready two-qubit gate");
+    }
+    std::vector<int> extended;
+    for (std::size_t i = 0;
+         i < circuit.size() &&
+         extended.size() < static_cast<std::size_t>(options_.extended_window);
+         ++i) {
+      const int node = static_cast<int>(i);
+      if (dag.color(node) == NodeColor::Scheduled) continue;
+      if (std::find(front.begin(), front.end(), node) != front.end()) continue;
+      if (circuit.gate(i).is_two_qubit()) extended.push_back(node);
+    }
+
+    std::vector<bool> relevant(static_cast<std::size_t>(device.num_qubits()),
+                               false);
+    for (const int node : front) {
+      const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
+      for (const int q : gate.qubits) {
+        relevant[static_cast<std::size_t>(
+            emitter.placement().phys_of_program(q))] = true;
+      }
+    }
+
+    // Primary: distance improvement over front + lookahead. Secondary
+    // (latency look-back): earliest finish time of the SWAP itself.
+    double best_primary = std::numeric_limits<double>::infinity();
+    double best_finish = std::numeric_limits<double>::infinity();
+    int best_a = -1;
+    int best_b = -1;
+    for (const auto& edge : coupling.edges()) {
+      if (!relevant[static_cast<std::size_t>(edge.a)] &&
+          !relevant[static_cast<std::size_t>(edge.b)]) {
+        continue;
+      }
+      Placement trial = emitter.placement();
+      trial.apply_swap(edge.a, edge.b);
+      double primary = 0.0;
+      for (const int node : front) primary += gate_distance(node, trial);
+      primary /= static_cast<double>(front.size());
+      if (!extended.empty()) {
+        double ext = 0.0;
+        for (const int node : extended) ext += gate_distance(node, trial);
+        primary +=
+            options_.extended_weight * ext / static_cast<double>(extended.size());
+      }
+      const double finish =
+          std::max(busy_until[static_cast<std::size_t>(edge.a)],
+                   busy_until[static_cast<std::size_t>(edge.b)]) +
+          swap_cycles;
+      if (primary < best_primary - 1e-12 ||
+          (std::abs(primary - best_primary) <= 1e-12 &&
+           finish < best_finish)) {
+        best_primary = primary;
+        best_finish = finish;
+        best_a = edge.a;
+        best_b = edge.b;
+      }
+    }
+    if (best_a < 0) throw MappingError("qmap router: no candidate SWAP");
+
+    if (++stall_guard > stall_limit) {
+      const Gate& gate = circuit.gate(static_cast<std::size_t>(front.front()));
+      const int pa = emitter.placement().phys_of_program(gate.qubits[0]);
+      const int pb = emitter.placement().phys_of_program(gate.qubits[1]);
+      const std::vector<int> path = coupling.shortest_path(pa, pb);
+      for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+        emitter.emit_swap(path[i], path[i + 1]);
+        occupy({path[i], path[i + 1]}, swap_cycles);
+      }
+      stall_guard = 0;
+      continue;
+    }
+
+    emitter.emit_swap(best_a, best_b);
+    occupy({best_a, best_b}, swap_cycles);
+  }
+
+  const double runtime_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_time)
+          .count();
+  return std::move(emitter).finish(initial, runtime_ms);
+}
+
+}  // namespace qmap

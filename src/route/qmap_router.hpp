@@ -1,0 +1,33 @@
+// Latency-aware router in the spirit of Qmap (Lao et al. [39], Sec. V):
+// the cost function is circuit latency rather than gate count. The router
+// keeps a busy-until time per physical qubit computed from real gate
+// durations — the "look-back" feature: already-scheduled operations decide
+// which routing path is cheapest — and among SWAPs that help the front
+// layer it picks the one that can start (and finish) earliest, maximizing
+// instruction-level parallelism.
+#pragma once
+
+#include "route/router.hpp"
+
+namespace qmap {
+
+class QmapRouter final : public Router {
+ public:
+  struct Options {
+    int extended_window = 10;      // small lookahead over future 2q gates
+    double extended_weight = 0.3;
+  };
+
+  QmapRouter() = default;
+  explicit QmapRouter(const Options& options) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "qmap"; }
+  [[nodiscard]] RoutingResult route(const Circuit& circuit,
+                                    const Device& device,
+                                    const Placement& initial) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace qmap

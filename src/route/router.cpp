@@ -1,0 +1,126 @@
+#include "route/router.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+std::string RoutingResult::to_string() const {
+  char buffer[200];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "swaps=%zu moves=%zu direction_fixes=%zu gates=%zu runtime=%.3fms",
+      added_swaps, added_moves, direction_fixes, circuit.size(), runtime_ms);
+  return buffer;
+}
+
+RoutingEmitter::RoutingEmitter(const Device& device, Placement placement,
+                               std::string circuit_name)
+    : device_(&device),
+      placement_(std::move(placement)),
+      circuit_(device.num_qubits(), std::move(circuit_name)) {}
+
+void RoutingEmitter::emit_program_gate(const Gate& gate) {
+  Gate physical = gate;
+  for (int& q : physical.qubits) q = placement_.phys_of_program(q);
+  if (!physical.is_two_qubit()) {
+    circuit_.add(std::move(physical));
+    return;
+  }
+  const int a = physical.qubits[0];
+  const int b = physical.qubits[1];
+  const CouplingGraph& coupling = device_->coupling();
+  if (!coupling.connected(a, b)) {
+    throw MappingError("router bug: emitting two-qubit gate on non-adjacent "
+                       "physical qubits Q" +
+                       std::to_string(a) + ", Q" + std::to_string(b));
+  }
+  if (physical.is_directional() && !coupling.orientation_allowed(a, b)) {
+    if (physical.kind != GateKind::CX) {
+      throw MappingError("cannot invert direction of non-CX gate");
+    }
+    // Sec. IV: flip control/target with Hadamards.
+    circuit_.h(a).h(b).cx(b, a).h(a).h(b);
+    ++direction_fixes_;
+    return;
+  }
+  circuit_.add(std::move(physical));
+}
+
+void RoutingEmitter::emit_swap(int phys_a, int phys_b) {
+  if (!device_->coupling().connected(phys_a, phys_b)) {
+    throw MappingError("router bug: SWAP on non-adjacent physical qubits Q" +
+                       std::to_string(phys_a) + ", Q" +
+                       std::to_string(phys_b));
+  }
+  circuit_.swap(phys_a, phys_b);
+  placement_.apply_swap(phys_a, phys_b);
+  ++added_swaps_;
+}
+
+void RoutingEmitter::emit_move(int phys_from, int phys_to) {
+  if (!device_->supports_shuttling()) {
+    throw MappingError("router bug: Move on a device without shuttling");
+  }
+  if (!device_->coupling().connected(phys_from, phys_to)) {
+    throw MappingError("router bug: Move on non-adjacent sites Q" +
+                       std::to_string(phys_from) + ", Q" +
+                       std::to_string(phys_to));
+  }
+  if (placement_.program_at_phys(phys_to) != -1) {
+    throw MappingError("router bug: Move target Q" + std::to_string(phys_to) +
+                       " is occupied");
+  }
+  circuit_.add(make_gate(GateKind::Move, {phys_from, phys_to}));
+  placement_.apply_swap(phys_from, phys_to);
+  ++added_moves_;
+}
+
+RoutingResult RoutingEmitter::finish(const Placement& initial,
+                                     double runtime_ms) && {
+  RoutingResult result;
+  result.circuit = std::move(circuit_);
+  result.initial = initial;
+  result.final = std::move(placement_);
+  result.added_swaps = added_swaps_;
+  result.added_moves = added_moves_;
+  result.direction_fixes = direction_fixes_;
+  result.runtime_ms = runtime_ms;
+  return result;
+}
+
+bool respects_coupling(const Circuit& circuit, const Device& device) {
+  const CouplingGraph& coupling = device.coupling();
+  for (const Gate& gate : circuit) {
+    if (!gate.is_two_qubit()) continue;
+    const int a = gate.qubits[0];
+    const int b = gate.qubits[1];
+    if (!coupling.connected(a, b)) return false;
+    if (gate.is_directional() && !coupling.orientation_allowed(a, b)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void check_routable(const Circuit& circuit, const Device& device) {
+  if (circuit.num_qubits() > device.num_qubits()) {
+    throw MappingError("circuit has " + std::to_string(circuit.num_qubits()) +
+                       " qubits; device '" + device.name() + "' has " +
+                       std::to_string(device.num_qubits()));
+  }
+  for (const Gate& gate : circuit) {
+    if (gate.kind == GateKind::Barrier) continue;
+    if (gate.qubits.size() > 2) {
+      throw MappingError(
+          "circuit contains a gate of arity > 2; run gate decomposition "
+          "before routing");
+    }
+  }
+  if (!device.coupling().is_connected()) {
+    throw MappingError("device coupling graph is disconnected");
+  }
+}
+
+}  // namespace qmap

@@ -1,0 +1,91 @@
+// Router interface and shared routing utilities.
+//
+// A router consumes a circuit over program qubits (every gate arity <= 2;
+// lower multi-qubit gates first) together with an initial placement, and
+// produces a circuit over *physical* qubits in which every two-qubit gate
+// satisfies the device's coupling graph. Routing SWAPs are emitted as
+// explicit SWAP gates (placeholders for later native expansion, Fig. 6);
+// forbidden CX orientations are repaired inline with 4 Hadamards (Sec. IV).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "arch/device.hpp"
+#include "ir/circuit.hpp"
+#include "layout/placement.hpp"
+
+namespace qmap {
+
+struct RoutingResult {
+  Circuit circuit;      // on physical qubits; contains SWAP placeholders
+  Placement initial;    // wire -> physical at circuit start
+  Placement final;      // wire -> physical at circuit end
+  std::size_t added_swaps = 0;
+  std::size_t added_moves = 0;      // shuttle moves (Sec. VI-C devices)
+  std::size_t direction_fixes = 0;  // CXs that needed the 4-H inversion
+  double runtime_ms = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual RoutingResult route(const Circuit& circuit,
+                                            const Device& device,
+                                            const Placement& initial) = 0;
+};
+
+/// Helper used by all router implementations: appends gates to the output
+/// circuit while maintaining the placement and the routing statistics.
+class RoutingEmitter {
+ public:
+  RoutingEmitter(const Device& device, Placement placement,
+                 std::string circuit_name);
+
+  [[nodiscard]] const Placement& placement() const noexcept {
+    return placement_;
+  }
+  [[nodiscard]] const Device& device() const noexcept { return *device_; }
+
+  /// Emits a program-qubit gate at its current physical location.
+  /// Two-qubit gates must be physically adjacent; directional gates with a
+  /// forbidden orientation are wrapped in Hadamards. Throws MappingError on
+  /// non-adjacent operands.
+  void emit_program_gate(const Gate& gate);
+
+  /// Emits a SWAP between two adjacent physical qubits and updates the
+  /// placement.
+  void emit_swap(int phys_a, int phys_b);
+
+  /// Emits a shuttle Move: relocates the occupant of `phys_from` into the
+  /// empty site `phys_to`. Requires device shuttling support, adjacency,
+  /// and that `phys_to` holds a free wire. Updates the placement.
+  void emit_move(int phys_from, int phys_to);
+
+  /// Moves this emitter's state into a RoutingResult.
+  [[nodiscard]] RoutingResult finish(const Placement& initial,
+                                     double runtime_ms) &&;
+
+ private:
+  const Device* device_;
+  Placement placement_;
+  Circuit circuit_;
+  std::size_t added_swaps_ = 0;
+  std::size_t added_moves_ = 0;
+  std::size_t direction_fixes_ = 0;
+};
+
+/// Validation helper (used by tests and assertions): true when every
+/// two-qubit gate of `circuit` is allowed by the device coupling graph,
+/// orientation included.
+[[nodiscard]] bool respects_coupling(const Circuit& circuit,
+                                     const Device& device);
+
+/// Throws MappingError when the circuit is not routable at all:
+/// wider than the device, device disconnected, or gates of arity > 2.
+void check_routable(const Circuit& circuit, const Device& device);
+
+}  // namespace qmap

@@ -1,0 +1,38 @@
+// SABRE-style heuristic router (Li, Ding, Xie [40] — the "look-ahead"
+// heuristic family of Sec. III-B): repeatedly executes every ready gate
+// that is already physically adjacent, then picks the SWAP that most
+// reduces a weighted distance score over the front layer plus an extended
+// lookahead window, with a decay term that discourages ping-ponging the
+// same qubits.
+#pragma once
+
+#include "route/router.hpp"
+
+namespace qmap {
+
+class SabreRouter final : public Router {
+ public:
+  struct Options {
+    int extended_window = 20;      // lookahead: # future 2q gates scored
+    double extended_weight = 0.5;  // weight of the lookahead term
+    double decay_increment = 0.1;  // per-use decay added to a qubit
+    int decay_reset_interval = 5;  // SWAPs between decay resets
+    /// Use the commutation-aware dependency graph ([58]): commuting gates
+    /// (e.g. the QFT's controlled-phase ladder) may execute in any order,
+    /// widening the front layer the router can satisfy.
+    bool use_commutation = false;
+  };
+
+  SabreRouter() = default;
+  explicit SabreRouter(const Options& options) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "sabre"; }
+  [[nodiscard]] RoutingResult route(const Circuit& circuit,
+                                    const Device& device,
+                                    const Placement& initial) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace qmap

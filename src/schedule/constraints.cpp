@@ -1,0 +1,129 @@
+#include "schedule/constraints.hpp"
+
+#include <cmath>
+
+namespace qmap {
+namespace {
+
+bool is_single_qubit_unitary(const Gate& gate) {
+  return gate.is_unitary() && gate_info(gate.kind).arity == 1;
+}
+
+bool same_pulse(const Gate& a, const Gate& b) {
+  if (a.kind != b.kind || a.params.size() != b.params.size()) return false;
+  for (std::size_t i = 0; i < a.params.size(); ++i) {
+    if (std::abs(a.params[i] - b.params[i]) > 1e-12) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SharedMicrowaveConstraint::compatible(
+    const ScheduledGate& candidate, const std::vector<ScheduledGate>& running,
+    const Device& device) const {
+  if (!is_single_qubit_unitary(candidate.gate)) return true;
+  if (device.frequency_groups().empty()) return true;
+  const int group = device.frequency_group(candidate.gate.qubits[0]);
+  if (group < 0) return true;
+  for (const ScheduledGate& other : running) {
+    if (!candidate.overlaps(other)) continue;
+    if (!is_single_qubit_unitary(other.gate)) continue;
+    if (device.frequency_group(other.gate.qubits[0]) != group) continue;
+    // Same AWG: the waveform is shared, so concurrent gates must be the
+    // identical pulse, perfectly aligned.
+    if (!same_pulse(candidate.gate, other.gate) ||
+        other.start_cycle != candidate.start_cycle ||
+        other.duration_cycles != candidate.duration_cycles) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FeedlineConstraint::compatible(const ScheduledGate& candidate,
+                                    const std::vector<ScheduledGate>& running,
+                                    const Device& device) const {
+  if (candidate.gate.kind != GateKind::Measure) return true;
+  if (device.feedlines().empty()) return true;
+  const int line = device.feedline(candidate.gate.qubits[0]);
+  if (line < 0) return true;
+  for (const ScheduledGate& other : running) {
+    if (other.gate.kind != GateKind::Measure) continue;
+    if (device.feedline(other.gate.qubits[0]) != line) continue;
+    if (!candidate.overlaps(other)) continue;
+    // Overlapping measurements on a shared feedline must start together.
+    if (other.start_cycle != candidate.start_cycle) return false;
+  }
+  return true;
+}
+
+bool ParkingConstraint::compatible(const ScheduledGate& candidate,
+                                   const std::vector<ScheduledGate>& running,
+                                   const Device& device) const {
+  if (device.frequency_groups().empty()) return true;
+  const auto parked_by = [&](const ScheduledGate& op) -> std::vector<int> {
+    if (op.gate.kind != GateKind::CZ) return {};
+    return device.parked_qubits(op.gate.qubits[0], op.gate.qubits[1]);
+  };
+  // 1. The candidate must not touch a qubit parked by a running CZ.
+  for (const ScheduledGate& other : running) {
+    if (!candidate.overlaps(other)) continue;
+    for (const int parked : parked_by(other)) {
+      for (const int q : candidate.gate.qubits) {
+        if (q == parked) return false;
+      }
+    }
+  }
+  // 2. If the candidate is a CZ, its own parked qubits must be idle for its
+  //    whole window.
+  const std::vector<int> own_parked = parked_by(candidate);
+  if (!own_parked.empty()) {
+    for (const ScheduledGate& other : running) {
+      if (!candidate.overlaps(other)) continue;
+      for (const int q : other.gate.qubits) {
+        for (const int parked : own_parked) {
+          if (q == parked) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool TwoQubitParallelismConstraint::compatible(
+    const ScheduledGate& candidate, const std::vector<ScheduledGate>& running,
+    const Device& device) const {
+  (void)device;
+  if (!candidate.gate.is_two_qubit()) return true;
+  int concurrent = 0;
+  for (const ScheduledGate& other : running) {
+    if (!other.gate.is_two_qubit()) continue;
+    if (candidate.overlaps(other)) ++concurrent;
+  }
+  return concurrent < max_concurrent_;
+}
+
+std::vector<std::unique_ptr<ResourceConstraint>>
+surface_control_constraints() {
+  std::vector<std::unique_ptr<ResourceConstraint>> out;
+  out.push_back(std::make_unique<SharedMicrowaveConstraint>());
+  out.push_back(std::make_unique<FeedlineConstraint>());
+  out.push_back(std::make_unique<ParkingConstraint>());
+  return out;
+}
+
+std::vector<std::unique_ptr<ResourceConstraint>> constraints_for_device(
+    const Device& device) {
+  std::vector<std::unique_ptr<ResourceConstraint>> out;
+  if (!device.frequency_groups().empty() || !device.feedlines().empty()) {
+    out = surface_control_constraints();
+  }
+  if (device.max_parallel_two_qubit() > 0) {
+    out.push_back(std::make_unique<TwoQubitParallelismConstraint>(
+        device.max_parallel_two_qubit()));
+  }
+  return out;
+}
+
+}  // namespace qmap

@@ -1,0 +1,37 @@
+#include "schedule/export.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "qasm/cqasm.hpp"
+
+namespace qmap {
+
+std::string to_cqasm_bundled(const Schedule& schedule, bool cycle_comments) {
+  // Group operations by start cycle (ordered).
+  std::map<int, std::vector<const ScheduledGate*>> bundles;
+  for (const ScheduledGate& op : schedule.operations()) {
+    if (op.gate.kind == GateKind::Barrier) continue;
+    bundles[op.start_cycle].push_back(&op);
+  }
+  std::string out = "version 1.0\n";
+  out += "qubits " + std::to_string(schedule.num_qubits()) + "\n";
+  for (const auto& [cycle, ops] : bundles) {
+    if (cycle_comments) {
+      out += "# cycle " + std::to_string(cycle) + "\n";
+    }
+    if (ops.size() == 1) {
+      out += cqasm_instruction(ops.front()->gate) + "\n";
+      continue;
+    }
+    out += "{ ";
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (i != 0) out += " | ";
+      out += cqasm_instruction(ops[i]->gate);
+    }
+    out += " }\n";
+  }
+  return out;
+}
+
+}  // namespace qmap

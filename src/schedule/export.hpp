@@ -1,0 +1,20 @@
+// Schedule export in the paper's own output format: Fig. 2 shows the
+// compiler's result as cQASM with single-line parallel bundles
+// "{ g1 | g2 }" — gates in the same bundle start in the same cycle. A
+// bundled program re-parsed with parse_cqasm flattens back to a circuit
+// with identical semantics.
+#pragma once
+
+#include <string>
+
+#include "schedule/schedule.hpp"
+
+namespace qmap {
+
+/// Serializes the schedule as cQASM v1 with one bundle per start cycle.
+/// Gates that cQASM cannot express throw ParseError. A "# cycle N" comment
+/// precedes each bundle when `cycle_comments` is set.
+[[nodiscard]] std::string to_cqasm_bundled(const Schedule& schedule,
+                                           bool cycle_comments = false);
+
+}  // namespace qmap

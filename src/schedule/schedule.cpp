@@ -1,0 +1,116 @@
+#include "schedule/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+int Schedule::total_cycles() const {
+  int latest = 0;
+  for (const ScheduledGate& op : operations_) {
+    latest = std::max(latest, op.end_cycle());
+  }
+  return latest;
+}
+
+Circuit Schedule::to_circuit(const std::string& name) const {
+  std::vector<std::size_t> order(operations_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a,
+                                                      std::size_t b) {
+    return operations_[a].start_cycle < operations_[b].start_cycle;
+  });
+  Circuit out(num_qubits_, name);
+  for (const std::size_t i : order) out.add(operations_[i].gate);
+  return out;
+}
+
+bool Schedule::is_consistent_with(const Circuit& source) const {
+  // 1. No two overlapping operations share a qubit.
+  for (std::size_t i = 0; i < operations_.size(); ++i) {
+    for (std::size_t j = i + 1; j < operations_.size(); ++j) {
+      if (!operations_[i].overlaps(operations_[j])) continue;
+      for (const int qa : operations_[i].gate.qubits) {
+        for (const int qb : operations_[j].gate.qubits) {
+          if (qa == qb) return false;
+        }
+      }
+    }
+  }
+  // 2. Same multiset of gates and same per-qubit order as the source.
+  if (operations_.size() != source.size()) return false;
+  std::vector<std::size_t> order(operations_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a,
+                                                      std::size_t b) {
+    return operations_[a].start_cycle < operations_[b].start_cycle;
+  });
+  std::map<int, std::vector<const Gate*>> scheduled_per_qubit;
+  for (const std::size_t i : order) {
+    for (const int q : operations_[i].gate.qubits) {
+      scheduled_per_qubit[q].push_back(&operations_[i].gate);
+    }
+  }
+  std::map<int, std::vector<const Gate*>> source_per_qubit;
+  for (const Gate& gate : source) {
+    for (const int q : gate.qubits) source_per_qubit[q].push_back(&gate);
+  }
+  if (scheduled_per_qubit.size() != source_per_qubit.size()) return false;
+  for (const auto& [q, gates] : source_per_qubit) {
+    const auto it = scheduled_per_qubit.find(q);
+    if (it == scheduled_per_qubit.end() ||
+        it->second.size() != gates.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (!(*gates[i] == *it->second[i])) return false;
+    }
+  }
+  return true;
+}
+
+std::string Schedule::to_table() const {
+  const int cycles = total_cycles();
+  // label per (cycle, qubit)
+  std::vector<std::vector<std::string>> cells(
+      static_cast<std::size_t>(cycles),
+      std::vector<std::string>(static_cast<std::size_t>(num_qubits_)));
+  for (const ScheduledGate& op : operations_) {
+    std::string label{gate_info(op.gate.kind).name};
+    for (const int q : op.gate.qubits) {
+      for (int c = op.start_cycle; c < op.end_cycle(); ++c) {
+        cells[static_cast<std::size_t>(c)][static_cast<std::size_t>(q)] =
+            c == op.start_cycle ? label : "|";
+      }
+    }
+  }
+  std::size_t width = 3;
+  for (const auto& row : cells) {
+    for (const auto& cell : row) width = std::max(width, cell.size());
+  }
+  std::string out = "cycle";
+  for (int q = 0; q < num_qubits_; ++q) {
+    std::string header = " Q" + std::to_string(q);
+    header.resize(width + 1, ' ');
+    out += header;
+  }
+  out += "\n";
+  for (int c = 0; c < cycles; ++c) {
+    std::string row = std::to_string(c);
+    row.resize(5, ' ');
+    for (int q = 0; q < num_qubits_; ++q) {
+      std::string cell =
+          " " +
+          cells[static_cast<std::size_t>(c)][static_cast<std::size_t>(q)];
+      cell.resize(width + 1, ' ');
+      row += cell;
+    }
+    while (!row.empty() && row.back() == ' ') row.pop_back();
+    out += row + "\n";
+  }
+  return out;
+}
+
+}  // namespace qmap

@@ -1,0 +1,160 @@
+#include "schedule/schedulers.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "ir/dag.hpp"
+
+namespace qmap {
+
+Schedule schedule_asap(const Circuit& circuit, const Device& device) {
+  Schedule schedule(circuit.num_qubits());
+  std::vector<int> available(static_cast<std::size_t>(circuit.num_qubits()),
+                             0);
+  for (const Gate& gate : circuit) {
+    const int duration = device.cycles_for(gate);
+    int start = 0;
+    for (const int q : gate.qubits) {
+      start = std::max(start, available[static_cast<std::size_t>(q)]);
+    }
+    for (const int q : gate.qubits) {
+      available[static_cast<std::size_t>(q)] = start + duration;
+    }
+    schedule.add(ScheduledGate{gate, start, duration});
+  }
+  return schedule;
+}
+
+Schedule schedule_alap(const Circuit& circuit, const Device& device) {
+  // ALAP = mirrored ASAP of the reversed gate list.
+  std::vector<int> deadline(static_cast<std::size_t>(circuit.num_qubits()),
+                            0);
+  std::vector<ScheduledGate> reversed;
+  reversed.reserve(circuit.size());
+  for (auto it = circuit.gates().rbegin(); it != circuit.gates().rend();
+       ++it) {
+    const Gate& gate = *it;
+    const int duration = device.cycles_for(gate);
+    int start = 0;
+    for (const int q : gate.qubits) {
+      start = std::max(start, deadline[static_cast<std::size_t>(q)]);
+    }
+    for (const int q : gate.qubits) {
+      deadline[static_cast<std::size_t>(q)] = start + duration;
+    }
+    reversed.push_back(ScheduledGate{gate, start, duration});
+  }
+  int total = 0;
+  for (const ScheduledGate& op : reversed) {
+    total = std::max(total, op.end_cycle());
+  }
+  Schedule schedule(circuit.num_qubits());
+  for (auto it = reversed.rbegin(); it != reversed.rend(); ++it) {
+    ScheduledGate op = *it;
+    op.start_cycle = total - op.end_cycle();
+    schedule.add(std::move(op));
+  }
+  return schedule;
+}
+
+Schedule schedule_constrained(
+    const Circuit& circuit, const Device& device,
+    const std::vector<std::unique_ptr<ResourceConstraint>>& constraints) {
+  DependencyDag dag(circuit);
+  const std::size_t num_nodes = dag.num_nodes();
+  Schedule schedule(circuit.num_qubits());
+
+  // Priority: downstream critical path (including own duration).
+  std::vector<double> priority(num_nodes, 0.0);
+  for (std::size_t i = num_nodes; i-- > 0;) {
+    double downstream = 0.0;
+    for (const int succ : dag.successors(static_cast<int>(i))) {
+      downstream = std::max(downstream, priority[static_cast<std::size_t>(succ)]);
+    }
+    priority[i] = downstream + device.cycles_for(circuit.gate(i));
+  }
+
+  std::vector<int> end_cycle(num_nodes, 0);
+  std::vector<int> qubit_busy(static_cast<std::size_t>(circuit.num_qubits()),
+                              0);
+  std::vector<ScheduledGate> admitted;  // for constraint overlap checks
+
+  int cycle = 0;
+  std::size_t scheduled = 0;
+  while (scheduled < num_nodes) {
+    // Ready nodes, highest priority first (stable on node index).
+    std::vector<int> ready = dag.ready();
+    std::stable_sort(ready.begin(), ready.end(), [&](int a, int b) {
+      return priority[static_cast<std::size_t>(a)] >
+             priority[static_cast<std::size_t>(b)];
+    });
+    bool progressed = false;
+    for (const int node : ready) {
+      const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
+      const int duration = device.cycles_for(gate);
+      // Dependencies must have finished and operands must be idle.
+      bool startable = true;
+      for (const int pred : dag.predecessors(node)) {
+        if (end_cycle[static_cast<std::size_t>(pred)] > cycle) {
+          startable = false;
+          break;
+        }
+      }
+      if (startable) {
+        for (const int q : gate.qubits) {
+          if (qubit_busy[static_cast<std::size_t>(q)] > cycle) {
+            startable = false;
+            break;
+          }
+        }
+      }
+      if (!startable) continue;
+      const ScheduledGate candidate{gate, cycle, duration};
+      bool allowed = true;
+      for (const auto& constraint : constraints) {
+        if (!constraint->compatible(candidate, admitted, device)) {
+          allowed = false;
+          break;
+        }
+      }
+      if (!allowed) continue;
+      // Admit.
+      admitted.push_back(candidate);
+      schedule.add(candidate);
+      end_cycle[static_cast<std::size_t>(node)] = cycle + duration;
+      for (const int q : gate.qubits) {
+        qubit_busy[static_cast<std::size_t>(q)] =
+            std::max(qubit_busy[static_cast<std::size_t>(q)],
+                     cycle + duration);
+      }
+      dag.mark_scheduled(node);
+      ++scheduled;
+      progressed = true;
+    }
+    if (scheduled == num_nodes) break;
+    // Advance: next cycle at which anything can change.
+    int next = cycle + 1;
+    if (!progressed) {
+      int earliest_event = std::numeric_limits<int>::max();
+      for (const int busy : qubit_busy) {
+        if (busy > cycle) earliest_event = std::min(earliest_event, busy);
+      }
+      if (earliest_event != std::numeric_limits<int>::max()) {
+        next = std::max(next, earliest_event);
+      }
+    }
+    cycle = next;
+  }
+  return schedule;
+}
+
+Schedule schedule_for_device(const Circuit& circuit, const Device& device) {
+  if (!device.has_control_constraints()) {
+    return schedule_asap(circuit, device);
+  }
+  return schedule_constrained(circuit, device,
+                              constraints_for_device(device));
+}
+
+}  // namespace qmap

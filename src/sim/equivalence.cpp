@@ -1,0 +1,78 @@
+#include "sim/equivalence.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+
+namespace qmap {
+
+bool circuits_equivalent(const Circuit& a, const Circuit& b, Rng& rng,
+                         int trials, double tolerance) {
+  if (a.num_qubits() != b.num_qubits()) return false;
+  for (int trial = 0; trial < trials; ++trial) {
+    StateVector state_a(a.num_qubits());
+    state_a.randomize(rng);
+    StateVector state_b = state_a;
+    state_a.run(a.unitary_part());
+    state_b.run(b.unitary_part());
+    if (!state_a.approx_equal(state_b, tolerance)) return false;
+  }
+  return true;
+}
+
+bool circuits_equivalent_exact(const Circuit& a, const Circuit& b,
+                               double tolerance) {
+  if (a.num_qubits() != b.num_qubits()) return false;
+  const Matrix ua = circuit_unitary(a.unitary_part());
+  const Matrix ub = circuit_unitary(b.unitary_part());
+  return ua.equal_up_to_global_phase(ub, tolerance);
+}
+
+bool mapping_equivalent(const Circuit& original, const Circuit& mapped,
+                        const std::vector<int>& initial_wire_to_phys,
+                        const std::vector<int>& final_wire_to_phys, Rng& rng,
+                        int trials, double tolerance) {
+  const int m = mapped.num_qubits();
+  const int n = original.num_qubits();
+  if (n > m) {
+    throw SimulationError("original circuit wider than mapped circuit");
+  }
+  const auto check_bijection = [m](const std::vector<int>& wire_to_phys) {
+    if (wire_to_phys.size() != static_cast<std::size_t>(m)) return false;
+    std::vector<bool> seen(static_cast<std::size_t>(m), false);
+    for (const int p : wire_to_phys) {
+      if (p < 0 || p >= m || seen[static_cast<std::size_t>(p)]) return false;
+      seen[static_cast<std::size_t>(p)] = true;
+    }
+    return true;
+  };
+  if (!check_bijection(initial_wire_to_phys) ||
+      !check_bijection(final_wire_to_phys)) {
+    throw SimulationError("placements must be bijections over the device");
+  }
+
+  // Original program gates executed at their initial physical locations.
+  Circuit embedded(m, original.name() + "_embedded");
+  std::vector<int> program_map(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    program_map[static_cast<std::size_t>(k)] =
+        initial_wire_to_phys[static_cast<std::size_t>(k)];
+  }
+  embedded.append_mapped(original.unitary_part(), program_map);
+
+  for (int trial = 0; trial < trials; ++trial) {
+    StateVector reference(m);
+    reference.randomize(rng);
+    StateVector routed = reference;
+    reference.run(embedded);
+    // Wire w's content moved from initial_wire_to_phys[w] to
+    // final_wire_to_phys[w].
+    reference.permute(initial_wire_to_phys, final_wire_to_phys);
+    routed.run(mapped.unitary_part());
+    if (!reference.approx_equal(routed, tolerance)) return false;
+  }
+  return true;
+}
+
+}  // namespace qmap

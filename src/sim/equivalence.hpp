@@ -1,0 +1,48 @@
+// Equivalence checking between original and mapped circuits.
+//
+// A correct mapper output satisfies, for every input state |psi> on the
+// device register:
+//
+//     U_mapped |psi>  ==  P  U_embedded |psi>
+//
+// where U_embedded applies the original program gates at the *initial*
+// placement and P is the wire permutation accumulated by the routing SWAPs
+// (initial placement -> final placement). Randomized state-vector checks of
+// this identity catch any routing/decomposition bug with overwhelming
+// probability; small circuits can additionally be checked exactly at the
+// unitary level.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+
+namespace qmap {
+
+/// Randomized equivalence of two same-width, measurement-free circuits
+/// (up to global phase). Runs `trials` random-state comparisons.
+[[nodiscard]] bool circuits_equivalent(const Circuit& a, const Circuit& b,
+                                       Rng& rng, int trials = 4,
+                                       double tolerance = 1e-7);
+
+/// Exact unitary-level equivalence up to global phase (width <= 10).
+[[nodiscard]] bool circuits_equivalent_exact(const Circuit& a,
+                                             const Circuit& b,
+                                             double tolerance = 1e-7);
+
+/// Randomized check that `mapped` (on `num_physical` qubits) realizes
+/// `original` (on <= num_physical program qubits).
+///
+/// `initial_wire_to_phys` / `final_wire_to_phys` have one entry per wire;
+/// wires 0..n-1 carry the program qubits, the rest are free-but-tracked
+/// wires (the paper's "free" placement entries). Both must be bijections
+/// onto the physical qubits.
+[[nodiscard]] bool mapping_equivalent(
+    const Circuit& original, const Circuit& mapped,
+    const std::vector<int>& initial_wire_to_phys,
+    const std::vector<int>& final_wire_to_phys, Rng& rng, int trials = 4,
+    double tolerance = 1e-7);
+
+}  // namespace qmap

@@ -1,0 +1,448 @@
+#include "sim/stabilizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qmap {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kAngleTol = 1e-9;
+
+/// Snaps `angle` to a multiple of pi/2 in [0, 4); -1 when not Clifford.
+int quarter_turns(double angle) {
+  const double turns = angle / (kPi / 2.0);
+  const double rounded = std::nearbyint(turns);
+  if (std::abs(turns - rounded) > kAngleTol) return -1;
+  int q = static_cast<int>(rounded) % 4;
+  if (q < 0) q += 4;
+  return q;
+}
+
+}  // namespace
+
+bool is_clifford_gate(const Gate& gate) {
+  switch (gate.kind) {
+    case GateKind::I:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::SX:
+    case GateKind::SXdg:
+    case GateKind::CX:
+    case GateKind::CZ:
+    case GateKind::SWAP:
+    case GateKind::Move:
+    case GateKind::ISWAP:
+    case GateKind::Measure:
+    case GateKind::Barrier:
+      return true;
+    case GateKind::Rx:
+    case GateKind::Ry:
+    case GateKind::Rz:
+    case GateKind::Phase:
+      return quarter_turns(gate.params[0]) >= 0;
+    case GateKind::U:
+      return quarter_turns(gate.params[0]) >= 0 &&
+             quarter_turns(gate.params[1]) >= 0 &&
+             quarter_turns(gate.params[2]) >= 0;
+    case GateKind::CPhase:
+    case GateKind::CRz: {
+      const int q = quarter_turns(gate.params[0]);
+      return q == 0 || q == 2;  // identity or CZ-like
+    }
+    default:
+      return false;
+  }
+}
+
+bool is_clifford_circuit(const Circuit& circuit) {
+  for (const Gate& gate : circuit) {
+    if (!is_clifford_gate(gate)) return false;
+  }
+  return true;
+}
+
+CliffordTableau::CliffordTableau(int num_qubits) : n_(num_qubits) {
+  if (num_qubits < 1) throw SimulationError("tableau needs >= 1 qubit");
+  words_ = (num_qubits + 63) / 64;
+  const std::size_t rows = 2 * static_cast<std::size_t>(n_);
+  x_bits_.assign(rows * static_cast<std::size_t>(words_), 0);
+  z_bits_.assign(rows * static_cast<std::size_t>(words_), 0);
+  r_.assign(rows, 0);
+  // Destabilizer i = X_i, stabilizer n+i = Z_i.
+  for (int i = 0; i < n_; ++i) {
+    set_bit(x_bits_, i, i, true);
+    set_bit(z_bits_, n_ + i, i, true);
+  }
+}
+
+bool CliffordTableau::get_bit(const std::vector<std::uint64_t>& bits, int row,
+                              int qubit) const {
+  return (bits[static_cast<std::size_t>(row) *
+                   static_cast<std::size_t>(words_) +
+               static_cast<std::size_t>(qubit / 64)] >>
+          (qubit % 64)) &
+         1u;
+}
+
+void CliffordTableau::set_bit(std::vector<std::uint64_t>& bits, int row,
+                              int qubit, bool value) {
+  auto& word = bits[static_cast<std::size_t>(row) *
+                        static_cast<std::size_t>(words_) +
+                    static_cast<std::size_t>(qubit / 64)];
+  const std::uint64_t mask = std::uint64_t{1} << (qubit % 64);
+  if (value) word |= mask;
+  else word &= ~mask;
+}
+
+bool CliffordTableau::x(int row, int qubit) const {
+  return get_bit(x_bits_, row, qubit);
+}
+bool CliffordTableau::z(int row, int qubit) const {
+  return get_bit(z_bits_, row, qubit);
+}
+bool CliffordTableau::sign(int row) const {
+  return r_[static_cast<std::size_t>(row)] != 0;
+}
+
+void CliffordTableau::apply_h(int q) {
+  for (int row = 0; row < 2 * n_; ++row) {
+    const bool xb = get_bit(x_bits_, row, q);
+    const bool zb = get_bit(z_bits_, row, q);
+    r_[static_cast<std::size_t>(row)] ^= static_cast<std::uint8_t>(xb && zb);
+    set_bit(x_bits_, row, q, zb);
+    set_bit(z_bits_, row, q, xb);
+  }
+}
+
+void CliffordTableau::apply_s(int q) {
+  for (int row = 0; row < 2 * n_; ++row) {
+    const bool xb = get_bit(x_bits_, row, q);
+    const bool zb = get_bit(z_bits_, row, q);
+    r_[static_cast<std::size_t>(row)] ^= static_cast<std::uint8_t>(xb && zb);
+    set_bit(z_bits_, row, q, zb ^ xb);
+  }
+}
+
+void CliffordTableau::apply_cx(int control, int target) {
+  for (int row = 0; row < 2 * n_; ++row) {
+    const bool xc = get_bit(x_bits_, row, control);
+    const bool zc = get_bit(z_bits_, row, control);
+    const bool xt = get_bit(x_bits_, row, target);
+    const bool zt = get_bit(z_bits_, row, target);
+    r_[static_cast<std::size_t>(row)] ^=
+        static_cast<std::uint8_t>(xc && zt && (xt == zc));
+    set_bit(x_bits_, row, target, xt ^ xc);
+    set_bit(z_bits_, row, control, zc ^ zt);
+  }
+}
+
+void CliffordTableau::rowsum(int h, int i) {
+  // Phase exponent accumulation mod 4 (Aaronson-Gottesman g function).
+  int phase = 2 * r_[static_cast<std::size_t>(h)] +
+              2 * r_[static_cast<std::size_t>(i)];
+  for (int q = 0; q < n_; ++q) {
+    const int x1 = get_bit(x_bits_, i, q);
+    const int z1 = get_bit(z_bits_, i, q);
+    const int x2 = get_bit(x_bits_, h, q);
+    const int z2 = get_bit(z_bits_, h, q);
+    if (x1 == 0 && z1 == 0) continue;
+    if (x1 == 1 && z1 == 1) phase += z2 - x2;
+    else if (x1 == 1 && z1 == 0) phase += z2 * (2 * x2 - 1);
+    else phase += x2 * (1 - 2 * z2);
+  }
+  phase = ((phase % 4) + 4) % 4;
+  r_[static_cast<std::size_t>(h)] = static_cast<std::uint8_t>(phase == 2);
+  for (int w = 0; w < words_; ++w) {
+    x_bits_[static_cast<std::size_t>(h) * words_ + w] ^=
+        x_bits_[static_cast<std::size_t>(i) * words_ + w];
+    z_bits_[static_cast<std::size_t>(h) * words_ + w] ^=
+        z_bits_[static_cast<std::size_t>(i) * words_ + w];
+  }
+}
+
+void CliffordTableau::apply(const Gate& gate) {
+  if (gate.kind == GateKind::Barrier || gate.kind == GateKind::I) return;
+  if (!is_clifford_gate(gate) || gate.kind == GateKind::Measure) {
+    throw SimulationError("tableau: gate '" + gate.to_string() +
+                          "' is not a Clifford unitary");
+  }
+  const auto q0 = [&] { return gate.qubits[0]; };
+  switch (gate.kind) {
+    case GateKind::H: apply_h(q0()); break;
+    case GateKind::S: apply_s(q0()); break;
+    case GateKind::Sdg:
+      apply_s(q0());
+      apply_s(q0());
+      apply_s(q0());
+      break;
+    case GateKind::Z:
+      apply_s(q0());
+      apply_s(q0());
+      break;
+    case GateKind::X:
+      apply_h(q0());
+      apply_s(q0());
+      apply_s(q0());
+      apply_h(q0());
+      break;
+    case GateKind::Y:  // conjugation of Y == conjugation of Z then X
+      apply_s(q0());
+      apply_s(q0());
+      apply_h(q0());
+      apply_s(q0());
+      apply_s(q0());
+      apply_h(q0());
+      break;
+    case GateKind::SX:  // SX = H S H exactly
+      apply_h(q0());
+      apply_s(q0());
+      apply_h(q0());
+      break;
+    case GateKind::SXdg:
+      apply_h(q0());
+      apply_s(q0());
+      apply_s(q0());
+      apply_s(q0());
+      apply_h(q0());
+      break;
+    case GateKind::Rz:
+    case GateKind::Phase: {
+      const int turns = quarter_turns(gate.params[0]);
+      for (int t = 0; t < turns; ++t) apply_s(q0());
+      break;
+    }
+    case GateKind::Rx: {  // Rx = H Rz H
+      const int turns = quarter_turns(gate.params[0]);
+      if (turns != 0) {
+        apply_h(q0());
+        for (int t = 0; t < turns; ++t) apply_s(q0());
+        apply_h(q0());
+      }
+      break;
+    }
+    case GateKind::Ry: {
+      // Ry(t) = S Rx(t) Sdg as an operator product, i.e. circuit order
+      // Sdg, Rx, S.
+      const int turns = quarter_turns(gate.params[0]);
+      if (turns != 0) {
+        apply_s(q0());  // Sdg = S^3
+        apply_s(q0());
+        apply_s(q0());
+        apply_h(q0());  // Rx = H Rz H (symmetric)
+        for (int t = 0; t < turns; ++t) apply_s(q0());
+        apply_h(q0());
+        apply_s(q0());
+      }
+      break;
+    }
+    case GateKind::U: {
+      // U(theta, phi, lambda) = Rz(phi) Ry(theta) Rz(lambda): circuit
+      // order Rz(lambda), Ry(theta), Rz(phi).
+      apply(make_gate(GateKind::Rz, {q0()}, {gate.params[2]}));
+      apply(make_gate(GateKind::Ry, {q0()}, {gate.params[0]}));
+      apply(make_gate(GateKind::Rz, {q0()}, {gate.params[1]}));
+      break;
+    }
+    case GateKind::CX:
+      apply_cx(gate.qubits[0], gate.qubits[1]);
+      break;
+    case GateKind::CZ:
+      apply_h(gate.qubits[1]);
+      apply_cx(gate.qubits[0], gate.qubits[1]);
+      apply_h(gate.qubits[1]);
+      break;
+    case GateKind::CPhase:
+    case GateKind::CRz: {
+      if (quarter_turns(gate.params[0]) == 2) {  // == CZ (up to phase)
+        apply_h(gate.qubits[1]);
+        apply_cx(gate.qubits[0], gate.qubits[1]);
+        apply_h(gate.qubits[1]);
+      }
+      break;
+    }
+    case GateKind::SWAP:
+    case GateKind::Move:
+      apply_cx(gate.qubits[0], gate.qubits[1]);
+      apply_cx(gate.qubits[1], gate.qubits[0]);
+      apply_cx(gate.qubits[0], gate.qubits[1]);
+      break;
+    case GateKind::ISWAP:
+      // iSWAP = S_a S_b H_a CX(a,b) CX(b,a) H_b
+      apply_s(gate.qubits[0]);
+      apply_s(gate.qubits[1]);
+      apply_h(gate.qubits[0]);
+      apply_cx(gate.qubits[0], gate.qubits[1]);
+      apply_cx(gate.qubits[1], gate.qubits[0]);
+      apply_h(gate.qubits[1]);
+      break;
+    default:
+      throw SimulationError("tableau: unhandled Clifford gate");
+  }
+}
+
+void CliffordTableau::run(const Circuit& circuit) {
+  if (circuit.num_qubits() > n_) {
+    throw SimulationError("circuit wider than tableau");
+  }
+  for (const Gate& gate : circuit) apply(gate);
+}
+
+void CliffordTableau::permute(const std::vector<int>& from,
+                              const std::vector<int>& to) {
+  if (from.size() != to.size() ||
+      from.size() != static_cast<std::size_t>(n_)) {
+    throw SimulationError("permute: maps must cover all qubits");
+  }
+  std::vector<std::uint64_t> new_x(x_bits_.size(), 0);
+  std::vector<std::uint64_t> new_z(z_bits_.size(), 0);
+  const auto old_x = x_bits_;
+  const auto old_z = z_bits_;
+  x_bits_ = std::move(new_x);
+  z_bits_ = std::move(new_z);
+  for (int row = 0; row < 2 * n_; ++row) {
+    for (std::size_t k = 0; k < from.size(); ++k) {
+      const int src = from[k];
+      const int dst = to[k];
+      const bool xb =
+          (old_x[static_cast<std::size_t>(row) * words_ + src / 64] >>
+           (src % 64)) &
+          1u;
+      const bool zb =
+          (old_z[static_cast<std::size_t>(row) * words_ + src / 64] >>
+           (src % 64)) &
+          1u;
+      set_bit(x_bits_, row, dst, xb);
+      set_bit(z_bits_, row, dst, zb);
+    }
+  }
+}
+
+bool CliffordTableau::operator==(const CliffordTableau& other) const {
+  return n_ == other.n_ && x_bits_ == other.x_bits_ &&
+         z_bits_ == other.z_bits_ && r_ == other.r_;
+}
+
+std::string CliffordTableau::to_string() const {
+  std::string out;
+  for (int row = 0; row < 2 * n_; ++row) {
+    out += sign(row) ? '-' : '+';
+    for (int q = 0; q < n_; ++q) {
+      const bool xb = x(row, q);
+      const bool zb = z(row, q);
+      out += xb ? (zb ? 'Y' : 'X') : (zb ? 'Z' : 'I');
+    }
+    out += row == n_ - 1 ? "\n----\n" : "\n";
+  }
+  return out;
+}
+
+void StabilizerState::run_with_measurements(const Circuit& circuit,
+                                            Rng* rng) {
+  if (circuit.num_qubits() > num_qubits()) {
+    throw SimulationError("circuit wider than stabilizer state");
+  }
+  for (const Gate& gate : circuit) {
+    if (gate.kind == GateKind::Measure) {
+      if (rng == nullptr) {
+        throw SimulationError("measurement requires an Rng");
+      }
+      (void)measure(gate.qubits[0], *rng);
+    } else {
+      apply(gate);
+    }
+  }
+}
+
+bool StabilizerState::deterministic(int qubit) const {
+  for (int p = n_; p < 2 * n_; ++p) {
+    if (x(p, qubit)) return false;
+  }
+  return true;
+}
+
+int StabilizerState::measure(int qubit, Rng& rng) {
+  if (qubit < 0 || qubit >= n_) {
+    throw SimulationError("measure: qubit out of range");
+  }
+  int p = -1;
+  for (int row = n_; row < 2 * n_; ++row) {
+    if (x(row, qubit)) {
+      p = row;
+      break;
+    }
+  }
+  if (p >= 0) {
+    // Random outcome.
+    for (int row = 0; row < 2 * n_; ++row) {
+      if (row != p && x(row, qubit)) rowsum(row, p);
+    }
+    // Destabilizer p-n <- old stabilizer p; stabilizer p <- +-Z_qubit.
+    for (int w = 0; w < words_; ++w) {
+      x_bits_[static_cast<std::size_t>(p - n_) * words_ + w] =
+          x_bits_[static_cast<std::size_t>(p) * words_ + w];
+      z_bits_[static_cast<std::size_t>(p - n_) * words_ + w] =
+          z_bits_[static_cast<std::size_t>(p) * words_ + w];
+      x_bits_[static_cast<std::size_t>(p) * words_ + w] = 0;
+      z_bits_[static_cast<std::size_t>(p) * words_ + w] = 0;
+    }
+    r_[static_cast<std::size_t>(p - n_)] = r_[static_cast<std::size_t>(p)];
+    set_bit(z_bits_, p, qubit, true);
+    const int outcome = rng.chance(0.5) ? 1 : 0;
+    r_[static_cast<std::size_t>(p)] = static_cast<std::uint8_t>(outcome);
+    return outcome;
+  }
+  // Deterministic outcome: accumulate into a scratch row appended at the
+  // end (temporarily extend the arrays).
+  const int scratch = 2 * n_;
+  x_bits_.resize(x_bits_.size() + static_cast<std::size_t>(words_), 0);
+  z_bits_.resize(z_bits_.size() + static_cast<std::size_t>(words_), 0);
+  r_.push_back(0);
+  for (int i = 0; i < n_; ++i) {
+    if (x(i, qubit)) rowsum(scratch, i + n_);
+  }
+  const int outcome = r_[static_cast<std::size_t>(scratch)] != 0 ? 1 : 0;
+  x_bits_.resize(x_bits_.size() - static_cast<std::size_t>(words_));
+  z_bits_.resize(z_bits_.size() - static_cast<std::size_t>(words_));
+  r_.pop_back();
+  return outcome;
+}
+
+bool clifford_equivalent(const Circuit& a, const Circuit& b) {
+  if (a.num_qubits() != b.num_qubits()) return false;
+  CliffordTableau ta(a.num_qubits());
+  ta.run(a.unitary_part());
+  CliffordTableau tb(b.num_qubits());
+  tb.run(b.unitary_part());
+  return ta == tb;
+}
+
+bool clifford_mapping_equivalent(
+    const Circuit& original, const Circuit& mapped,
+    const std::vector<int>& initial_wire_to_phys,
+    const std::vector<int>& final_wire_to_phys) {
+  const int m = mapped.num_qubits();
+  const int n = original.num_qubits();
+  if (n > m) throw SimulationError("original wider than mapped");
+  Circuit embedded(m, original.name() + "_embedded");
+  std::vector<int> program_map(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    program_map[static_cast<std::size_t>(k)] =
+        initial_wire_to_phys[static_cast<std::size_t>(k)];
+  }
+  embedded.append_mapped(original.unitary_part(), program_map);
+
+  CliffordTableau reference(m);
+  reference.run(embedded);
+  reference.permute(initial_wire_to_phys, final_wire_to_phys);
+  CliffordTableau routed(m);
+  routed.run(mapped.unitary_part());
+  return reference == routed;
+}
+
+}  // namespace qmap

@@ -1,0 +1,108 @@
+// Stabilizer (Clifford tableau) simulator, Aaronson-Gottesman CHP style.
+//
+// The state-vector verifier caps out around 24 qubits; Clifford circuits —
+// which include every routing artefact (SWAP chains, CX/CZ rewrites, H
+// direction fixes) and workloads like GHZ — can be checked *exactly* at
+// hundreds of qubits with a tableau. Two uses here:
+//
+//  * StabilizerState: simulate a Clifford circuit from |0...0>, including
+//    projective measurements (the CHP algorithm).
+//  * CliffordTableau / clifford_equivalent: track the conjugation action
+//    U P U^dagger for all Pauli generators, which determines the Clifford
+//    unitary up to global phase — an exact unitary-equality check for
+//    mapped Clifford circuits at any width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+
+namespace qmap {
+
+/// True when the gate is simulable on a tableau (Clifford + measure).
+[[nodiscard]] bool is_clifford_gate(const Gate& gate);
+/// True when every gate of the circuit is Clifford (barriers allowed).
+[[nodiscard]] bool is_clifford_circuit(const Circuit& circuit);
+
+/// The shared tableau core: 2n rows (n destabilizers, n stabilizers) of
+/// X/Z bits plus a sign bit per row.
+class CliffordTableau {
+ public:
+  explicit CliffordTableau(int num_qubits);
+
+  [[nodiscard]] int num_qubits() const noexcept { return n_; }
+
+  // Generator access (row r in [0, 2n): destabilizers first).
+  [[nodiscard]] bool x(int row, int qubit) const;
+  [[nodiscard]] bool z(int row, int qubit) const;
+  [[nodiscard]] bool sign(int row) const;
+
+  /// Applies a Clifford gate (throws SimulationError otherwise; barriers
+  /// are no-ops, measurements are rejected — use StabilizerState).
+  void apply(const Gate& gate);
+  /// Applies every gate of a Clifford circuit.
+  void run(const Circuit& circuit);
+
+  /// Relabels qubits: column `from[i]` moves to column `to[i]`.
+  void permute(const std::vector<int>& from, const std::vector<int>& to);
+
+  /// Exact row-wise equality (same generators, same signs).
+  [[nodiscard]] bool operator==(const CliffordTableau& other) const;
+
+  /// Human-readable Pauli strings ("+XIZ..." per row).
+  [[nodiscard]] std::string to_string() const;
+
+ protected:
+  // Gate primitives.
+  void apply_h(int q);
+  void apply_s(int q);
+  void apply_cx(int control, int target);
+  /// Aaronson-Gottesman rowsum: row h *= row i (phase-correct).
+  void rowsum(int h, int i);
+
+  int n_ = 0;
+  // Bit-packed rows: words_per_row_ 64-bit words for x, then for z.
+  std::vector<std::uint64_t> x_bits_;
+  std::vector<std::uint64_t> z_bits_;
+  std::vector<std::uint8_t> r_;  // sign bit per row
+  int words_ = 0;                // words per row
+
+  [[nodiscard]] bool get_bit(const std::vector<std::uint64_t>& bits, int row,
+                             int qubit) const;
+  void set_bit(std::vector<std::uint64_t>& bits, int row, int qubit,
+               bool value);
+};
+
+/// Stabilizer state |psi> = U |0...0> with CHP measurements.
+class StabilizerState : public CliffordTableau {
+ public:
+  explicit StabilizerState(int num_qubits)
+      : CliffordTableau(num_qubits) {}
+
+  /// Runs the circuit; measurements collapse using `rng` (throws without
+  /// one when a measurement occurs).
+  void run_with_measurements(const Circuit& circuit, Rng* rng = nullptr);
+
+  /// Projective Z measurement of `qubit` (CHP): returns 0/1.
+  int measure(int qubit, Rng& rng);
+
+  /// True when a Z measurement of `qubit` has a deterministic outcome.
+  [[nodiscard]] bool deterministic(int qubit) const;
+};
+
+/// Exact Clifford unitary equality up to global phase: compares the
+/// conjugation tableaux of the two circuits. Throws SimulationError when a
+/// circuit contains non-Clifford gates.
+[[nodiscard]] bool clifford_equivalent(const Circuit& a, const Circuit& b);
+
+/// Mapping-aware variant, mirroring mapping_equivalent(): `mapped` (on m
+/// physical qubits) realizes `original` under the wire->physical maps.
+[[nodiscard]] bool clifford_mapping_equivalent(
+    const Circuit& original, const Circuit& mapped,
+    const std::vector<int>& initial_wire_to_phys,
+    const std::vector<int>& final_wire_to_phys);
+
+}  // namespace qmap

@@ -1,0 +1,244 @@
+#include "sim/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+namespace {
+constexpr int kMaxQubits = 26;
+}
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits < 0 || num_qubits > kMaxQubits) {
+    throw SimulationError("state vector supports 0.." +
+                          std::to_string(kMaxQubits) + " qubits, got " +
+                          std::to_string(num_qubits));
+  }
+  amplitudes_.assign(std::size_t{1} << num_qubits, Complex{0.0, 0.0});
+  amplitudes_[0] = Complex{1.0, 0.0};
+}
+
+Complex StateVector::amplitude(std::uint64_t basis_index) const {
+  if (basis_index >= amplitudes_.size()) {
+    throw SimulationError("basis index out of range");
+  }
+  return amplitudes_[basis_index];
+}
+
+void StateVector::reset(std::uint64_t basis_index) {
+  if (basis_index >= amplitudes_.size()) {
+    throw SimulationError("basis index out of range");
+  }
+  std::fill(amplitudes_.begin(), amplitudes_.end(), Complex{0.0, 0.0});
+  amplitudes_[basis_index] = Complex{1.0, 0.0};
+}
+
+void StateVector::randomize(Rng& rng) {
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  double norm_sq = 0.0;
+  for (Complex& amp : amplitudes_) {
+    amp = Complex{gauss(rng.engine()), gauss(rng.engine())};
+    norm_sq += std::norm(amp);
+  }
+  const double scale = 1.0 / std::sqrt(norm_sq);
+  for (Complex& amp : amplitudes_) amp *= scale;
+}
+
+void StateVector::apply_matrix(const Matrix& m,
+                               const std::vector<int>& qubits) {
+  const int k = static_cast<int>(qubits.size());
+  const std::size_t block = std::size_t{1} << k;
+  // Bit masks, ordered so that qubits[0] is the MSB of the block index.
+  std::vector<std::uint64_t> masks(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    masks[static_cast<std::size_t>(i)] =
+        std::uint64_t{1} << bit_shift(qubits[static_cast<std::size_t>(i)]);
+  }
+  std::uint64_t gate_mask = 0;
+  for (const std::uint64_t m_bit : masks) gate_mask |= m_bit;
+
+  std::vector<Complex> scratch(block);
+  const std::uint64_t dim = amplitudes_.size();
+  for (std::uint64_t base = 0; base < dim; ++base) {
+    if ((base & gate_mask) != 0) continue;  // enumerate blocks once
+    // Gather the 2^k amplitudes of this block.
+    for (std::size_t local = 0; local < block; ++local) {
+      std::uint64_t index = base;
+      for (int i = 0; i < k; ++i) {
+        if ((local >> (k - 1 - i)) & 1) {
+          index |= masks[static_cast<std::size_t>(i)];
+        }
+      }
+      scratch[local] = amplitudes_[index];
+    }
+    // Multiply by the gate matrix and scatter back.
+    for (std::size_t row = 0; row < block; ++row) {
+      Complex value{0.0, 0.0};
+      for (std::size_t col = 0; col < block; ++col) {
+        const Complex& entry = m.at(row, col);
+        if (entry != Complex{0.0, 0.0}) value += entry * scratch[col];
+      }
+      std::uint64_t index = base;
+      for (int i = 0; i < k; ++i) {
+        if ((row >> (k - 1 - i)) & 1) {
+          index |= masks[static_cast<std::size_t>(i)];
+        }
+      }
+      amplitudes_[index] = value;
+    }
+  }
+}
+
+void StateVector::apply(const Gate& gate) {
+  if (gate.kind == GateKind::Barrier) return;
+  if (!gate.is_unitary()) {
+    throw SimulationError("apply() on non-unitary gate; use measure()");
+  }
+  for (const int q : gate.qubits) {
+    if (q < 0 || q >= num_qubits_) {
+      throw SimulationError("gate qubit out of range");
+    }
+  }
+  apply_matrix(gate.matrix(), gate.qubits);
+}
+
+void StateVector::run(const Circuit& circuit, Rng* rng) {
+  if (circuit.num_qubits() > num_qubits_) {
+    throw SimulationError("circuit wider than state vector");
+  }
+  for (const Gate& gate : circuit) {
+    if (gate.kind == GateKind::Measure) {
+      if (rng == nullptr) {
+        throw SimulationError("measurement requires an Rng");
+      }
+      (void)measure(gate.qubits[0], *rng);
+    } else {
+      apply(gate);
+    }
+  }
+}
+
+double StateVector::probability_one(int qubit) const {
+  if (qubit < 0 || qubit >= num_qubits_) {
+    throw SimulationError("qubit out of range");
+  }
+  const std::uint64_t mask = std::uint64_t{1} << bit_shift(qubit);
+  double p = 0.0;
+  for (std::uint64_t i = 0; i < amplitudes_.size(); ++i) {
+    if (i & mask) p += std::norm(amplitudes_[i]);
+  }
+  return p;
+}
+
+int StateVector::measure(int qubit, Rng& rng) {
+  const double p1 = probability_one(qubit);
+  const int outcome = rng.uniform() < p1 ? 1 : 0;
+  const std::uint64_t mask = std::uint64_t{1} << bit_shift(qubit);
+  const double keep_probability = outcome == 1 ? p1 : 1.0 - p1;
+  const double scale =
+      keep_probability > 0.0 ? 1.0 / std::sqrt(keep_probability) : 0.0;
+  for (std::uint64_t i = 0; i < amplitudes_.size(); ++i) {
+    const bool is_one = (i & mask) != 0;
+    if (is_one == (outcome == 1)) {
+      amplitudes_[i] *= scale;
+    } else {
+      amplitudes_[i] = Complex{0.0, 0.0};
+    }
+  }
+  return outcome;
+}
+
+std::uint64_t StateVector::sample(Rng& rng) const {
+  double r = rng.uniform();
+  for (std::uint64_t i = 0; i < amplitudes_.size(); ++i) {
+    r -= std::norm(amplitudes_[i]);
+    if (r <= 0.0) return i;
+  }
+  return amplitudes_.size() - 1;
+}
+
+void StateVector::permute(const std::vector<int>& from,
+                          const std::vector<int>& to) {
+  if (from.size() != to.size() ||
+      from.size() != static_cast<std::size_t>(num_qubits_)) {
+    throw SimulationError("permute: from/to must cover all qubits");
+  }
+  std::vector<Complex> out(amplitudes_.size(), Complex{0.0, 0.0});
+  for (std::uint64_t index = 0; index < amplitudes_.size(); ++index) {
+    std::uint64_t permuted = 0;
+    for (std::size_t w = 0; w < from.size(); ++w) {
+      const std::uint64_t bit =
+          (index >> bit_shift(from[w])) & std::uint64_t{1};
+      permuted |= bit << bit_shift(to[w]);
+    }
+    out[permuted] = amplitudes_[index];
+  }
+  amplitudes_ = std::move(out);
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  if (other.num_qubits_ != num_qubits_) {
+    throw SimulationError("fidelity: qubit count mismatch");
+  }
+  Complex inner{0.0, 0.0};
+  for (std::uint64_t i = 0; i < amplitudes_.size(); ++i) {
+    inner += std::conj(amplitudes_[i]) * other.amplitudes_[i];
+  }
+  return std::abs(inner);
+}
+
+bool StateVector::approx_equal(const StateVector& other,
+                               double tolerance) const {
+  if (other.num_qubits_ != num_qubits_) return false;
+  return std::abs(fidelity(other) - 1.0) <= tolerance;
+}
+
+double StateVector::norm() const {
+  double sum = 0.0;
+  for (const Complex& amp : amplitudes_) sum += std::norm(amp);
+  return std::sqrt(sum);
+}
+
+std::string StateVector::to_string(double threshold) const {
+  std::string out;
+  char buffer[128];
+  for (std::uint64_t i = 0; i < amplitudes_.size(); ++i) {
+    if (std::abs(amplitudes_[i]) <= threshold) continue;
+    std::string bits;
+    for (int q = 0; q < num_qubits_; ++q) {
+      bits += ((i >> bit_shift(q)) & 1) ? '1' : '0';
+    }
+    std::snprintf(buffer, sizeof(buffer), "(%+.4f%+.4fi) |%s>\n",
+                  amplitudes_[i].real(), amplitudes_[i].imag(), bits.c_str());
+    out += buffer;
+  }
+  return out;
+}
+
+Matrix circuit_unitary(const Circuit& circuit) {
+  const int n = circuit.num_qubits();
+  if (n > 12) {
+    throw SimulationError("circuit_unitary limited to 12 qubits");
+  }
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix unitary(dim, dim);
+  for (std::size_t column = 0; column < dim; ++column) {
+    StateVector state(n);
+    state.reset(column);
+    for (const Gate& gate : circuit) {
+      if (!gate.is_unitary() && gate.kind != GateKind::Barrier) {
+        throw SimulationError("circuit_unitary: circuit has measurements");
+      }
+      state.apply(gate);
+    }
+    for (std::size_t row = 0; row < dim; ++row) {
+      unitary.at(row, column) = state.amplitudes()[row];
+    }
+  }
+  return unitary;
+}
+
+}  // namespace qmap

@@ -1,0 +1,92 @@
+// State-vector simulator.
+//
+// Stands in for the real quantum hardware (see DESIGN.md substitutions):
+// mapping is a classical circuit transformation, so verifying that the
+// mapped circuit implements the same unitary — up to the wire permutation
+// introduced by routing SWAPs — is exactly the correctness criterion the
+// paper's devices would enforce, minus noise.
+//
+// Basis convention: qubit 0 is the MOST significant bit of the state index,
+// so |q0 q1 ... q_{n-1}> has index q0*2^{n-1} + ... + q_{n-1}. This matches
+// the Gate::matrix() operand convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+
+namespace qmap {
+
+class StateVector {
+ public:
+  /// Initializes |0...0> on `num_qubits` qubits (max 26).
+  explicit StateVector(int num_qubits);
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return amplitudes_.size();
+  }
+  [[nodiscard]] const std::vector<Complex>& amplitudes() const noexcept {
+    return amplitudes_;
+  }
+  [[nodiscard]] Complex amplitude(std::uint64_t basis_index) const;
+
+  /// Resets to the computational basis state |basis_index>.
+  void reset(std::uint64_t basis_index = 0);
+
+  /// Replaces the state with a Haar-ish random unit vector (Gaussian
+  /// components, normalized) — used by the equivalence checker.
+  void randomize(Rng& rng);
+
+  /// Applies a unitary gate. Throws SimulationError for Measure (use
+  /// `measure`) ; Barrier is a no-op.
+  void apply(const Gate& gate);
+
+  /// Applies every unitary gate of `circuit`; measurements collapse using
+  /// `rng` when provided, otherwise they throw.
+  void run(const Circuit& circuit, Rng* rng = nullptr);
+
+  /// Probability of reading 1 on `qubit`.
+  [[nodiscard]] double probability_one(int qubit) const;
+
+  /// Projective measurement of `qubit`; collapses and renormalizes.
+  [[nodiscard]] int measure(int qubit, Rng& rng);
+
+  /// Samples a full computational-basis outcome without collapsing.
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+  /// Permutes wire contents: the amplitude bit at position `from[i]` moves
+  /// to position `to[i]`. `from`/`to` are parallel arrays covering all
+  /// qubits exactly once each.
+  void permute(const std::vector<int>& from, const std::vector<int>& to);
+
+  /// |<this|other>|.
+  [[nodiscard]] double fidelity(const StateVector& other) const;
+
+  /// True when the states are equal up to global phase.
+  [[nodiscard]] bool approx_equal(const StateVector& other,
+                                  double tolerance = 1e-9) const;
+
+  [[nodiscard]] double norm() const;
+  [[nodiscard]] std::string to_string(double threshold = 1e-9) const;
+
+ private:
+  [[nodiscard]] int bit_shift(int qubit) const {
+    return num_qubits_ - 1 - qubit;
+  }
+  void apply_matrix(const Matrix& m, const std::vector<int>& qubits);
+
+  int num_qubits_ = 0;
+  std::vector<Complex> amplitudes_;
+};
+
+/// Builds the full 2^n x 2^n unitary of a measurement-free circuit
+/// (n <= 12). Throws SimulationError otherwise.
+[[nodiscard]] Matrix circuit_unitary(const Circuit& circuit);
+
+}  // namespace qmap

@@ -1,0 +1,259 @@
+#include "workloads/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qmap::workloads {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+Circuit fig1_example() {
+  Circuit c(4, "fig1");
+  c.h(0).h(2);
+  c.cx(2, 3);  // paper notation: CNOT(q3 -> q4), the gate QX4 rejects
+  c.t(1);
+  c.cx(0, 1);
+  c.h(3);
+  c.cx(1, 2);
+  c.t(0);
+  c.cx(0, 2);
+  c.cx(2, 3);
+  return c;
+}
+
+Circuit fig1_skeleton() {
+  Circuit c = fig1_example().two_qubit_skeleton();
+  c.set_name("fig1_skeleton");
+  return c;
+}
+
+Circuit ghz(int n) {
+  if (n < 1) throw CircuitError("ghz: need at least 1 qubit");
+  Circuit c(n, "ghz" + std::to_string(n));
+  c.h(0);
+  for (int q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  return c;
+}
+
+Circuit qft(int n, bool with_swaps) {
+  if (n < 1) throw CircuitError("qft: need at least 1 qubit");
+  Circuit c(n, "qft" + std::to_string(n));
+  for (int target = 0; target < n; ++target) {
+    c.h(target);
+    for (int control = target + 1; control < n; ++control) {
+      c.cp(kPi / static_cast<double>(1 << (control - target)), control,
+           target);
+    }
+  }
+  if (with_swaps) {
+    for (int q = 0; q < n / 2; ++q) c.swap(q, n - 1 - q);
+  }
+  return c;
+}
+
+Circuit bernstein_vazirani(const std::vector<int>& secret) {
+  const int n = static_cast<int>(secret.size());
+  if (n < 1) throw CircuitError("bernstein_vazirani: empty secret");
+  Circuit c(n + 1, "bv" + std::to_string(n));
+  const int ancilla = n;
+  c.x(ancilla).h(ancilla);
+  for (int q = 0; q < n; ++q) c.h(q);
+  for (int q = 0; q < n; ++q) {
+    if (secret[static_cast<std::size_t>(q)] != 0) c.cx(q, ancilla);
+  }
+  for (int q = 0; q < n; ++q) c.h(q);
+  for (int q = 0; q < n; ++q) c.measure(q, q);
+  return c;
+}
+
+Circuit cuccaro_adder(int n) {
+  if (n < 1) throw CircuitError("cuccaro_adder: need n >= 1");
+  // Register layout: carry-in c0 = qubit 0, then interleaved b_i, a_i,
+  // carry-out/z = last qubit. Result: b <- a + b.
+  const int total = 2 * n + 2;
+  Circuit c(total, "adder" + std::to_string(n));
+  const auto a = [&](int i) { return 2 * i + 2; };
+  const auto b = [&](int i) { return 2 * i + 1; };
+  const int carry_in = 0;
+  const int carry_out = total - 1;
+  const auto maj = [&](int x, int y, int z) {
+    c.cx(z, y).cx(z, x).ccx(x, y, z);
+  };
+  const auto uma = [&](int x, int y, int z) {
+    c.ccx(x, y, z).cx(z, x).cx(x, y);
+  };
+  maj(carry_in, b(0), a(0));
+  for (int i = 1; i < n; ++i) maj(a(i - 1), b(i), a(i));
+  c.cx(a(n - 1), carry_out);
+  for (int i = n - 1; i >= 1; --i) uma(a(i - 1), b(i), a(i));
+  uma(carry_in, b(0), a(0));
+  return c;
+}
+
+Circuit grover(int n, int marked, int iterations) {
+  if (n != 2 && n != 3) throw CircuitError("grover: n must be 2 or 3");
+  if (marked < 0 || marked >= (1 << n)) {
+    throw CircuitError("grover: marked index out of range");
+  }
+  Circuit c(n, "grover" + std::to_string(n));
+  for (int q = 0; q < n; ++q) c.h(q);
+  const auto phase_flip_on = [&](int basis) {
+    // X-conjugate qubits whose bit is 0, apply multi-controlled Z, undo.
+    // Bit convention matches the simulator: qubit 0 is the MSB.
+    for (int q = 0; q < n; ++q) {
+      if (((basis >> (n - 1 - q)) & 1) == 0) c.x(q);
+    }
+    if (n == 2) {
+      c.cz(0, 1);
+    } else {
+      c.h(2).ccx(0, 1, 2).h(2);  // CCZ
+    }
+    for (int q = 0; q < n; ++q) {
+      if (((basis >> (n - 1 - q)) & 1) == 0) c.x(q);
+    }
+  };
+  for (int it = 0; it < iterations; ++it) {
+    phase_flip_on(marked);        // oracle
+    for (int q = 0; q < n; ++q) c.h(q);
+    phase_flip_on(0);             // diffusion = H X .. Z .. X H
+    for (int q = 0; q < n; ++q) c.h(q);
+  }
+  return c;
+}
+
+Circuit random_circuit(int n, int num_gates, Rng& rng,
+                       double two_qubit_fraction) {
+  if (n < 2) throw CircuitError("random_circuit: need n >= 2");
+  Circuit c(n, "random" + std::to_string(n) + "x" + std::to_string(num_gates));
+  for (int g = 0; g < num_gates; ++g) {
+    if (rng.chance(two_qubit_fraction)) {
+      const int a = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      int b = static_cast<int>(rng.index(static_cast<std::size_t>(n - 1)));
+      if (b >= a) ++b;
+      c.cx(a, b);
+    } else {
+      const int q = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      switch (rng.index(4)) {
+        case 0: c.h(q); break;
+        case 1: c.t(q); break;
+        case 2: c.rx(rng.uniform(0.0, 2.0 * kPi), q); break;
+        default: c.rz(rng.uniform(0.0, 2.0 * kPi), q); break;
+      }
+    }
+  }
+  return c;
+}
+
+Circuit quantum_volume(int n, int depth, Rng& rng) {
+  if (n < 2) throw CircuitError("quantum_volume: need n >= 2");
+  Circuit c(n, "qv" + std::to_string(n) + "d" + std::to_string(depth));
+  std::vector<int> qubits(static_cast<std::size_t>(n));
+  std::iota(qubits.begin(), qubits.end(), 0);
+  const auto random_u = [&](int q) {
+    c.u(rng.uniform(0.0, kPi), rng.uniform(0.0, 2.0 * kPi),
+        rng.uniform(0.0, 2.0 * kPi), q);
+  };
+  for (int layer = 0; layer < depth; ++layer) {
+    std::shuffle(qubits.begin(), qubits.end(), rng.engine());
+    for (int pair = 0; pair + 1 < n; pair += 2) {
+      const int a = qubits[static_cast<std::size_t>(pair)];
+      const int b = qubits[static_cast<std::size_t>(pair + 1)];
+      // Random SU(4)-style block: 3 CNOTs dressed with random U gates.
+      random_u(a);
+      random_u(b);
+      c.cx(a, b);
+      random_u(a);
+      random_u(b);
+      c.cx(b, a);
+      random_u(a);
+      random_u(b);
+      c.cx(a, b);
+      random_u(a);
+      random_u(b);
+    }
+  }
+  return c;
+}
+
+Circuit qaoa_maxcut(int n, const std::vector<std::pair<int, int>>& edges,
+                    int layers, Rng& rng) {
+  if (n < 2) throw CircuitError("qaoa_maxcut: need n >= 2");
+  Circuit c(n, "qaoa" + std::to_string(n) + "p" + std::to_string(layers));
+  for (int q = 0; q < n; ++q) c.h(q);
+  for (int layer = 0; layer < layers; ++layer) {
+    const double gamma = rng.uniform(0.1, kPi);
+    const double beta = rng.uniform(0.1, kPi / 2.0);
+    for (const auto& [a, b] : edges) {
+      if (a < 0 || a >= n || b < 0 || b >= n || a == b) {
+        throw CircuitError("qaoa_maxcut: bad edge");
+      }
+      // exp(-i gamma Z_a Z_b / ...): the ZZ phase separator.
+      c.cx(a, b).rz(2.0 * gamma, b).cx(a, b);
+    }
+    for (int q = 0; q < n; ++q) c.rx(2.0 * beta, q);
+  }
+  return c;
+}
+
+Circuit deutsch_jozsa(const std::vector<int>& mask) {
+  const int n = static_cast<int>(mask.size());
+  if (n < 1) throw CircuitError("deutsch_jozsa: empty mask");
+  Circuit c(n + 1, "dj" + std::to_string(n));
+  const int ancilla = n;
+  c.x(ancilla).h(ancilla);
+  for (int q = 0; q < n; ++q) c.h(q);
+  // Inner-product oracle f(x) = mask . x (balanced unless mask == 0).
+  for (int q = 0; q < n; ++q) {
+    if (mask[static_cast<std::size_t>(q)] != 0) c.cx(q, ancilla);
+  }
+  for (int q = 0; q < n; ++q) c.h(q);
+  return c;
+}
+
+Circuit w_state(int n) {
+  if (n < 2) throw CircuitError("w_state: need n >= 2");
+  Circuit c(n, "w" + std::to_string(n));
+  c.x(0);
+  // Cascade: at step k split amplitude so position k keeps 1/sqrt(n).
+  for (int k = 0; k + 1 < n; ++k) {
+    const double theta =
+        2.0 * std::acos(1.0 / std::sqrt(static_cast<double>(n - k)));
+    // Controlled-Ry(theta) from q_k onto q_{k+1}:
+    c.ry(theta / 2.0, k + 1)
+        .cx(k, k + 1)
+        .ry(-theta / 2.0, k + 1)
+        .cx(k, k + 1);
+    // Move the "kept" branch marker: |1 1> -> |0 1>.
+    c.cx(k + 1, k);
+  }
+  return c;
+}
+
+Circuit phase_estimation(int precision_bits, double phase) {
+  if (precision_bits < 1) {
+    throw CircuitError("phase_estimation: need >= 1 counting qubit");
+  }
+  const int m = precision_bits;
+  Circuit c(m + 1, "qpe" + std::to_string(m));
+  const int target = m;
+  c.x(target);  // |1> is the e^{2 pi i phase} eigenstate of P(2 pi phase)
+  for (int k = 0; k < m; ++k) c.h(k);
+  for (int k = 0; k < m; ++k) {
+    // Counting qubit k (MSB first) controls P^(2^(m-1-k)).
+    const double lambda =
+        2.0 * kPi * phase * static_cast<double>(1 << (m - 1 - k));
+    c.cp(lambda, k, target);
+  }
+  // Inverse QFT on the counting register.
+  Circuit iqft = qft(m, /*with_swaps=*/true).inverse();
+  std::vector<int> counting(static_cast<std::size_t>(m));
+  for (int k = 0; k < m; ++k) counting[static_cast<std::size_t>(k)] = k;
+  c.append_mapped(iqft, counting);
+  return c;
+}
+
+}  // namespace qmap::workloads

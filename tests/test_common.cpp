@@ -1,0 +1,180 @@
+// Tests for the common support layer: strings, JSON, matrices, RNG.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace qmap {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\n x \r"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, SplitWhitespace) {
+  const auto parts = split_whitespace("  foo\tbar  baz\n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(Strings, StartsWithAndLower) {
+  EXPECT_TRUE(starts_with("OPENQASM 2.0", "OPENQASM"));
+  EXPECT_FALSE(starts_with("qasm", "OPENQASM"));
+  EXPECT_EQ(to_lower("CNot"), "cnot");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_NEAR(Json::parse("-2.5e1").as_number(), -25.0, 1e-12);
+  EXPECT_EQ(Json::parse("\"hi\\n\"").as_string(), "hi\n");
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Json doc = Json::parse(R"({
+    "name": "surface17",           // comments allowed in configs
+    "edges": [[1, 5], [1, 4]],
+    "nested": {"a": [true, null]}
+  })");
+  EXPECT_EQ(doc.at("name").as_string(), "surface17");
+  EXPECT_EQ(doc.at("edges").size(), 2u);
+  EXPECT_EQ(doc.at("edges").at(0).at(1).as_int(), 5);
+  EXPECT_TRUE(doc.at("nested").at("a").at(1).is_null());
+  EXPECT_TRUE(doc.contains("name"));
+  EXPECT_FALSE(doc.contains("missing"));
+}
+
+TEST(Json, RoundTripsThroughDump) {
+  const std::string text =
+      R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":-3})";
+  const Json doc = Json::parse(text);
+  const Json reparsed = Json::parse(doc.dump());
+  EXPECT_TRUE(doc == reparsed);
+  // Pretty printing parses back too.
+  EXPECT_TRUE(Json::parse(doc.dump(2)) == doc);
+}
+
+TEST(Json, ReportsErrorsWithLocation) {
+  try {
+    (void)Json::parse("{\n  \"a\": [1, 2,\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.line(), 2);
+  }
+}
+
+TEST(Json, RejectsTrailingGarbage) {
+  EXPECT_THROW((void)Json::parse("{} extra"), ParseError);
+  EXPECT_THROW((void)Json::parse("[1, 2"), ParseError);
+  EXPECT_THROW((void)Json::parse(""), ParseError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json doc = Json::parse("[1]");
+  EXPECT_THROW((void)doc.as_object(), ParseError);
+  EXPECT_THROW((void)doc.at("key"), ParseError);
+  EXPECT_THROW((void)Json::parse("1.5").as_int(), ParseError);
+}
+
+TEST(Json, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+}
+
+TEST(Matrix, IdentityAndMultiplication) {
+  const Matrix id = Matrix::identity(4);
+  Matrix m(4, 4);
+  m.at(0, 3) = Complex{2.0, 1.0};
+  EXPECT_TRUE((id * m).approx_equal(m));
+  EXPECT_TRUE((m * id).approx_equal(m));
+}
+
+TEST(Matrix, KroneckerProductDimensions) {
+  const Matrix a = Matrix::identity(2);
+  const Matrix b = Matrix::identity(4);
+  const Matrix k = a.kron(b);
+  EXPECT_EQ(k.rows(), 8u);
+  EXPECT_TRUE(k.approx_equal(Matrix::identity(8)));
+}
+
+TEST(Matrix, DaggerIsConjugateTranspose) {
+  Matrix m(2, 2);
+  m.at(0, 1) = Complex{1.0, 2.0};
+  const Matrix d = m.dagger();
+  EXPECT_NEAR(d.at(1, 0).imag(), -2.0, 1e-12);
+}
+
+TEST(Matrix, UnitarityCheck) {
+  const double s = 1.0 / std::sqrt(2.0);
+  const Matrix h(2, {Complex{s, 0}, Complex{s, 0}, Complex{s, 0},
+                     Complex{-s, 0}});
+  EXPECT_TRUE(h.is_unitary());
+  Matrix not_unitary(2, 2);
+  not_unitary.at(0, 0) = 3.0;
+  EXPECT_FALSE(not_unitary.is_unitary());
+}
+
+TEST(Matrix, GlobalPhaseEquality) {
+  const Matrix id = Matrix::identity(2);
+  Matrix phased(2, 2);
+  const Complex phase = std::polar(1.0, 0.7);
+  phased.at(0, 0) = phase;
+  phased.at(1, 1) = phase;
+  EXPECT_TRUE(id.equal_up_to_global_phase(phased));
+  Matrix scaled(2, 2);
+  scaled.at(0, 0) = 2.0;
+  scaled.at(1, 1) = 2.0;
+  EXPECT_FALSE(id.equal_up_to_global_phase(scaled));
+}
+
+TEST(Matrix, InitializerListValidation) {
+  EXPECT_THROW(Matrix(2, {Complex{1, 0}}), Error);
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.index(1000), b.index(1000));
+  }
+}
+
+TEST(Rng, RangesRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const int v = rng.integer(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    EXPECT_LT(rng.index(7), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace qmap

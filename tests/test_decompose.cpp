@@ -1,0 +1,300 @@
+// Gate-decomposition tests: every lowering pass must be unitarily
+// equivalent to its input, and the Euler decompositions must reconstruct
+// arbitrary single-qubit unitaries.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/builtin.hpp"
+#include "decompose/decomposer.hpp"
+#include "decompose/euler.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/statevector.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Matrix random_unitary_2x2(Rng& rng) {
+  // Random U via random ZYZ angles + phase.
+  const double theta = rng.uniform(0.0, kPi);
+  const double phi = rng.uniform(-kPi, kPi);
+  const double lambda = rng.uniform(-kPi, kPi);
+  const double phase = rng.uniform(-kPi, kPi);
+  return matrix_from_zyz(EulerAngles{theta, phi, lambda, phase});
+}
+
+TEST(Euler, ZyzReconstructsRandomUnitaries) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Matrix u = random_unitary_2x2(rng);
+    const EulerAngles angles = zyz_decompose(u);
+    EXPECT_TRUE(matrix_from_zyz(angles).approx_equal(u, 1e-8))
+        << "trial " << trial;
+  }
+}
+
+TEST(Euler, YxyReconstructsRandomUnitaries) {
+  Rng rng(43);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Matrix u = random_unitary_2x2(rng);
+    const EulerAngles angles = yxy_decompose(u);
+    EXPECT_TRUE(matrix_from_yxy(angles).approx_equal(u, 1e-8))
+        << "trial " << trial;
+  }
+}
+
+TEST(Euler, HandlesDiagonalUnitaries) {
+  const Matrix z = make_gate(GateKind::Z, {0}).matrix();
+  EXPECT_TRUE(matrix_from_zyz(zyz_decompose(z)).approx_equal(z, 1e-9));
+  const Matrix t = make_gate(GateKind::T, {0}).matrix();
+  EXPECT_TRUE(matrix_from_zyz(zyz_decompose(t)).approx_equal(t, 1e-9));
+}
+
+TEST(Euler, HandlesAntiDiagonalUnitaries) {
+  const Matrix x = make_gate(GateKind::X, {0}).matrix();
+  EXPECT_TRUE(matrix_from_zyz(zyz_decompose(x)).approx_equal(x, 1e-9));
+  const Matrix y = make_gate(GateKind::Y, {0}).matrix();
+  EXPECT_TRUE(matrix_from_zyz(zyz_decompose(y)).approx_equal(y, 1e-9));
+}
+
+TEST(Euler, RejectsNonUnitary) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 2.0;
+  EXPECT_THROW((void)zyz_decompose(m), Error);
+}
+
+TEST(Euler, HadamardInYxyBasisUsesTwoRotations) {
+  // H decomposes over {Rx, Ry} with one zero angle (cheap on Surface-17).
+  const EulerAngles angles =
+      yxy_decompose(make_gate(GateKind::H, {0}).matrix());
+  int nonzero = 0;
+  for (const double a : {angles.theta, angles.phi, angles.lambda}) {
+    if (std::abs(a) > 1e-9) ++nonzero;
+  }
+  EXPECT_LE(nonzero, 2);
+}
+
+// --- Lowering passes: unitary equivalence on exhaustive small circuits ---
+
+void expect_lowering_equivalent(const Circuit& circuit, GateKind target) {
+  const Circuit lowered = lower_two_qubit(circuit, target);
+  for (const Gate& gate : lowered) {
+    if (gate.is_two_qubit()) EXPECT_EQ(gate.kind, target);
+  }
+  EXPECT_TRUE(circuits_equivalent_exact(circuit, lowered, 1e-7))
+      << "lowering to " << gate_info(target).name << " broke circuit "
+      << circuit.name();
+}
+
+TEST(LowerTwoQubit, ToffoliToCx) {
+  Circuit c(3, "ccx");
+  c.ccx(0, 1, 2);
+  expect_lowering_equivalent(c, GateKind::CX);
+}
+
+TEST(LowerTwoQubit, ToffoliToCz) {
+  Circuit c(3, "ccx");
+  c.ccx(0, 1, 2);
+  expect_lowering_equivalent(c, GateKind::CZ);
+}
+
+TEST(LowerTwoQubit, ToffoliAllOperandOrders) {
+  const int perms[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                           {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (const auto& p : perms) {
+    Circuit c(3, "ccx_perm");
+    c.ccx(p[0], p[1], p[2]);
+    expect_lowering_equivalent(c, GateKind::CX);
+  }
+}
+
+TEST(LowerTwoQubit, FredkinToCx) {
+  Circuit c(3, "cswap");
+  c.cswap(0, 1, 2);
+  expect_lowering_equivalent(c, GateKind::CX);
+}
+
+TEST(LowerTwoQubit, IswapToCx) {
+  Circuit c(2, "iswap");
+  c.iswap(0, 1);
+  expect_lowering_equivalent(c, GateKind::CX);
+}
+
+TEST(LowerTwoQubit, CPhaseToCx) {
+  for (const double lambda : {0.3, kPi / 2.0, -1.7, kPi}) {
+    Circuit c(2, "cp");
+    c.cp(lambda, 0, 1);
+    expect_lowering_equivalent(c, GateKind::CX);
+  }
+}
+
+TEST(LowerTwoQubit, CrzToCx) {
+  for (const double lambda : {0.3, -0.9, kPi}) {
+    Circuit c(2, "crz");
+    c.crz(lambda, 0, 1);
+    expect_lowering_equivalent(c, GateKind::CX);
+  }
+}
+
+TEST(LowerTwoQubit, SwapBecomesThreeCx) {
+  Circuit c(2, "swap");
+  c.swap(0, 1);
+  const Circuit lowered = lower_two_qubit(c, GateKind::CX);
+  EXPECT_EQ(lowered.size(), 3u);
+  expect_lowering_equivalent(c, GateKind::CX);
+}
+
+TEST(LowerTwoQubit, SwapPreservedWhenRequested) {
+  Circuit c(2, "swap");
+  c.swap(0, 1);
+  const Circuit lowered = lower_two_qubit(c, GateKind::CX, /*keep_swaps=*/true);
+  ASSERT_EQ(lowered.size(), 1u);
+  EXPECT_EQ(lowered.gate(0).kind, GateKind::SWAP);
+}
+
+TEST(LowerTwoQubit, CxToCzUsesHadamards) {
+  Circuit c(2, "cx");
+  c.cx(0, 1);
+  const Circuit lowered = lower_two_qubit(c, GateKind::CZ);
+  EXPECT_EQ(lowered.size(), 3u);
+  expect_lowering_equivalent(c, GateKind::CZ);
+}
+
+TEST(LowerTwoQubit, MixedCircuit) {
+  Rng rng(7);
+  Circuit c(4, "mixed");
+  c.h(0).ccx(0, 1, 2).iswap(2, 3).cp(0.7, 0, 3).swap(1, 2).t(3).cswap(3, 0, 1);
+  expect_lowering_equivalent(c, GateKind::CX);
+  expect_lowering_equivalent(c, GateKind::CZ);
+}
+
+// --- Fusion ---
+
+TEST(Fuse, MergesAdjacentSingleQubitGates) {
+  Circuit c(1, "run");
+  c.h(0).t(0).h(0).s(0);
+  const Circuit fused = fuse_single_qubit(c);
+  EXPECT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused.gate(0).kind, GateKind::U);
+  EXPECT_TRUE(circuits_equivalent_exact(c, fused, 1e-8));
+}
+
+TEST(Fuse, DropsIdentityRuns) {
+  Circuit c(1, "identity_run");
+  c.h(0).h(0);
+  EXPECT_EQ(fuse_single_qubit(c).size(), 0u);
+  Circuit c2(1, "xx");
+  c2.x(0).x(0);
+  EXPECT_EQ(fuse_single_qubit(c2).size(), 0u);
+}
+
+TEST(Fuse, StopsAtTwoQubitGates) {
+  Circuit c(2, "blocked");
+  c.h(0).cx(0, 1).h(0);
+  const Circuit fused = fuse_single_qubit(c);
+  EXPECT_EQ(fused.size(), 3u);
+  EXPECT_TRUE(circuits_equivalent_exact(c, fused, 1e-8));
+}
+
+TEST(Fuse, PreservesSemanticsOnRandomCircuits) {
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Circuit c = workloads::random_circuit(4, 60, rng, 0.3);
+    EXPECT_TRUE(circuits_equivalent_exact(c, fuse_single_qubit(c), 1e-7));
+  }
+}
+
+// --- Device-targeted lowering ---
+
+TEST(LowerToDevice, IbmNativeSet) {
+  const Device qx4 = devices::ibm_qx4();
+  const Circuit c = workloads::fig1_example();
+  const Circuit lowered = lower_to_device(c, qx4);
+  for (const Gate& gate : lowered) {
+    EXPECT_TRUE(qx4.is_native_kind(gate.kind))
+        << "non-native gate " << gate.to_string();
+  }
+  EXPECT_TRUE(circuits_equivalent_exact(c, lowered, 1e-7));
+}
+
+TEST(LowerToDevice, SurfaceNativeSet) {
+  const Device s17 = devices::surface17();
+  const Circuit c = workloads::fig1_example();
+  const Circuit lowered = lower_to_device(c, s17);
+  for (const Gate& gate : lowered) {
+    EXPECT_TRUE(s17.is_native_kind(gate.kind))
+        << "non-native gate " << gate.to_string();
+  }
+  EXPECT_TRUE(circuits_equivalent_exact(c, lowered, 1e-7));
+}
+
+TEST(LowerToDevice, SurfaceRejectsNothingFromStandardZoo) {
+  Rng rng(5);
+  const Device s17 = devices::surface17();
+  const Circuit c = workloads::random_circuit(4, 50, rng, 0.4);
+  const Circuit lowered = lower_to_device(c, s17);
+  EXPECT_TRUE(circuits_equivalent_exact(c, lowered, 1e-7));
+}
+
+// --- Direction fixing and swap expansion ---
+
+TEST(FixDirections, InsertsFourHadamards) {
+  const Device qx4 = devices::ibm_qx4();
+  Circuit c(5, "wrongway");
+  c.cx(0, 1);  // only Q1 -> Q0 is allowed on QX4
+  const Circuit fixed = fix_cx_directions(c, qx4);
+  EXPECT_EQ(fixed.size(), 5u);  // 4 H + reversed CX
+  std::size_t h_count = 0;
+  for (const Gate& gate : fixed) {
+    if (gate.kind == GateKind::H) ++h_count;
+  }
+  EXPECT_EQ(h_count, 4u);
+  EXPECT_TRUE(circuits_equivalent_exact(c, fixed, 1e-8));
+}
+
+TEST(FixDirections, LeavesAllowedCxAlone) {
+  const Device qx4 = devices::ibm_qx4();
+  Circuit c(5, "rightway");
+  c.cx(1, 0);
+  const Circuit fixed = fix_cx_directions(c, qx4);
+  EXPECT_EQ(fixed.size(), 1u);
+}
+
+TEST(FixDirections, ThrowsOnUnconnectedPair) {
+  const Device qx4 = devices::ibm_qx4();
+  Circuit c(5, "disconnected");
+  c.cx(0, 4);
+  EXPECT_THROW((void)fix_cx_directions(c, qx4), MappingError);
+}
+
+TEST(ExpandSwaps, CxDevice) {
+  const Device qx4 = devices::ibm_qx4();
+  Circuit c(5, "swap");
+  c.swap(1, 0);
+  const Circuit expanded = expand_swaps(c, qx4);
+  EXPECT_EQ(expanded.size(), 3u);
+  EXPECT_TRUE(circuits_equivalent_exact(c, expanded, 1e-8));
+}
+
+TEST(ExpandSwaps, CzDeviceMatchesFig6Shape) {
+  const Device s17 = devices::surface17();
+  Circuit c(17, "swap");
+  c.swap(1, 5);
+  const Circuit expanded = expand_swaps(c, s17);
+  std::size_t cz_count = 0;
+  for (const Gate& gate : expanded) {
+    if (gate.kind == GateKind::CZ) ++cz_count;
+  }
+  EXPECT_EQ(cz_count, 3u);  // Fig. 6: SWAP = 3 CZ + single-qubit rotations
+}
+
+TEST(SwapCost, ThreeTwoQubitGatesOnBothFamilies) {
+  EXPECT_EQ(swap_two_qubit_cost(devices::ibm_qx4()), 3);
+  EXPECT_EQ(swap_two_qubit_cost(devices::surface17()), 3);
+}
+
+}  // namespace
+}  // namespace qmap

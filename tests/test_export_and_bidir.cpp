@@ -1,0 +1,118 @@
+// Tests for the bundled cQASM schedule export (Fig. 2 output format) and
+// the bidirectional placement refinement.
+#include <gtest/gtest.h>
+
+#include "arch/builtin.hpp"
+#include "core/compiler.hpp"
+#include "qasm/cqasm.hpp"
+#include "route/bidirectional_placer.hpp"
+#include "route/sabre.hpp"
+#include "schedule/export.hpp"
+#include "schedule/schedulers.hpp"
+#include "sim/equivalence.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap {
+namespace {
+
+TEST(BundledExport, ParallelGatesShareABundle) {
+  const Device s7 = devices::surface7();
+  Circuit c(7);
+  c.x(0).x(1).cz(3, 5);
+  const Schedule schedule = schedule_asap(c, s7);
+  const std::string text = to_cqasm_bundled(schedule);
+  // All three start in cycle 0 -> one bundle with two '|' separators.
+  EXPECT_NE(text.find("{ "), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '|'), 2);
+}
+
+TEST(BundledExport, SequentialGatesGetOwnLines) {
+  const Device s7 = devices::surface7();
+  Circuit c(7);
+  c.x(0).y(0).z(0);
+  const Schedule schedule = schedule_asap(c, s7);
+  const std::string text = to_cqasm_bundled(schedule);
+  EXPECT_EQ(text.find('{'), std::string::npos);
+  EXPECT_NE(text.find("x q[0]"), std::string::npos);
+  EXPECT_NE(text.find("y q[0]"), std::string::npos);
+}
+
+TEST(BundledExport, CycleComments) {
+  const Device s7 = devices::surface7();
+  Circuit c(7);
+  c.x(0).y(0);
+  const std::string text =
+      to_cqasm_bundled(schedule_asap(c, s7), /*cycle_comments=*/true);
+  EXPECT_NE(text.find("# cycle 0"), std::string::npos);
+  EXPECT_NE(text.find("# cycle 1"), std::string::npos);
+}
+
+TEST(BundledExport, RoundTripsThroughTheParserEquivalently) {
+  // Full pipeline: compile, schedule, export with bundles, re-parse; the
+  // flattened circuit must be equivalent to the scheduled circuit.
+  const Device s17 = devices::surface17();
+  const Compiler compiler(s17);
+  const CompilationResult result = compiler.compile(workloads::qft(4));
+  const std::string text = to_cqasm_bundled(result.schedule);
+  const Circuit reparsed = parse_cqasm(text);
+  Rng rng(5);
+  EXPECT_TRUE(circuits_equivalent(
+      result.schedule.to_circuit().unitary_part(), reparsed, rng, 3));
+}
+
+TEST(BundledExport, InstructionFormatterCoversMoveGates) {
+  EXPECT_EQ(cqasm_instruction(make_gate(GateKind::Move, {0, 1})),
+            "swap q[0], q[1]");
+  EXPECT_EQ(cqasm_instruction(make_barrier({0})), "");
+}
+
+TEST(BidirectionalPlacer, ProducesValidBijection) {
+  const Device s17 = devices::surface17();
+  const Circuit circuit = workloads::qft(5);
+  const Placement placement = BidirectionalPlacer().place(circuit, s17);
+  std::vector<bool> seen(17, false);
+  for (int w = 0; w < 17; ++w) {
+    const int phys = placement.phys_of_wire(w);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(phys)]);
+    seen[static_cast<std::size_t>(phys)] = true;
+  }
+  EXPECT_EQ(placement.num_program_qubits(), 5);
+}
+
+TEST(BidirectionalPlacer, ReducesSwapsVsGreedyOnAggregate) {
+  const Device s17 = devices::surface17();
+  Rng rng(31);
+  std::size_t greedy_total = 0;
+  std::size_t bidir_total = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const Circuit circuit = workloads::random_circuit(7, 50, rng, 0.45);
+    SabreRouter router;
+    greedy_total +=
+        router.route(circuit, s17, GreedyPlacer().place(circuit, s17))
+            .added_swaps;
+    bidir_total +=
+        router
+            .route(circuit, s17, BidirectionalPlacer().place(circuit, s17))
+            .added_swaps;
+  }
+  EXPECT_LE(bidir_total, greedy_total);
+}
+
+TEST(BidirectionalPlacer, EndToEndThroughCompiler) {
+  CompilerOptions options;
+  options.placer = "bidirectional";
+  const Compiler compiler(devices::ibm_qx5(), options);
+  const CompilationResult result = compiler.compile(workloads::qft(5));
+  EXPECT_TRUE(Compiler::verify(result));
+}
+
+TEST(BidirectionalPlacer, HandlesMeasurementsViaSkeleton) {
+  Circuit c = workloads::ghz(4);
+  c.measure_all();
+  const Placement placement =
+      BidirectionalPlacer().place(c, devices::surface17());
+  EXPECT_EQ(placement.num_program_qubits(), 4);
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,245 @@
+// Circuit-IR tests: gate model, circuit invariants, dependency DAG with
+// scheduling colours (Sec. VI-B), metrics, ASCII rendering.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ir/ascii.hpp"
+#include "ir/circuit.hpp"
+#include "ir/dag.hpp"
+#include "ir/metrics.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap {
+namespace {
+
+TEST(GateInfo, NamesAndArities) {
+  EXPECT_EQ(gate_info(GateKind::CX).name, "cx");
+  EXPECT_EQ(gate_info(GateKind::CX).arity, 2);
+  EXPECT_FALSE(gate_info(GateKind::CX).symmetric);
+  EXPECT_TRUE(gate_info(GateKind::CZ).symmetric);
+  EXPECT_TRUE(gate_info(GateKind::SWAP).symmetric);
+  EXPECT_EQ(gate_info(GateKind::U).num_params, 3);
+  EXPECT_FALSE(gate_info(GateKind::Measure).unitary);
+}
+
+TEST(GateInfo, LookupByNameWithAliases) {
+  EXPECT_EQ(gate_kind_from_name("cx"), GateKind::CX);
+  EXPECT_EQ(gate_kind_from_name("CNOT"), GateKind::CX);
+  EXPECT_EQ(gate_kind_from_name("u3"), GateKind::U);
+  EXPECT_EQ(gate_kind_from_name("toffoli"), GateKind::CCX);
+  EXPECT_THROW((void)gate_kind_from_name("frobnicate"), ParseError);
+}
+
+TEST(Gate, EveryUnitaryKindHasUnitaryMatrix) {
+  for (int k = 0; k <= static_cast<int>(GateKind::CSWAP); ++k) {
+    const auto kind = static_cast<GateKind>(k);
+    const GateInfo& info = gate_info(kind);
+    std::vector<int> qubits;
+    for (int q = 0; q < info.arity; ++q) qubits.push_back(q);
+    std::vector<double> params(static_cast<std::size_t>(info.num_params),
+                               0.7);
+    const Gate gate = make_gate(kind, qubits, params);
+    EXPECT_TRUE(gate.matrix().is_unitary(1e-9))
+        << "gate " << info.name << " is not unitary";
+  }
+}
+
+TEST(Gate, MatrixThrowsForNonUnitary) {
+  EXPECT_THROW((void)make_measure(0, 0).matrix(), CircuitError);
+  EXPECT_THROW((void)make_barrier({0}).matrix(), CircuitError);
+}
+
+TEST(Gate, MakeGateValidatesArityParamsAndDuplicates) {
+  EXPECT_THROW((void)make_gate(GateKind::CX, {0}), CircuitError);
+  EXPECT_THROW((void)make_gate(GateKind::Rz, {0}), CircuitError);  // no param
+  EXPECT_THROW((void)make_gate(GateKind::CX, {1, 1}), CircuitError);
+  EXPECT_THROW((void)make_gate(GateKind::H, {0}, {1.0}), CircuitError);
+}
+
+TEST(Gate, ToStringFormats) {
+  EXPECT_EQ(make_gate(GateKind::CX, {2, 4}).to_string(), "cx q2, q4");
+  EXPECT_EQ(make_gate(GateKind::Rz, {1}, {0.5}).to_string(), "rz(0.5) q1");
+  EXPECT_EQ(make_measure(3, 2).to_string(), "measure q3 -> c2");
+}
+
+TEST(Circuit, BuilderChainsAndValidates) {
+  Circuit c(3, "demo");
+  c.h(0).cx(0, 1).t(2).measure(2, 0);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.num_cbits(), 1);
+  EXPECT_THROW(c.h(3), CircuitError);
+  EXPECT_THROW(c.cx(0, 3), CircuitError);
+  EXPECT_THROW(c.measure(0, -1), CircuitError);
+}
+
+TEST(Circuit, AppendMapped) {
+  Circuit inner(2);
+  inner.cx(0, 1);
+  Circuit outer(4);
+  outer.append_mapped(inner, {3, 1});
+  ASSERT_EQ(outer.size(), 1u);
+  EXPECT_EQ(outer.gate(0).qubits, (std::vector<int>{3, 1}));
+  EXPECT_THROW(outer.append_mapped(inner, {0}), CircuitError);
+}
+
+TEST(Circuit, InverseReversesAndInverts) {
+  Circuit c(2);
+  c.h(0).t(0).s(1).cx(0, 1).rz(0.3, 1);
+  const Circuit inv = c.inverse();
+  ASSERT_EQ(inv.size(), c.size());
+  EXPECT_EQ(inv.gate(0).kind, GateKind::Rz);
+  EXPECT_NEAR(inv.gate(0).params[0], -0.3, 1e-12);
+  EXPECT_EQ(inv.gate(2).kind, GateKind::Sdg);
+  EXPECT_EQ(inv.gate(4).kind, GateKind::H);
+}
+
+TEST(Circuit, InverseRejectsMeasurement) {
+  Circuit c(1);
+  c.measure(0, 0);
+  EXPECT_THROW((void)c.inverse(), CircuitError);
+}
+
+TEST(Circuit, TwoQubitSkeletonDropsSingles) {
+  const Circuit example = workloads::fig1_example();
+  const Circuit skeleton = example.two_qubit_skeleton();
+  EXPECT_EQ(skeleton.size(), 5u);  // the five CNOTs of Fig. 1(b)
+  for (const Gate& gate : skeleton) EXPECT_TRUE(gate.is_two_qubit());
+}
+
+TEST(Circuit, BarrierDefaultsToAllQubits) {
+  Circuit c(3);
+  c.barrier();
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.gate(0).qubits.size(), 3u);
+}
+
+TEST(Dag, EdgesFollowQubitOrder) {
+  Circuit c(3);
+  c.h(0);          // 0
+  c.cx(0, 1);      // 1 depends on 0
+  c.h(2);          // 2 independent
+  c.cx(1, 2);      // 3 depends on 1 and 2
+  const DependencyDag dag(c);
+  EXPECT_TRUE(dag.predecessors(0).empty());
+  EXPECT_EQ(dag.predecessors(1), (std::vector<int>{0}));
+  EXPECT_TRUE(dag.predecessors(2).empty());
+  EXPECT_EQ(dag.predecessors(3), (std::vector<int>{1, 2}));
+  EXPECT_EQ(dag.successors(0), (std::vector<int>{1}));
+}
+
+TEST(Dag, NoDuplicateEdgeForSharedQubits) {
+  Circuit c(2);
+  c.cx(0, 1).cx(0, 1);
+  const DependencyDag dag(c);
+  EXPECT_EQ(dag.predecessors(1).size(), 1u);
+}
+
+TEST(Dag, ColoursFollowSchedulingProtocol) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).h(1);
+  DependencyDag dag(c);
+  EXPECT_EQ(dag.color(0), NodeColor::Ready);
+  EXPECT_EQ(dag.color(1), NodeColor::Pending);
+  EXPECT_EQ(dag.ready(), (std::vector<int>{0}));
+  dag.mark_scheduled(0);
+  EXPECT_EQ(dag.color(0), NodeColor::Scheduled);
+  EXPECT_EQ(dag.color(1), NodeColor::Ready);
+  EXPECT_THROW(dag.mark_scheduled(2), CircuitError);  // still pending
+  dag.mark_scheduled(1);
+  dag.mark_scheduled(2);
+  EXPECT_TRUE(dag.all_scheduled());
+  dag.reset();
+  EXPECT_EQ(dag.num_scheduled(), 0u);
+  EXPECT_EQ(dag.color(0), NodeColor::Ready);
+}
+
+TEST(Dag, ReadyTwoQubitIsTheFrontLayer) {
+  Circuit c(4);
+  c.cx(0, 1).cx(2, 3).cx(1, 2);
+  DependencyDag dag(c);
+  EXPECT_EQ(dag.ready_two_qubit(), (std::vector<int>{0, 1}));
+}
+
+TEST(Dag, DepthMatchesHandComputation) {
+  Circuit c(3);
+  c.h(0).h(1).cx(0, 1).cx(1, 2).h(2);
+  const DependencyDag dag(c);
+  EXPECT_EQ(dag.depth(), 4);  // h -> cx -> cx -> h on the critical path
+}
+
+TEST(Dag, WeightedCriticalPath) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  const DependencyDag dag(c);
+  const double latency = dag.critical_path([&c](int i) {
+    return c.gate(static_cast<std::size_t>(i)).is_two_qubit() ? 2.0 : 1.0;
+  });
+  EXPECT_DOUBLE_EQ(latency, 3.0);
+}
+
+TEST(Metrics, CountsAndDepth) {
+  const CircuitMetrics m = compute_metrics(workloads::fig1_example());
+  EXPECT_EQ(m.total_gates, 10u);
+  EXPECT_EQ(m.two_qubit_gates, 5u);
+  EXPECT_EQ(m.single_qubit_gates, 5u);
+  EXPECT_EQ(m.cx_gates, 5u);
+  EXPECT_GT(m.depth, 0);
+  EXPECT_LE(m.two_qubit_depth, m.depth);
+}
+
+TEST(Metrics, OverheadComputation) {
+  Circuit before(2);
+  before.cx(0, 1);
+  Circuit after(2);
+  after.swap(0, 1);
+  after.cx(0, 1);
+  const MappingOverhead overhead = compute_overhead(before, after);
+  EXPECT_EQ(overhead.added_gates, 1u);
+  EXPECT_EQ(overhead.added_two_qubit_gates, 1u);
+  EXPECT_DOUBLE_EQ(overhead.gate_ratio, 2.0);
+}
+
+TEST(Metrics, LatencyWithDurations) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).measure(1, 0);
+  const double latency = circuit_latency(c, [](const Gate& g) {
+    if (g.kind == GateKind::Measure) return 30.0;
+    return g.is_two_qubit() ? 2.0 : 1.0;
+  });
+  EXPECT_DOUBLE_EQ(latency, 33.0);
+}
+
+TEST(Ascii, DrawsExpectedShape) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  const std::string art = draw_ascii(c);
+  EXPECT_NE(art.find("[H]"), std::string::npos);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find('+'), std::string::npos);
+  EXPECT_NE(art.find("q0:"), std::string::npos);
+}
+
+TEST(Ascii, PhysicalQubitPrefix) {
+  Circuit c(1);
+  c.x(0);
+  AsciiOptions options;
+  options.qubit_prefix = 'Q';
+  EXPECT_NE(draw_ascii(c, options).find("Q0:"), std::string::npos);
+}
+
+TEST(Ascii, ParallelGatesShareAColumn) {
+  Circuit c(2);
+  c.h(0).h(1);
+  const std::string art = draw_ascii(c);
+  // Both H gates in the same column implies two lines with [H] at the same
+  // offset.
+  const auto first = art.find("[H]");
+  const auto second = art.find("[H]", first + 1);
+  ASSERT_NE(second, std::string::npos);
+  const auto line_start_1 = art.rfind('\n', first);
+  const auto line_start_2 = art.rfind('\n', second);
+  EXPECT_EQ(first - line_start_1, second - line_start_2);
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,289 @@
+// Noise-model, reliability-estimation and reliability-aware mapping tests.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/builtin.hpp"
+#include "arch/config.hpp"
+#include "arch/noise.hpp"
+#include "core/compiler.hpp"
+#include "decompose/decomposer.hpp"
+#include "noise/estimator.hpp"
+#include "noise/reliability.hpp"
+#include "noise/trajectory.hpp"
+#include "route/sabre.hpp"
+#include "schedule/schedulers.hpp"
+#include "sim/equivalence.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap {
+namespace {
+
+Device noisy_line(int n, double e1 = 1e-3, double e2 = 1e-2,
+                  double em = 2e-2) {
+  Device device = devices::linear(n);
+  device.set_noise(
+      NoiseModel::uniform(device.coupling(), e1, e2, em));
+  return device;
+}
+
+TEST(NoiseModel, UniformAccessors) {
+  const Device device = noisy_line(4);
+  const NoiseModel& noise = device.noise();
+  EXPECT_DOUBLE_EQ(noise.single_qubit_error(0), 1e-3);
+  EXPECT_DOUBLE_EQ(noise.two_qubit_error(1, 2), 1e-2);
+  EXPECT_DOUBLE_EQ(noise.two_qubit_error(2, 1), 1e-2);  // order-free
+  EXPECT_DOUBLE_EQ(noise.readout_error(3), 2e-2);
+  EXPECT_THROW((void)noise.two_qubit_error(0, 2), DeviceError);  // not an edge
+  EXPECT_THROW((void)noise.single_qubit_error(9), DeviceError);
+}
+
+TEST(NoiseModel, Validation) {
+  CouplingGraph g(2);
+  g.add_edge(0, 1);
+  NoiseModel model = NoiseModel::uniform(g, 0.0, 0.0, 0.0);
+  EXPECT_THROW(model.set_single_qubit_error(0, 1.5), DeviceError);
+  EXPECT_THROW(model.set_single_qubit_error(0, -0.1), DeviceError);
+  EXPECT_THROW(model.set_coherence(0, -1.0, 1.0), DeviceError);
+}
+
+TEST(NoiseModel, RandomizedStaysWithinSpread) {
+  Rng rng(3);
+  const Device base = devices::surface17();
+  const NoiseModel model = NoiseModel::randomized(
+      base.coupling(), rng, 1e-3, 1e-2, 2e-2, /*spread=*/4.0);
+  for (int q = 0; q < 17; ++q) {
+    EXPECT_GE(model.single_qubit_error(q), 1e-3 / 4.0);
+    EXPECT_LE(model.single_qubit_error(q), 1e-3 * 4.0);
+  }
+  for (const auto& edge : base.coupling().edges()) {
+    EXPECT_GE(model.two_qubit_error(edge.a, edge.b), 1e-2 / 4.0);
+    EXPECT_LE(model.two_qubit_error(edge.a, edge.b), 1e-2 * 4.0);
+  }
+}
+
+TEST(NoiseModel, JsonRoundTrip) {
+  Rng rng(4);
+  const Device base = devices::ibm_qx4();
+  const NoiseModel original = NoiseModel::randomized(
+      base.coupling(), rng, 1e-3, 1e-2, 2e-2);
+  const NoiseModel decoded = NoiseModel::from_json(original.to_json());
+  for (int q = 0; q < 5; ++q) {
+    EXPECT_NEAR(decoded.single_qubit_error(q), original.single_qubit_error(q),
+                1e-12);
+    EXPECT_NEAR(decoded.t1_us(q), original.t1_us(q), 1e-9);
+  }
+  for (const auto& edge : base.coupling().edges()) {
+    EXPECT_NEAR(decoded.two_qubit_error(edge.a, edge.b),
+                original.two_qubit_error(edge.a, edge.b), 1e-12);
+  }
+}
+
+TEST(NoiseModel, DeviceConfigRoundTripIncludesNoise) {
+  Device device = noisy_line(3);
+  const Device decoded = device_from_json(device_to_json(device));
+  ASSERT_TRUE(decoded.has_noise());
+  EXPECT_DOUBLE_EQ(decoded.noise().two_qubit_error(0, 1), 1e-2);
+}
+
+TEST(NoiseModel, DeviceRejectsSizeMismatch) {
+  Device device = devices::linear(3);
+  CouplingGraph other(2);
+  other.add_edge(0, 1);
+  EXPECT_THROW(device.set_noise(NoiseModel::uniform(other, 0, 0, 0)),
+               DeviceError);
+  EXPECT_THROW((void)devices::linear(3).noise(), DeviceError);
+}
+
+TEST(Estimator, NoiselessCircuitHasUnitEsp) {
+  Device device = noisy_line(3, 0.0, 0.0, 0.0);
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2).measure_all();
+  EXPECT_DOUBLE_EQ(estimated_success_probability(c, device), 1.0);
+}
+
+TEST(Estimator, ProductFormMatchesHandComputation) {
+  Device device = noisy_line(3, 0.01, 0.05, 0.1);
+  Circuit c(3);
+  c.h(0).cx(0, 1).measure(0, 0);
+  const double expected = (1 - 0.01) * (1 - 0.05) * (1 - 0.1);
+  EXPECT_NEAR(estimated_success_probability(c, device), expected, 1e-12);
+}
+
+TEST(Estimator, SwapPlaceholderCostsThreeTwoQubitGates) {
+  Device device = noisy_line(2, 0.0, 0.05, 0.0);
+  Circuit with_placeholder(2);
+  with_placeholder.swap(0, 1);
+  Circuit expanded(2);
+  expanded.cx(0, 1).cx(1, 0).cx(0, 1);
+  EXPECT_NEAR(estimated_success_probability(with_placeholder, device),
+              estimated_success_probability(expanded, device), 1e-12);
+}
+
+TEST(Estimator, MoreGatesMeanLowerEsp) {
+  Device device = noisy_line(4);
+  const Circuit small = workloads::ghz(4);
+  Circuit big = workloads::ghz(4);
+  big.append(workloads::ghz(4));
+  EXPECT_GT(estimated_success_probability(small, device),
+            estimated_success_probability(big, device));
+}
+
+TEST(Estimator, ScheduleVersionChargesIdleDecoherence) {
+  Device device = noisy_line(2, 0.0, 0.0, 0.0);
+  // Qubit 1 idles for many cycles between its two gates.
+  Circuit c(2);
+  c.x(1);
+  for (int i = 0; i < 50; ++i) c.x(0);
+  c.cx(0, 1);
+  const Schedule schedule = schedule_asap(c, device);
+  const double esp = estimated_success_probability(schedule, device);
+  EXPECT_LT(esp, 1.0);
+  EXPECT_GT(esp, 0.9);  // small but non-zero decoherence charge
+}
+
+TEST(Trajectory, NoNoiseGivesUnitFidelity) {
+  Device device = noisy_line(3, 0.0, 0.0, 0.0);
+  Rng rng(5);
+  const TrajectoryResult result =
+      simulate_noisy(workloads::ghz(3), device, rng, 50);
+  EXPECT_DOUBLE_EQ(result.fidelity, 1.0);
+  EXPECT_DOUBLE_EQ(result.error_free_rate, 1.0);
+}
+
+TEST(Trajectory, FidelityTracksEstimatorOrdering) {
+  // Higher analytic ESP must correspond to higher sampled fidelity. Use
+  // all-to-all devices so the lowered-but-unrouted circuit only touches
+  // calibrated pairs.
+  Device quiet = devices::all_to_all(3);
+  quiet.set_noise(NoiseModel::uniform(quiet.coupling(), 1e-4, 1e-3, 0.0));
+  Device loud = devices::all_to_all(3);
+  loud.set_noise(NoiseModel::uniform(loud.coupling(), 1e-2, 8e-2, 0.0));
+  const Circuit circuit = workloads::qft(3);
+  const Circuit lowered = lower_to_device(circuit, quiet);
+  Rng rng(6);
+  const TrajectoryResult on_quiet = simulate_noisy(lowered, quiet, rng, 300);
+  const TrajectoryResult on_loud = simulate_noisy(lowered, loud, rng, 300);
+  EXPECT_GT(on_quiet.fidelity, on_loud.fidelity);
+  EXPECT_GT(on_quiet.error_free_rate, on_loud.error_free_rate);
+}
+
+TEST(Trajectory, ErrorFreeRateMatchesAnalyticEsp) {
+  // With gate errors only, the fraction of fault-free trajectories is an
+  // unbiased estimate of the gate-error ESP.
+  Device device = noisy_line(4, 5e-3, 2e-2, 0.0);
+  const Circuit circuit = lower_to_device(workloads::ghz(4), device);
+  const double esp = estimated_success_probability(circuit, device);
+  Rng rng(7);
+  const TrajectoryResult result = simulate_noisy(circuit, device, rng, 4000);
+  EXPECT_NEAR(result.error_free_rate, esp, 0.03);
+  // Fidelity can exceed the fault-free rate (some faults are benign).
+  EXPECT_GE(result.fidelity + 1e-9, result.error_free_rate);
+}
+
+TEST(ReliabilityDistance, PrefersReliableDetours) {
+  // Triangle device: direct edge 0-1 is terrible, path 0-2-1 is clean.
+  Device device = devices::all_to_all(3);
+  NoiseModel noise = NoiseModel::uniform(device.coupling(), 1e-4, 1e-3, 0.0);
+  noise.set_two_qubit_error(0, 1, 0.4);
+  device.set_noise(noise);
+  const ReliabilityDistance distance(device);
+  const double direct = distance.swap_cost(0, 1);
+  const double detour = distance.cost(0, 1);
+  EXPECT_LT(detour, direct);  // cheapest path avoids the bad coupler
+}
+
+TEST(ReliabilityRouter, RoutesCorrectlyAndLegally) {
+  Rng noise_rng(11);
+  Device device = devices::surface17();
+  device.set_noise(NoiseModel::randomized(device.coupling(), noise_rng, 1e-3,
+                                          1e-2, 2e-2));
+  Rng rng(12);
+  for (const Circuit& circuit :
+       {workloads::fig1_example(), workloads::qft(5),
+        workloads::random_circuit(6, 40, rng, 0.4)}) {
+    const Circuit lowered = lower_to_device(circuit, device, true);
+    const Placement initial = ReliabilityPlacer().place(lowered, device);
+    const RoutingResult result =
+        ReliabilityRouter().route(lowered, device, initial);
+    Circuit legal = expand_swaps(result.circuit, device);
+    legal = fix_cx_directions(legal, device);
+    EXPECT_TRUE(respects_coupling(legal, device));
+    Rng verify_rng(13);
+    EXPECT_TRUE(mapping_equivalent(circuit, legal,
+                                   result.initial.wire_to_phys(),
+                                   result.final.wire_to_phys(), verify_rng,
+                                   2));
+  }
+}
+
+TEST(ReliabilityRouter, AvoidsBadCouplerOnLine) {
+  // Line 0-1-2-3-4 where edge 2-3 is awful. Route cx(q0, q4)-style traffic
+  // and check the mapped circuit's ESP beats the distance-only router when
+  // a reliable alternative exists. On a line there is no alternative path,
+  // so instead weight placement: the reliability placer should keep the
+  // program away from the bad coupler entirely.
+  Device device = noisy_line(5, 1e-4, 1e-3, 0.0);
+  NoiseModel noise = device.noise();
+  noise.set_two_qubit_error(2, 3, 0.3);
+  device.set_noise(noise);
+  Circuit c(2);
+  c.cx(0, 1).cx(1, 0).cx(0, 1);
+  const Placement placement = ReliabilityPlacer().place(c, device);
+  const int pa = placement.phys_of_program(0);
+  const int pb = placement.phys_of_program(1);
+  EXPECT_FALSE((pa == 2 && pb == 3) || (pa == 3 && pb == 2));
+}
+
+TEST(ReliabilityRouter, BeatsDistanceRouterOnEspWhenDetourExists) {
+  // Ring of 6 with one very bad edge: going the long way round is worth it.
+  Device device = [] {
+    CouplingGraph g(6);
+    for (int q = 0; q < 6; ++q) g.add_edge(q, (q + 1) % 6);
+    Device d("ring6", std::move(g));
+    d.set_native_two_qubit(GateKind::CX);
+    return d;
+  }();
+  NoiseModel noise = NoiseModel::uniform(device.coupling(), 1e-4, 2e-3, 0.0);
+  noise.set_two_qubit_error(0, 1, 0.25);
+  device.set_noise(noise);
+
+  Circuit circuit(2);
+  for (int i = 0; i < 3; ++i) circuit.cx(0, 1);
+  // Place the interacting pair across the bad edge.
+  const Placement initial = Placement::from_program_map({0, 1}, 6);
+
+  const RoutingResult plain =
+      SabreRouter().route(circuit, device, initial);
+  const RoutingResult aware =
+      ReliabilityRouter().route(circuit, device, initial);
+  const double esp_plain =
+      estimated_success_probability(plain.circuit, device);
+  const double esp_aware =
+      estimated_success_probability(aware.circuit, device);
+  EXPECT_GE(esp_aware, esp_plain);
+}
+
+TEST(ReliabilityFactories, RegisteredInCompiler) {
+  Rng rng(21);
+  Device device = devices::surface17();
+  device.set_noise(NoiseModel::randomized(device.coupling(), rng, 1e-3, 1e-2,
+                                          2e-2));
+  CompilerOptions options;
+  options.placer = "reliability";
+  options.router = "reliability";
+  const Compiler compiler(device, options);
+  const CompilationResult result = compiler.compile(workloads::qft(4));
+  EXPECT_TRUE(Compiler::verify(result));
+}
+
+TEST(ReliabilityFactories, ThrowWithoutNoiseModel) {
+  const Device device = devices::surface17();  // no noise attached
+  CompilerOptions options;
+  options.router = "reliability";
+  const Compiler compiler(device, options);
+  EXPECT_THROW((void)compiler.compile(workloads::ghz(3)), DeviceError);
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,177 @@
+// Cross-module property sweeps (parameterized over random seeds):
+// invariants that must hold for *every* circuit/device combination, not
+// just hand-picked examples.
+#include <gtest/gtest.h>
+
+#include "arch/builtin.hpp"
+#include "core/compiler.hpp"
+#include "decompose/decomposer.hpp"
+#include "ir/dag.hpp"
+#include "qasm/openqasm.hpp"
+#include "schedule/schedulers.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/statevector.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap {
+namespace {
+
+class SeedSweep : public testing::TestWithParam<int> {};
+
+TEST_P(SeedSweep, OpenQasmRoundTripIsSemanticIdentity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Circuit circuit = workloads::random_circuit(4, 35, rng, 0.35);
+  const Circuit reparsed = parse_openqasm(to_openqasm(circuit));
+  EXPECT_TRUE(circuits_equivalent_exact(circuit, reparsed, 1e-7));
+}
+
+TEST_P(SeedSweep, LoweringPreservesSemanticsOnBothNativeSets) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const Circuit circuit = workloads::random_circuit(4, 30, rng, 0.45);
+  for (const Device& device : {devices::ibm_qx4(), devices::surface17()}) {
+    const Circuit lowered = lower_to_device(circuit, device);
+    for (const Gate& gate : lowered) {
+      EXPECT_TRUE(device.is_native_kind(gate.kind)) << gate.to_string();
+    }
+    EXPECT_TRUE(circuits_equivalent_exact(circuit, lowered, 1e-7));
+  }
+}
+
+TEST_P(SeedSweep, GateInverseRestoresRandomStates) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 200);
+  const Circuit circuit = workloads::random_circuit(5, 25, rng, 0.4);
+  StateVector state(5);
+  state.randomize(rng);
+  StateVector original = state;
+  state.run(circuit);
+  EXPECT_NEAR(state.norm(), 1.0, 1e-9);  // unitarity preserved numerically
+  state.run(circuit.inverse());
+  EXPECT_TRUE(state.approx_equal(original, 1e-7));
+}
+
+TEST_P(SeedSweep, DagEdgesRespectProgramOrder) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 300);
+  const Circuit circuit = workloads::random_circuit(5, 40, rng, 0.5);
+  for (const DagMode mode : {DagMode::Sequential, DagMode::Commutation}) {
+    const DependencyDag dag(circuit, mode);
+    for (std::size_t i = 0; i < dag.num_nodes(); ++i) {
+      for (const int pred : dag.predecessors(static_cast<int>(i))) {
+        EXPECT_LT(pred, static_cast<int>(i));
+      }
+      for (const int succ : dag.successors(static_cast<int>(i))) {
+        EXPECT_GT(succ, static_cast<int>(i));
+      }
+    }
+  }
+}
+
+TEST_P(SeedSweep, CommutationDagIsSubgraphOfSequential) {
+  // Relaxation only removes constraints, never adds them.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 400);
+  const Circuit circuit = workloads::random_circuit(4, 30, rng, 0.5);
+  const DependencyDag strict(circuit, DagMode::Sequential);
+  const DependencyDag relaxed(circuit, DagMode::Commutation);
+  std::size_t strict_edges = 0;
+  std::size_t relaxed_edges = 0;
+  for (std::size_t i = 0; i < strict.num_nodes(); ++i) {
+    strict_edges += strict.predecessors(static_cast<int>(i)).size();
+    relaxed_edges += relaxed.predecessors(static_cast<int>(i)).size();
+  }
+  // Relaxed may contain transitively redundant edges, so compare the
+  // *reachability* instead: every strict-ready node must be relaxed-ready.
+  for (const int node : strict.ready()) {
+    EXPECT_EQ(relaxed.color(node), NodeColor::Ready) << node;
+  }
+  (void)strict_edges;
+  (void)relaxed_edges;
+}
+
+TEST_P(SeedSweep, SchedulesAreConsistentAndOrdered) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  const Device s17 = devices::surface17();
+  Circuit circuit(17);
+  // Random gates directly on physical qubits (scheduler input is routed).
+  for (int i = 0; i < 25; ++i) {
+    if (rng.chance(0.4)) {
+      const auto& edge = s17.coupling().edges()[rng.index(
+          s17.coupling().edges().size())];
+      circuit.cz(edge.a, edge.b);
+    } else {
+      const int q = static_cast<int>(rng.index(17));
+      if (rng.chance(0.5)) circuit.x(q);
+      else circuit.ry(rng.uniform(0.1, 1.0), q);
+    }
+  }
+  const Schedule asap = schedule_asap(circuit, s17);
+  const Schedule alap = schedule_alap(circuit, s17);
+  const Schedule constrained = schedule_for_device(circuit, s17);
+  EXPECT_TRUE(asap.is_consistent_with(circuit));
+  EXPECT_TRUE(alap.is_consistent_with(circuit));
+  EXPECT_TRUE(constrained.is_consistent_with(circuit));
+  EXPECT_EQ(asap.total_cycles(), alap.total_cycles());
+  EXPECT_GE(constrained.total_cycles(), asap.total_cycles());
+}
+
+TEST_P(SeedSweep, EndToEndCompileVerifiesOnEveryDeviceFamily)  {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 600);
+  const Circuit circuit = workloads::random_circuit(4, 20, rng, 0.4);
+  for (const Device& device :
+       {devices::ibm_qx4(), devices::surface17(), devices::trapped_ion(5),
+        devices::quantum_dot_array(2, 3)}) {
+    CompilerOptions options;
+    options.router = device.supports_shuttling() ? "shuttle" : "sabre";
+    const Compiler compiler(device, options);
+    const CompilationResult result = compiler.compile(circuit);
+    EXPECT_TRUE(respects_coupling(result.final_circuit, device))
+        << device.name();
+    EXPECT_TRUE(Compiler::verify(result)) << device.name();
+  }
+}
+
+TEST_P(SeedSweep, FusionNeverIncreasesSingleQubitCount) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 700);
+  const Circuit circuit = workloads::random_circuit(4, 40, rng, 0.25);
+  const CircuitMetrics before = compute_metrics(circuit);
+  const CircuitMetrics after = compute_metrics(fuse_single_qubit(circuit));
+  EXPECT_LE(after.single_qubit_gates, before.single_qubit_gates);
+  EXPECT_EQ(after.two_qubit_gates, before.two_qubit_gates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, testing::Range(1, 9),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// --- Workload-family sweep through the default pipeline ---
+
+class WorkloadSweep : public testing::TestWithParam<const char*> {};
+
+Circuit sweep_workload(const std::string& name) {
+  Rng rng(55);
+  if (name == "ghz6") return workloads::ghz(6);
+  if (name == "qft5") return workloads::qft(5);
+  if (name == "bv5") {
+    return workloads::bernstein_vazirani({1, 1, 0, 1}).unitary_part();
+  }
+  if (name == "adder1") return workloads::cuccaro_adder(1);
+  if (name == "grover3") return workloads::grover(3, 5, 2);
+  if (name == "qv6") return workloads::quantum_volume(6, 2, rng);
+  throw std::runtime_error("unknown workload");
+}
+
+TEST_P(WorkloadSweep, DefaultPipelineOnSurface17) {
+  const Compiler compiler(devices::surface17());
+  const CompilationResult result =
+      compiler.compile(sweep_workload(GetParam()));
+  EXPECT_TRUE(respects_coupling(result.final_circuit, devices::surface17()));
+  EXPECT_TRUE(result.schedule.is_consistent_with(result.final_circuit));
+  EXPECT_TRUE(Compiler::verify(result));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, WorkloadSweep,
+                         testing::Values("ghz6", "qft5", "bv5", "adder1",
+                                         "grover3", "qv6"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace qmap

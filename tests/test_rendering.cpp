@@ -1,0 +1,93 @@
+// Rendering-path tests: ASCII circuit art, schedule tables, placement and
+// tableau string forms — cheap to break silently, so pinned here.
+#include <gtest/gtest.h>
+
+#include "arch/builtin.hpp"
+#include "ir/ascii.hpp"
+#include "layout/placement.hpp"
+#include "schedule/schedulers.hpp"
+#include "sim/stabilizer.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap {
+namespace {
+
+TEST(Ascii, MeasurementBoxes) {
+  Circuit c(2);
+  c.h(0).measure(0, 0);
+  const std::string art = draw_ascii(c);
+  EXPECT_NE(art.find("[M]"), std::string::npos);
+}
+
+TEST(Ascii, BarriersSpanTheRegister) {
+  Circuit c(3);
+  c.x(0).barrier().x(2);
+  const std::string art = draw_ascii(c);
+  // Barrier column renders as '|' on every wire it covers.
+  EXPECT_GE(std::count(art.begin(), art.end(), '|'),
+            3L);  // 3 wires + connectors
+}
+
+TEST(Ascii, ParameterizedGateLabels) {
+  Circuit c(1);
+  c.rz(0.5, 0);
+  EXPECT_NE(draw_ascii(c).find("[RZ(0.5)]"), std::string::npos);
+}
+
+TEST(Ascii, ThreeQubitGateConnectors) {
+  Circuit c(3);
+  c.ccx(0, 1, 2);
+  const std::string art = draw_ascii(c);
+  EXPECT_GE(std::count(art.begin(), art.end(), '*'), 2L);  // two controls
+  EXPECT_NE(art.find('+'), std::string::npos);             // target
+}
+
+TEST(Ascii, EmptyCircuitRendersWires) {
+  const Circuit c(2);
+  const std::string art = draw_ascii(c);
+  EXPECT_NE(art.find("q0:"), std::string::npos);
+  EXPECT_NE(art.find("q1:"), std::string::npos);
+}
+
+TEST(ScheduleTable, MultiCycleGatesShowContinuation) {
+  const Device s17 = devices::surface17();
+  Circuit c(17);
+  c.cz(1, 5);
+  const std::string table = schedule_asap(c, s17).to_table();
+  EXPECT_NE(table.find("cz"), std::string::npos);
+  // Second cycle of the 2-cycle CZ renders as '|'.
+  EXPECT_NE(table.find('|'), std::string::npos);
+}
+
+TEST(ScheduleTable, EmptyScheduleHasHeaderOnly) {
+  Schedule schedule(2);
+  const std::string table = schedule.to_table();
+  EXPECT_NE(table.find("cycle"), std::string::npos);
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 1L);
+}
+
+TEST(PlacementString, ShowsFreeSlots) {
+  const Placement p = Placement::from_program_map({2}, 3);
+  const std::string text = p.to_string();
+  EXPECT_NE(text.find("Q2:q0"), std::string::npos);
+  EXPECT_NE(text.find("Q0:free"), std::string::npos);
+}
+
+TEST(TableauString, PauliRows) {
+  CliffordTableau t(2);
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("+XI"), std::string::npos);
+  EXPECT_NE(text.find("+ZI"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);  // destab/stab divider
+  CliffordTableau flipped(1);
+  flipped.apply(make_gate(GateKind::X, {0}));
+  EXPECT_NE(flipped.to_string().find("-Z"), std::string::npos);
+}
+
+TEST(GateStrings, MoveAndBarrier) {
+  EXPECT_EQ(make_gate(GateKind::Move, {1, 2}).to_string(), "move q1, q2");
+  EXPECT_EQ(make_barrier({0, 1}).to_string(), "barrier q0, q1");
+}
+
+}  // namespace
+}  // namespace qmap

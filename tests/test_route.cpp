@@ -1,0 +1,290 @@
+// Router property tests.
+//
+// For every (router, device, workload) combination:
+//   1. the routed circuit only uses coupling-legal interactions/orientations
+//      (after SWAP expansion and direction fixing),
+//   2. the routed circuit is unitarily equivalent to the input under the
+//      reported initial/final placements,
+//   3. routing statistics are internally consistent.
+// Plus router-specific guarantees (exact <= heuristics on shared
+// instances; naive >= smarter routers on the Fig. 3 example).
+#include <gtest/gtest.h>
+
+#include "arch/builtin.hpp"
+#include "core/compiler.hpp"
+#include "decompose/decomposer.hpp"
+#include "layout/placers.hpp"
+#include "route/astar_layer.hpp"
+#include "route/exact.hpp"
+#include "route/naive.hpp"
+#include "route/qmap_router.hpp"
+#include "route/sabre.hpp"
+#include "sim/equivalence.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap {
+namespace {
+
+struct RouteCase {
+  std::string router;
+  std::string device;
+  std::string workload;
+};
+
+std::string case_name(const testing::TestParamInfo<RouteCase>& info) {
+  return info.param.router + "_" + info.param.device + "_" +
+         info.param.workload;
+}
+
+Device get_device(const std::string& name) {
+  if (name == "qx4") return devices::ibm_qx4();
+  if (name == "qx5") return devices::ibm_qx5();
+  if (name == "s17") return devices::surface17();
+  if (name == "s7") return devices::surface7();
+  if (name == "line5") return devices::linear(5);
+  if (name == "grid9") return devices::grid(3, 3);
+  throw std::runtime_error("unknown device " + name);
+}
+
+Circuit get_workload(const std::string& name) {
+  Rng rng(2026);
+  if (name == "fig1") return workloads::fig1_example();
+  if (name == "ghz4") return workloads::ghz(4);
+  if (name == "ghz5") return workloads::ghz(5);
+  if (name == "qft4") return workloads::qft(4);
+  if (name == "bv4") {
+    Circuit c = workloads::bernstein_vazirani({1, 0, 1}).unitary_part();
+    return c;
+  }
+  if (name == "random") return workloads::random_circuit(4, 30, rng, 0.4);
+  if (name == "random5") return workloads::random_circuit(5, 40, rng, 0.4);
+  throw std::runtime_error("unknown workload " + name);
+}
+
+class RouterProperty : public testing::TestWithParam<RouteCase> {};
+
+TEST_P(RouterProperty, RoutedCircuitIsLegalAndEquivalent) {
+  const RouteCase& param = GetParam();
+  const Device device = get_device(param.device);
+  const Circuit circuit = get_workload(param.workload);
+  ASSERT_LE(circuit.num_qubits(), device.num_qubits());
+
+  // Route the (un-lowered) circuit directly: routers accept any arity-<=2
+  // gates. CPhase on directed devices cannot be direction-fixed, so lower
+  // first exactly as the compiler pipeline does.
+  const Circuit input = lower_to_device(circuit, device, /*keep_swaps=*/true);
+  const Placement initial = GreedyPlacer().place(input, device);
+  const auto router = make_router(param.router);
+  const RoutingResult result = router->route(input, device, initial);
+
+  // Stats consistency: output SWAPs = routing SWAPs + program SWAPs
+  // (e.g. the QFT's final reversal SWAPs are semantic gates, not routing).
+  std::size_t program_swaps = 0;
+  for (const Gate& gate : input) {
+    if (gate.kind == GateKind::SWAP) ++program_swaps;
+  }
+  std::size_t swap_count = 0;
+  for (const Gate& gate : result.circuit) {
+    if (gate.kind == GateKind::SWAP) ++swap_count;
+  }
+  EXPECT_EQ(swap_count, result.added_swaps + program_swaps);
+  EXPECT_EQ(result.initial, initial);
+
+  // Legality after SWAP expansion + direction repair.
+  Circuit legal = expand_swaps(result.circuit, device);
+  legal = fix_cx_directions(legal, device);
+  EXPECT_TRUE(respects_coupling(legal, device));
+
+  // Unitary equivalence under the reported placements.
+  Rng rng(99);
+  EXPECT_TRUE(mapping_equivalent(circuit, legal,
+                                 result.initial.wire_to_phys(),
+                                 result.final.wire_to_phys(), rng, 3));
+}
+
+const char* kRouters[] = {"naive", "sabre", "astar", "qmap"};
+const char* kDevices[] = {"qx4", "s17", "s7", "line5", "grid9"};
+const char* kWorkloads[] = {"fig1", "ghz4", "qft4", "random"};
+
+std::vector<RouteCase> all_cases() {
+  std::vector<RouteCase> cases;
+  for (const char* router : kRouters) {
+    for (const char* device : kDevices) {
+      for (const char* workload : kWorkloads) {
+        cases.push_back({router, device, workload});
+      }
+    }
+  }
+  // Exact router only on the small device (by design).
+  for (const char* workload : kWorkloads) {
+    cases.push_back({"exact", "qx4", workload});
+    cases.push_back({"exact", "line5", workload});
+  }
+  // Bigger instances for the scalable routers.
+  for (const char* router : {"sabre", "astar", "qmap"}) {
+    cases.push_back({router, "qx5", "random5"});
+    cases.push_back({router, "s17", "random5"});
+    cases.push_back({router, "qx5", "ghz5"});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, RouterProperty,
+                         testing::ValuesIn(all_cases()), case_name);
+
+// --- Router-specific guarantees ---
+
+TEST(ExactRouter, NeverWorseThanHeuristicsOnQx4) {
+  // Exact minimality holds w.r.t. the given total gate order, so compare on
+  // circuits whose dependency DAG is a chain (each CNOT shares a qubit with
+  // its predecessor): there the heuristics have no reordering freedom.
+  const Device qx4 = devices::ibm_qx4();
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    Circuit circuit(4, "chain");
+    int previous = 0;
+    for (int g = 0; g < 10; ++g) {
+      int other =
+          static_cast<int>(rng.index(static_cast<std::size_t>(3)));
+      if (other >= previous) ++other;
+      circuit.cx(previous, other);
+      previous = other;
+    }
+    const Placement initial =
+        Placement::identity(circuit.num_qubits(), qx4.num_qubits());
+    const RoutingResult exact = ExactRouter().route(circuit, qx4, initial);
+    for (const char* name : {"naive", "sabre", "astar", "qmap"}) {
+      const RoutingResult heuristic =
+          make_router(name)->route(circuit, qx4, initial);
+      EXPECT_LE(exact.added_swaps, heuristic.added_swaps)
+          << "exact beat by " << name << " on trial " << trial;
+    }
+  }
+}
+
+TEST(ExactRouter, ZeroSwapsWhenAlreadyRoutable) {
+  const Device line = devices::linear(4);
+  Circuit c(4);
+  c.cx(0, 1).cx(1, 2).cx(2, 3);
+  const RoutingResult result = ExactRouter().route(
+      c, line, Placement::identity(4, 4));
+  EXPECT_EQ(result.added_swaps, 0u);
+}
+
+TEST(ExactRouter, SingleSwapOnLineEndToEnd) {
+  // cx(0, 2) on a 3-qubit line needs exactly one SWAP.
+  const Device line = devices::linear(3);
+  Circuit c(3);
+  c.cx(0, 2);
+  const RoutingResult result =
+      ExactRouter().route(c, line, Placement::identity(3, 3));
+  EXPECT_EQ(result.added_swaps, 1u);
+}
+
+TEST(ExactRouter, ThrowsWhenStateBudgetExceeded) {
+  ExactRouter::Options options;
+  options.max_states = 10;
+  const Device grid = devices::grid(3, 3);
+  Rng rng(5);
+  const Circuit circuit = workloads::random_circuit(8, 30, rng, 0.7);
+  EXPECT_THROW((void)ExactRouter(options).route(
+                   circuit, grid, Placement::identity(8, 9)),
+               MappingError);
+}
+
+TEST(Routers, NaiveIsTheOverheadBaselineOnFig1Skeleton) {
+  // Fig. 3: the naive solution "yields a significant overhead", heuristics
+  // are "significantly cheaper", the exact result is minimal.
+  const Device qx4 = devices::ibm_qx4();
+  const Circuit skeleton = workloads::fig1_skeleton();
+  const Placement initial =
+      Placement::identity(skeleton.num_qubits(), qx4.num_qubits());
+  const RoutingResult naive = NaiveRouter().route(skeleton, qx4, initial);
+  const RoutingResult exact = ExactRouter().route(skeleton, qx4, initial);
+  EXPECT_LE(exact.added_swaps, naive.added_swaps);
+}
+
+TEST(Routers, RejectArityThreeGates) {
+  const Device qx4 = devices::ibm_qx4();
+  Circuit c(3);
+  c.ccx(0, 1, 2);
+  for (const char* name : {"naive", "sabre", "astar", "exact", "qmap"}) {
+    EXPECT_THROW((void)make_router(name)->route(
+                     c, qx4, Placement::identity(3, 5)),
+                 MappingError)
+        << name;
+  }
+}
+
+TEST(Routers, RejectOversizedCircuits) {
+  const Device qx4 = devices::ibm_qx4();
+  const Circuit c = workloads::ghz(6);
+  for (const char* name : {"naive", "sabre", "astar", "exact", "qmap"}) {
+    EXPECT_THROW((void)make_router(name)->route(
+                     c, qx4, Placement::identity(6, 6)),
+                 MappingError)
+        << name;
+  }
+}
+
+TEST(Routers, EmptyCircuitRoutesToEmpty) {
+  const Device s7 = devices::surface7();
+  const Circuit c(3, "empty");
+  for (const char* name : {"naive", "sabre", "astar", "exact", "qmap"}) {
+    const RoutingResult result =
+        make_router(name)->route(c, s7, Placement::identity(3, 7));
+    EXPECT_EQ(result.circuit.size(), 0u) << name;
+    EXPECT_EQ(result.added_swaps, 0u) << name;
+  }
+}
+
+TEST(Routers, SingleQubitOnlyCircuitNeedsNoSwaps) {
+  const Device qx4 = devices::ibm_qx4();
+  Circuit c(4);
+  c.h(0).t(1).x(2).rz(0.4, 3);
+  for (const char* name : {"naive", "sabre", "astar", "exact", "qmap"}) {
+    const RoutingResult result =
+        make_router(name)->route(c, qx4, Placement::identity(4, 5));
+    EXPECT_EQ(result.added_swaps, 0u) << name;
+    EXPECT_EQ(result.circuit.size(), c.size()) << name;
+  }
+}
+
+TEST(Routers, MeasurementsSurviveRouting) {
+  const Device s7 = devices::surface7();
+  Circuit c = workloads::ghz(3);
+  c.measure_all();
+  const RoutingResult result =
+      SabreRouter().route(c, s7, GreedyPlacer().place(c, s7));
+  std::size_t measures = 0;
+  for (const Gate& gate : result.circuit) {
+    if (gate.kind == GateKind::Measure) ++measures;
+  }
+  EXPECT_EQ(measures, 3u);
+}
+
+TEST(RoutingEmitter, RefusesNonAdjacentTwoQubitGate) {
+  const Device line = devices::linear(3);
+  RoutingEmitter emitter(line, Placement::identity(3, 3), "t");
+  EXPECT_THROW(emitter.emit_program_gate(make_gate(GateKind::CX, {0, 2})),
+               MappingError);
+}
+
+TEST(RoutingEmitter, RefusesNonAdjacentSwap) {
+  const Device line = devices::linear(3);
+  RoutingEmitter emitter(line, Placement::identity(3, 3), "t");
+  EXPECT_THROW(emitter.emit_swap(0, 2), MappingError);
+}
+
+TEST(RespectsCoupling, DetectsBadOrientation) {
+  const Device qx4 = devices::ibm_qx4();
+  Circuit c(5);
+  c.cx(0, 1);  // reversed orientation
+  EXPECT_FALSE(respects_coupling(c, qx4));
+  Circuit ok(5);
+  ok.cx(1, 0);
+  EXPECT_TRUE(respects_coupling(ok, qx4));
+}
+
+}  // namespace
+}  // namespace qmap

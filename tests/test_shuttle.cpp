@@ -1,0 +1,137 @@
+// Shuttling-router tests (Sec. VI-C quantum-dot routing).
+#include <gtest/gtest.h>
+
+#include "arch/builtin.hpp"
+#include "arch/config.hpp"
+#include "core/compiler.hpp"
+#include "decompose/decomposer.hpp"
+#include "route/sabre.hpp"
+#include "route/shuttle.hpp"
+#include "sim/equivalence.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap {
+namespace {
+
+TEST(MoveGate, SemanticsEqualSwap) {
+  EXPECT_TRUE(make_gate(GateKind::Move, {0, 1})
+                  .matrix()
+                  .approx_equal(make_gate(GateKind::SWAP, {0, 1}).matrix()));
+  EXPECT_TRUE(gate_info(GateKind::Move).symmetric);
+}
+
+TEST(QuantumDotArray, DeclaresShuttling) {
+  const Device dots = devices::quantum_dot_array(3, 4);
+  EXPECT_TRUE(dots.supports_shuttling());
+  EXPECT_EQ(dots.num_qubits(), 12);
+  EXPECT_TRUE(dots.is_native_kind(GateKind::Move));
+  EXPECT_EQ(dots.cycles_for(make_gate(GateKind::Move, {0, 1})), 1);
+  // Non-shuttling devices reject Move.
+  EXPECT_FALSE(devices::surface17().is_native_kind(GateKind::Move));
+}
+
+TEST(QuantumDotArray, ConfigRoundTripKeepsShuttling) {
+  const Device decoded =
+      device_from_json(device_to_json(devices::quantum_dot_array(2, 3)));
+  EXPECT_TRUE(decoded.supports_shuttling());
+  EXPECT_EQ(decoded.durations().move_cycles, 1);
+}
+
+TEST(Emitter, MoveValidation) {
+  const Device dots = devices::quantum_dot_array(1, 3);
+  // 2 program qubits on 3 sites: site holding wire 2 is free.
+  RoutingEmitter emitter(dots, Placement::identity(2, 3), "t");
+  EXPECT_THROW(emitter.emit_move(0, 1), MappingError);  // target occupied
+  emitter.emit_move(1, 2);                              // ok: site 2 free
+  EXPECT_EQ(emitter.placement().phys_of_program(1), 2);
+  const Device no_shuttle = devices::linear(3);
+  RoutingEmitter emitter2(no_shuttle, Placement::identity(2, 3), "t");
+  EXPECT_THROW(emitter2.emit_move(1, 2), MappingError);
+}
+
+TEST(ShuttleRouter, RequiresShuttlingDevice) {
+  const Device line = devices::linear(4);
+  Circuit c(3);
+  c.cx(0, 2);
+  EXPECT_THROW(
+      (void)ShuttleRouter().route(c, line, Placement::identity(3, 4)),
+      MappingError);
+}
+
+TEST(ShuttleRouter, UsesMovesWhenSitesAreFree) {
+  // 3 program qubits on a 1x6 dot array: plenty of empty dots.
+  const Device dots = devices::quantum_dot_array(1, 6);
+  Circuit c(3);
+  c.cx(0, 1).cx(1, 2).cx(0, 2).cx(0, 1);
+  const Placement initial = Placement::from_program_map({0, 2, 4}, 6);
+  const RoutingResult result = ShuttleRouter().route(c, dots, initial);
+  EXPECT_GT(result.added_moves, 0u);
+  Rng rng(3);
+  Circuit legal = expand_swaps(result.circuit, dots);
+  EXPECT_TRUE(respects_coupling(legal, dots));
+  EXPECT_TRUE(mapping_equivalent(c, legal, result.initial.wire_to_phys(),
+                                 result.final.wire_to_phys(), rng, 3));
+}
+
+TEST(ShuttleRouter, DegradesToSwapsOnFullRegister) {
+  // Program fills every dot: no empty site ever exists, so routing must be
+  // pure SWAPs.
+  const Device dots = devices::quantum_dot_array(1, 4);
+  Circuit c(4);
+  c.cx(0, 3).cx(1, 2).cx(0, 2);
+  const RoutingResult result =
+      ShuttleRouter().route(c, dots, Placement::identity(4, 4));
+  EXPECT_EQ(result.added_moves, 0u);
+  EXPECT_GT(result.added_swaps, 0u);
+  Rng rng(4);
+  Circuit legal = expand_swaps(result.circuit, dots);
+  EXPECT_TRUE(mapping_equivalent(c, legal, result.initial.wire_to_phys(),
+                                 result.final.wire_to_phys(), rng, 3));
+}
+
+TEST(ShuttleRouter, CheaperThanSwapRoutingOnSparseArrays) {
+  // Cost unit: native two-qubit operations (SWAP = 3, Move = 1).
+  const Device dots = devices::quantum_dot_array(2, 5);
+  Rng workload_rng(8);
+  std::size_t shuttle_total = 0;
+  std::size_t swap_total = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Circuit circuit =
+        workloads::random_circuit(4, 24, workload_rng, 0.6);
+    const Placement initial = GreedyPlacer().place(circuit, dots);
+    const RoutingResult shuttled =
+        ShuttleRouter().route(circuit, dots, initial);
+    const RoutingResult swapped = SabreRouter().route(circuit, dots, initial);
+    shuttle_total += 3 * shuttled.added_swaps + shuttled.added_moves;
+    swap_total += 3 * swapped.added_swaps;
+  }
+  // Aggregated over the sparse instance family, shuttling routing must be
+  // strictly cheaper than SWAP-only routing in native-op units.
+  EXPECT_LT(shuttle_total, swap_total);
+}
+
+TEST(ShuttleRouter, WorksThroughCompilerPipeline) {
+  Device dots = devices::quantum_dot_array(2, 4);
+  CompilerOptions options;
+  options.router = "shuttle";
+  const Compiler compiler(dots, options);
+  const CompilationResult result = compiler.compile(workloads::qft(4));
+  for (const Gate& gate : result.final_circuit) {
+    EXPECT_TRUE(dots.accepts(gate)) << gate.to_string();
+  }
+  EXPECT_TRUE(Compiler::verify(result));
+}
+
+TEST(ShuttleRouter, MovesSurviveSchedulingAndMetrics) {
+  const Device dots = devices::quantum_dot_array(1, 5);
+  Circuit c(2);
+  c.cx(0, 1);
+  const Placement initial = Placement::from_program_map({0, 4}, 5);
+  const RoutingResult result = ShuttleRouter().route(c, dots, initial);
+  const CircuitMetrics metrics = compute_metrics(result.circuit);
+  EXPECT_EQ(metrics.two_qubit_gates, result.added_moves +
+                                         result.added_swaps * 1 + 1);
+}
+
+}  // namespace
+}  // namespace qmap

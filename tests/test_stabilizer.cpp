@@ -1,0 +1,216 @@
+// Stabilizer-simulator tests: CHP semantics cross-checked against the
+// state-vector simulator on small instances, then used at widths the
+// state vector cannot reach.
+#include <gtest/gtest.h>
+
+#include "arch/builtin.hpp"
+#include "core/compiler.hpp"
+#include "decompose/decomposer.hpp"
+#include "layout/placers.hpp"
+#include "route/sabre.hpp"
+#include "sim/stabilizer.hpp"
+#include "sim/statevector.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(CliffordClassification, GateKinds) {
+  EXPECT_TRUE(is_clifford_gate(make_gate(GateKind::H, {0})));
+  EXPECT_TRUE(is_clifford_gate(make_gate(GateKind::CX, {0, 1})));
+  EXPECT_TRUE(is_clifford_gate(make_gate(GateKind::Rz, {0}, {kPi / 2.0})));
+  EXPECT_TRUE(is_clifford_gate(make_gate(GateKind::CPhase, {0, 1}, {kPi})));
+  EXPECT_FALSE(is_clifford_gate(make_gate(GateKind::T, {0})));
+  EXPECT_FALSE(is_clifford_gate(make_gate(GateKind::Rz, {0}, {0.3})));
+  EXPECT_FALSE(is_clifford_gate(make_gate(GateKind::CCX, {0, 1, 2})));
+  EXPECT_TRUE(is_clifford_circuit(workloads::ghz(5)));
+  EXPECT_FALSE(is_clifford_circuit(workloads::fig1_example()));  // has T
+}
+
+TEST(Tableau, IdentityTableauShape) {
+  const CliffordTableau t(3);
+  // Destabilizers X_i, stabilizers Z_i, all positive.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(t.x(i, i));
+    EXPECT_FALSE(t.z(i, i));
+    EXPECT_TRUE(t.z(3 + i, i));
+    EXPECT_FALSE(t.x(3 + i, i));
+    EXPECT_FALSE(t.sign(i));
+    EXPECT_FALSE(t.sign(3 + i));
+  }
+}
+
+TEST(Tableau, HadamardExchangesXandZ) {
+  CliffordTableau t(1);
+  t.apply(make_gate(GateKind::H, {0}));
+  // H X H = Z, H Z H = X.
+  EXPECT_TRUE(t.z(0, 0));
+  EXPECT_FALSE(t.x(0, 0));
+  EXPECT_TRUE(t.x(1, 0));
+}
+
+TEST(Tableau, XFlipsZSign) {
+  CliffordTableau t(1);
+  t.apply(make_gate(GateKind::X, {0}));
+  // X Z X = -Z.
+  EXPECT_TRUE(t.sign(1));
+  EXPECT_FALSE(t.sign(0));  // X X X = X
+}
+
+TEST(Tableau, RejectsNonClifford) {
+  CliffordTableau t(2);
+  EXPECT_THROW(t.apply(make_gate(GateKind::T, {0})), SimulationError);
+  EXPECT_THROW(t.apply(make_gate(GateKind::Rz, {0}, {0.3})),
+               SimulationError);
+}
+
+TEST(CliffordEquivalence, AgreesWithUnitarySimulatorOnRandomCliffords) {
+  // Random Clifford circuits: tableau equality must exactly match
+  // state-vector unitary equality (up to global phase).
+  Rng rng(77);
+  const auto random_clifford = [&](int n, int gates) {
+    Circuit c(n, "cliff");
+    for (int g = 0; g < gates; ++g) {
+      switch (rng.index(7)) {
+        case 0: c.h(static_cast<int>(rng.index(n))); break;
+        case 1: c.s(static_cast<int>(rng.index(n))); break;
+        case 2: c.x(static_cast<int>(rng.index(n))); break;
+        case 3: c.sdg(static_cast<int>(rng.index(n))); break;
+        case 4: c.sx(static_cast<int>(rng.index(n))); break;
+        default: {
+          const int a = static_cast<int>(rng.index(n));
+          int b = static_cast<int>(rng.index(n - 1));
+          if (b >= a) ++b;
+          if (rng.chance(0.5)) c.cx(a, b);
+          else c.cz(a, b);
+        }
+      }
+    }
+    return c;
+  };
+  for (int trial = 0; trial < 12; ++trial) {
+    const Circuit a = random_clifford(3, 25);
+    const Circuit b = random_clifford(3, 25);
+    const bool tableau_equal = clifford_equivalent(a, b);
+    const Matrix ua = circuit_unitary(a);
+    const Matrix ub = circuit_unitary(b);
+    EXPECT_EQ(tableau_equal, ua.equal_up_to_global_phase(ub, 1e-8))
+        << "trial " << trial;
+    // Self-equivalence and composition identities.
+    EXPECT_TRUE(clifford_equivalent(a, a));
+    Circuit ai = a;
+    ai.append(a.inverse());
+    EXPECT_TRUE(clifford_equivalent(ai, Circuit(3)));
+  }
+}
+
+TEST(CliffordEquivalence, KnownIdentities) {
+  // CX = H_t CZ H_t.
+  Circuit lhs(2);
+  lhs.cx(0, 1);
+  Circuit rhs(2);
+  rhs.h(1).cz(0, 1).h(1);
+  EXPECT_TRUE(clifford_equivalent(lhs, rhs));
+  // SWAP = 3 CX.
+  Circuit swap_gate(2);
+  swap_gate.swap(0, 1);
+  Circuit three_cx(2);
+  three_cx.cx(0, 1).cx(1, 0).cx(0, 1);
+  EXPECT_TRUE(clifford_equivalent(swap_gate, three_cx));
+  // Direction inversion with 4 H.
+  Circuit inverted(2);
+  inverted.h(0).h(1).cx(1, 0).h(0).h(1);
+  Circuit plain(2);
+  plain.cx(0, 1);
+  EXPECT_TRUE(clifford_equivalent(inverted, plain));
+  // Negative case.
+  Circuit cz(2);
+  cz.cz(0, 1);
+  EXPECT_FALSE(clifford_equivalent(plain, cz));
+}
+
+TEST(StabilizerMeasurement, GhzCorrelationsAtFortyQubits) {
+  const int n = 40;  // far beyond the state-vector limit
+  Rng rng(5);
+  for (int shot = 0; shot < 10; ++shot) {
+    StabilizerState state(n);
+    state.run(workloads::ghz(n));
+    EXPECT_FALSE(state.deterministic(0));
+    const int first = state.measure(0, rng);
+    // After the first measurement every other qubit is determined equal.
+    for (int q = 1; q < n; ++q) {
+      EXPECT_TRUE(state.deterministic(q));
+      EXPECT_EQ(state.measure(q, rng), first) << "qubit " << q;
+    }
+  }
+}
+
+TEST(StabilizerMeasurement, DeterministicOutcomes) {
+  Rng rng(9);
+  StabilizerState state(2);
+  state.apply(make_gate(GateKind::X, {0}));
+  EXPECT_TRUE(state.deterministic(0));
+  EXPECT_EQ(state.measure(0, rng), 1);
+  EXPECT_EQ(state.measure(1, rng), 0);
+}
+
+TEST(StabilizerMeasurement, PlusStateIsUniform) {
+  Rng rng(31);
+  int ones = 0;
+  const int shots = 400;
+  for (int shot = 0; shot < shots; ++shot) {
+    StabilizerState state(1);
+    state.apply(make_gate(GateKind::H, {0}));
+    ones += state.measure(0, rng);
+  }
+  EXPECT_GT(ones, shots / 2 - 60);
+  EXPECT_LT(ones, shots / 2 + 60);
+}
+
+TEST(CliffordMapping, VerifiesGhz16OnQx5) {
+  // A verification the state-vector checker cannot do: 16 program qubits
+  // mapped onto the 16-qubit QX5.
+  const Device qx5 = devices::ibm_qx5();
+  const Circuit circuit = workloads::ghz(16);
+  const Circuit lowered = lower_to_device(circuit, qx5, true);
+  const Placement initial = GreedyPlacer().place(lowered, qx5);
+  const RoutingResult result = SabreRouter().route(lowered, qx5, initial);
+  Circuit legal = expand_swaps(result.circuit, qx5);
+  legal = fix_cx_directions(legal, qx5);
+  EXPECT_TRUE(clifford_mapping_equivalent(circuit, legal,
+                                          result.initial.wire_to_phys(),
+                                          result.final.wire_to_phys()));
+  // Tamper with the mapped circuit: the check must catch it.
+  Circuit tampered = legal;
+  tampered.z(0);
+  EXPECT_FALSE(clifford_mapping_equivalent(circuit, tampered,
+                                           result.initial.wire_to_phys(),
+                                           result.final.wire_to_phys()));
+}
+
+TEST(CliffordMapping, AgreesWithStateVectorChecker) {
+  // On a small Clifford instance both verifiers must say yes.
+  const Device s7 = devices::surface7();
+  const Circuit circuit = workloads::ghz(4);
+  const Circuit lowered = lower_to_device(circuit, s7, true);
+  const Placement initial = GreedyPlacer().place(lowered, s7);
+  const RoutingResult result = SabreRouter().route(lowered, s7, initial);
+  const Circuit legal = expand_swaps(result.circuit, s7);
+  EXPECT_TRUE(clifford_mapping_equivalent(circuit, legal,
+                                          result.initial.wire_to_phys(),
+                                          result.final.wire_to_phys()));
+}
+
+TEST(Tableau, PermuteRelabelsColumns) {
+  CliffordTableau t(3);
+  t.apply(make_gate(GateKind::X, {0}));  // flips sign of Z_0 stabilizer
+  t.permute({0, 1, 2}, {2, 0, 1});
+  // The X destabilizer that lived on column 0 is now on column 2.
+  EXPECT_TRUE(t.x(0, 2));
+  EXPECT_FALSE(t.x(0, 0));
+}
+
+}  // namespace
+}  // namespace qmap

@@ -1,0 +1,271 @@
+// Workload-generator tests: each generator must produce the algorithm it
+// claims (checked by simulation), not just a plausible-looking circuit.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap {
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Fig1, MatchesThePaperDescription) {
+  const Circuit c = workloads::fig1_example();
+  EXPECT_EQ(c.num_qubits(), 4);
+  // First two-qubit gate: CNOT with (paper) q3 control, q4 target.
+  for (const Gate& gate : c) {
+    if (!gate.is_two_qubit()) continue;
+    EXPECT_EQ(gate.kind, GateKind::CX);
+    EXPECT_EQ(gate.qubits, (std::vector<int>{2, 3}));
+    break;
+  }
+  // Skeleton = example minus single-qubit gates.
+  const Circuit skeleton = workloads::fig1_skeleton();
+  EXPECT_EQ(skeleton.size(), 5u);
+  std::size_t i = 0;
+  for (const Gate& gate : c) {
+    if (gate.is_two_qubit()) {
+      EXPECT_EQ(gate, skeleton.gate(i++));
+    }
+  }
+  // The interaction graph contains a triangle (q0, q1, q2) — the reason one
+  // SWAP is unavoidable on the triangle-free Surface-17 lattice.
+  bool has_01 = false;
+  bool has_12 = false;
+  bool has_02 = false;
+  for (const Gate& gate : skeleton) {
+    const int a = std::min(gate.qubits[0], gate.qubits[1]);
+    const int b = std::max(gate.qubits[0], gate.qubits[1]);
+    if (a == 0 && b == 1) has_01 = true;
+    if (a == 1 && b == 2) has_12 = true;
+    if (a == 0 && b == 2) has_02 = true;
+  }
+  EXPECT_TRUE(has_01 && has_12 && has_02);
+}
+
+TEST(Ghz, ProducesGhzState) {
+  for (const int n : {2, 3, 5, 8}) {
+    StateVector state(n);
+    state.run(workloads::ghz(n));
+    EXPECT_NEAR(std::norm(state.amplitude(0)), 0.5, kTol) << n;
+    EXPECT_NEAR(std::norm(state.amplitude(state.dimension() - 1)), 0.5, kTol)
+        << n;
+  }
+  EXPECT_THROW((void)workloads::ghz(0), CircuitError);
+}
+
+TEST(Qft, MatchesDiscreteFourierTransform) {
+  const int n = 3;
+  const std::size_t dim = 8;
+  const Matrix u = circuit_unitary(workloads::qft(n, /*with_swaps=*/true));
+  // DFT matrix: U[j][k] = omega^{jk} / sqrt(N).
+  Matrix dft(dim, dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t k = 0; k < dim; ++k) {
+      dft.at(j, k) = std::polar(1.0 / std::sqrt(static_cast<double>(dim)),
+                                2.0 * kPi * static_cast<double>(j * k) /
+                                    static_cast<double>(dim));
+    }
+  }
+  EXPECT_TRUE(u.equal_up_to_global_phase(dft, 1e-7));
+}
+
+TEST(Qft, WithoutSwapsIsBitReversedDft) {
+  const Circuit no_swaps = workloads::qft(3, /*with_swaps=*/false);
+  std::size_t swap_count = 0;
+  for (const Gate& gate : no_swaps) {
+    if (gate.kind == GateKind::SWAP) ++swap_count;
+  }
+  EXPECT_EQ(swap_count, 0u);
+}
+
+TEST(BernsteinVazirani, RecoversTheSecret) {
+  const std::vector<int> secret{1, 0, 1, 1};
+  const Circuit c = workloads::bernstein_vazirani(secret);
+  StateVector state(c.num_qubits());
+  state.run(c.unitary_part());
+  // Data qubits must be exactly |secret>.
+  for (std::size_t q = 0; q < secret.size(); ++q) {
+    EXPECT_NEAR(state.probability_one(static_cast<int>(q)),
+                static_cast<double>(secret[q]), 1e-9)
+        << "qubit " << q;
+  }
+}
+
+TEST(CuccaroAdder, AddsAllTwoBitPairs) {
+  const int n = 2;
+  const Circuit adder = workloads::cuccaro_adder(n);
+  ASSERT_EQ(adder.num_qubits(), 6);
+  // Layout: 0 = carry-in, b0 = 1, a0 = 2, b1 = 3, a1 = 4, 5 = carry-out.
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      StateVector state(6);
+      std::uint64_t input = 0;
+      const auto set_bit = [&](int qubit) {
+        input |= std::uint64_t{1} << (6 - 1 - qubit);
+      };
+      if (a & 1) set_bit(2);
+      if (a & 2) set_bit(4);
+      if (b & 1) set_bit(1);
+      if (b & 2) set_bit(3);
+      state.reset(input);
+      state.run(adder);
+      const int sum = a + b;
+      // Read back: b0 (qubit 1), b1 (qubit 3), carry-out (qubit 5).
+      const int result =
+          static_cast<int>(state.probability_one(1) + 0.5) +
+          2 * static_cast<int>(state.probability_one(3) + 0.5) +
+          4 * static_cast<int>(state.probability_one(5) + 0.5);
+      EXPECT_EQ(result, sum) << a << "+" << b;
+      // a must be preserved.
+      const int a_after = static_cast<int>(state.probability_one(2) + 0.5) +
+                          2 * static_cast<int>(state.probability_one(4) + 0.5);
+      EXPECT_EQ(a_after, a);
+    }
+  }
+}
+
+TEST(Grover, AmplifiesTheMarkedState) {
+  for (int marked = 0; marked < 4; ++marked) {
+    const Circuit c = workloads::grover(2, marked, 1);
+    StateVector state(2);
+    state.run(c);
+    // One Grover iteration on 2 qubits finds the marked item exactly.
+    EXPECT_NEAR(std::norm(state.amplitude(static_cast<std::uint64_t>(marked))),
+                1.0, 1e-9)
+        << "marked " << marked;
+  }
+}
+
+TEST(Grover, ThreeQubitsTwoIterations) {
+  const int marked = 5;
+  const Circuit c = workloads::grover(3, marked, 2);
+  StateVector state(3);
+  state.run(c);
+  // 2 iterations on 8 items: success probability ~0.945.
+  EXPECT_GT(std::norm(state.amplitude(marked)), 0.9);
+}
+
+TEST(Grover, ValidatesArguments) {
+  EXPECT_THROW((void)workloads::grover(4, 0), CircuitError);
+  EXPECT_THROW((void)workloads::grover(2, 4), CircuitError);
+}
+
+TEST(RandomCircuit, RespectsGateBudgetAndSeed) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const Circuit a = workloads::random_circuit(5, 50, rng_a);
+  const Circuit b = workloads::random_circuit(5, 50, rng_b);
+  EXPECT_EQ(a.size(), 50u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.gate(i), b.gate(i));
+  }
+}
+
+TEST(RandomCircuit, TwoQubitFractionRoughlyHolds) {
+  Rng rng(11);
+  const Circuit c = workloads::random_circuit(6, 400, rng, 0.5);
+  std::size_t two_qubit = 0;
+  for (const Gate& gate : c) {
+    if (gate.is_two_qubit()) ++two_qubit;
+  }
+  EXPECT_GT(two_qubit, 150u);
+  EXPECT_LT(two_qubit, 250u);
+}
+
+TEST(Qaoa, StructureAndDiagonalSeparators) {
+  Rng rng(3);
+  const std::vector<std::pair<int, int>> edges{{0, 1}, {1, 2}, {2, 3},
+                                               {3, 0}};
+  const Circuit c = workloads::qaoa_maxcut(4, edges, 2, rng);
+  std::size_t cx = 0;
+  std::size_t rx = 0;
+  for (const Gate& gate : c) {
+    if (gate.kind == GateKind::CX) ++cx;
+    if (gate.kind == GateKind::Rx) ++rx;
+  }
+  EXPECT_EQ(cx, 2u * edges.size() * 2u);  // 2 CX per edge per layer
+  EXPECT_EQ(rx, 2u * 4u);                 // mixer per qubit per layer
+  EXPECT_THROW((void)workloads::qaoa_maxcut(3, {{0, 5}}, 1, rng),
+               CircuitError);
+}
+
+TEST(DeutschJozsa, BalancedOracleRevealsTheMask) {
+  const std::vector<int> mask{1, 0, 1};
+  const Circuit c = workloads::deutsch_jozsa(mask);
+  StateVector state(c.num_qubits());
+  state.run(c);
+  for (std::size_t q = 0; q < mask.size(); ++q) {
+    EXPECT_NEAR(state.probability_one(static_cast<int>(q)),
+                static_cast<double>(mask[q]), 1e-9);
+  }
+}
+
+TEST(DeutschJozsa, ConstantOracleReturnsAllZeros) {
+  const Circuit c = workloads::deutsch_jozsa({0, 0, 0});
+  StateVector state(c.num_qubits());
+  state.run(c);
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_NEAR(state.probability_one(q), 0.0, 1e-9);
+  }
+}
+
+TEST(WState, UniformOneHotSuperposition) {
+  for (const int n : {2, 3, 4, 6}) {
+    const Circuit c = workloads::w_state(n);
+    StateVector state(n);
+    state.run(c);
+    double total = 0.0;
+    for (int k = 0; k < n; ++k) {
+      const std::uint64_t one_hot = std::uint64_t{1} << (n - 1 - k);
+      const double p = std::norm(state.amplitude(one_hot));
+      EXPECT_NEAR(p, 1.0 / n, 1e-9) << "n=" << n << " k=" << k;
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);  // no amplitude outside one-hot strings
+  }
+}
+
+TEST(PhaseEstimation, ReadsExactPhasesExactly) {
+  const int m = 3;
+  for (int k = 0; k < 8; ++k) {
+    const double phase = static_cast<double>(k) / 8.0;
+    const Circuit c = workloads::phase_estimation(m, phase);
+    StateVector state(c.num_qubits());
+    state.run(c);
+    // Counting register (qubits 0..2, MSB first) must read binary k.
+    for (int bit = 0; bit < m; ++bit) {
+      const int expected = (k >> (m - 1 - bit)) & 1;
+      EXPECT_NEAR(state.probability_one(bit), expected, 1e-9)
+          << "k=" << k << " bit=" << bit;
+    }
+  }
+}
+
+TEST(PhaseEstimation, InexactPhaseConcentratesNearTruth) {
+  const Circuit c = workloads::phase_estimation(4, 0.3);
+  StateVector state(c.num_qubits());
+  state.run(c);
+  // Best 4-bit approximation of 0.3 is 5/16 = 0.3125 -> |0101>.
+  const std::uint64_t best = 0b0101u << 1;  // target qubit is LSB, in |1>
+  EXPECT_GT(std::norm(state.amplitude(best | 1u)), 0.4);
+}
+
+TEST(QuantumVolume, LayerStructure) {
+  Rng rng(13);
+  const Circuit c = workloads::quantum_volume(4, 3, rng);
+  std::size_t cx_count = 0;
+  for (const Gate& gate : c) {
+    if (gate.kind == GateKind::CX) ++cx_count;
+  }
+  EXPECT_EQ(cx_count, 3u * 2u * 3u);  // depth * pairs * 3 CX per block
+}
+
+}  // namespace
+}  // namespace qmap
