@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_architecture_search.dir/bench_architecture_search.cpp.o"
+  "CMakeFiles/bench_architecture_search.dir/bench_architecture_search.cpp.o.d"
+  "bench_architecture_search"
+  "bench_architecture_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_architecture_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commutation.dir/bench_commutation.cpp.o"
+  "CMakeFiles/bench_commutation.dir/bench_commutation.cpp.o.d"
+  "bench_commutation"
+  "bench_commutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_ablation.dir/bench_device_ablation.cpp.o"
+  "CMakeFiles/bench_device_ablation.dir/bench_device_ablation.cpp.o.d"
+  "bench_device_ablation"
+  "bench_device_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exact_scalability.dir/bench_exact_scalability.cpp.o"
+  "CMakeFiles/bench_exact_scalability.dir/bench_exact_scalability.cpp.o.d"
+  "bench_exact_scalability"
+  "bench_exact_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exact_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_surface17_device.dir/bench_fig4_surface17_device.cpp.o"
+  "CMakeFiles/bench_fig4_surface17_device.dir/bench_fig4_surface17_device.cpp.o.d"
+  "bench_fig4_surface17_device"
+  "bench_fig4_surface17_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_surface17_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

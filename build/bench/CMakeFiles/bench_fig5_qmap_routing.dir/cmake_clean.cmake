@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_qmap_routing.dir/bench_fig5_qmap_routing.cpp.o"
+  "CMakeFiles/bench_fig5_qmap_routing.dir/bench_fig5_qmap_routing.cpp.o.d"
+  "bench_fig5_qmap_routing"
+  "bench_fig5_qmap_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_qmap_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_router_comparison.dir/bench_router_comparison.cpp.o"
+  "CMakeFiles/bench_router_comparison.dir/bench_router_comparison.cpp.o.d"
+  "bench_router_comparison"
+  "bench_router_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_router_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shuttling.dir/bench_shuttling.cpp.o"
+  "CMakeFiles/bench_shuttling.dir/bench_shuttling.cpp.o.d"
+  "bench_shuttling"
+  "bench_shuttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shuttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

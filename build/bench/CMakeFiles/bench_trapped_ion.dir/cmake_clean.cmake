@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trapped_ion.dir/bench_trapped_ion.cpp.o"
+  "CMakeFiles/bench_trapped_ion.dir/bench_trapped_ion.cpp.o.d"
+  "bench_trapped_ion"
+  "bench_trapped_ion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trapped_ion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

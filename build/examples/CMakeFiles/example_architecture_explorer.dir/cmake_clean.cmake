@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_architecture_explorer.dir/architecture_explorer.cpp.o"
+  "CMakeFiles/example_architecture_explorer.dir/architecture_explorer.cpp.o.d"
+  "example_architecture_explorer"
+  "example_architecture_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_architecture_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

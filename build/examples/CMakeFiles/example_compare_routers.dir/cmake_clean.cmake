@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compare_routers.dir/compare_routers.cpp.o"
+  "CMakeFiles/example_compare_routers.dir/compare_routers.cpp.o.d"
+  "example_compare_routers"
+  "example_compare_routers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compare_routers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

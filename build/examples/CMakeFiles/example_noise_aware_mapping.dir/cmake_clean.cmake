@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_noise_aware_mapping.dir/noise_aware_mapping.cpp.o"
+  "CMakeFiles/example_noise_aware_mapping.dir/noise_aware_mapping.cpp.o.d"
+  "example_noise_aware_mapping"
+  "example_noise_aware_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_noise_aware_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

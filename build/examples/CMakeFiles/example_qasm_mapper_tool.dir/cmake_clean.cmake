@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_qasm_mapper_tool.dir/qasm_mapper_tool.cpp.o"
+  "CMakeFiles/example_qasm_mapper_tool.dir/qasm_mapper_tool.cpp.o.d"
+  "example_qasm_mapper_tool"
+  "example_qasm_mapper_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_qasm_mapper_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

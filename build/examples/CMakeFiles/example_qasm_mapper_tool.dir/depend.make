@@ -1,0 +1,2 @@
+# Empty dependencies file for example_qasm_mapper_tool.
+# This may be replaced when dependencies are built.

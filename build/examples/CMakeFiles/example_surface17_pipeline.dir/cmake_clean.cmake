@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_surface17_pipeline.dir/surface17_pipeline.cpp.o"
+  "CMakeFiles/example_surface17_pipeline.dir/surface17_pipeline.cpp.o.d"
+  "example_surface17_pipeline"
+  "example_surface17_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_surface17_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/builtin.cpp" "src/CMakeFiles/qmap_arch.dir/arch/builtin.cpp.o" "gcc" "src/CMakeFiles/qmap_arch.dir/arch/builtin.cpp.o.d"
+  "/root/repo/src/arch/config.cpp" "src/CMakeFiles/qmap_arch.dir/arch/config.cpp.o" "gcc" "src/CMakeFiles/qmap_arch.dir/arch/config.cpp.o.d"
+  "/root/repo/src/arch/device.cpp" "src/CMakeFiles/qmap_arch.dir/arch/device.cpp.o" "gcc" "src/CMakeFiles/qmap_arch.dir/arch/device.cpp.o.d"
+  "/root/repo/src/arch/draw.cpp" "src/CMakeFiles/qmap_arch.dir/arch/draw.cpp.o" "gcc" "src/CMakeFiles/qmap_arch.dir/arch/draw.cpp.o.d"
+  "/root/repo/src/arch/noise.cpp" "src/CMakeFiles/qmap_arch.dir/arch/noise.cpp.o" "gcc" "src/CMakeFiles/qmap_arch.dir/arch/noise.cpp.o.d"
+  "/root/repo/src/arch/topology.cpp" "src/CMakeFiles/qmap_arch.dir/arch/topology.cpp.o" "gcc" "src/CMakeFiles/qmap_arch.dir/arch/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmap_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_arch.dir/arch/builtin.cpp.o"
+  "CMakeFiles/qmap_arch.dir/arch/builtin.cpp.o.d"
+  "CMakeFiles/qmap_arch.dir/arch/config.cpp.o"
+  "CMakeFiles/qmap_arch.dir/arch/config.cpp.o.d"
+  "CMakeFiles/qmap_arch.dir/arch/device.cpp.o"
+  "CMakeFiles/qmap_arch.dir/arch/device.cpp.o.d"
+  "CMakeFiles/qmap_arch.dir/arch/draw.cpp.o"
+  "CMakeFiles/qmap_arch.dir/arch/draw.cpp.o.d"
+  "CMakeFiles/qmap_arch.dir/arch/noise.cpp.o"
+  "CMakeFiles/qmap_arch.dir/arch/noise.cpp.o.d"
+  "CMakeFiles/qmap_arch.dir/arch/topology.cpp.o"
+  "CMakeFiles/qmap_arch.dir/arch/topology.cpp.o.d"
+  "libqmap_arch.a"
+  "libqmap_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_common.dir/common/json.cpp.o"
+  "CMakeFiles/qmap_common.dir/common/json.cpp.o.d"
+  "CMakeFiles/qmap_common.dir/common/matrix.cpp.o"
+  "CMakeFiles/qmap_common.dir/common/matrix.cpp.o.d"
+  "CMakeFiles/qmap_common.dir/common/strings.cpp.o"
+  "CMakeFiles/qmap_common.dir/common/strings.cpp.o.d"
+  "libqmap_common.a"
+  "libqmap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_core.dir/core/compiler.cpp.o"
+  "CMakeFiles/qmap_core.dir/core/compiler.cpp.o.d"
+  "CMakeFiles/qmap_core.dir/core/report.cpp.o"
+  "CMakeFiles/qmap_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/qmap_core.dir/core/snapshot.cpp.o"
+  "CMakeFiles/qmap_core.dir/core/snapshot.cpp.o.d"
+  "libqmap_core.a"
+  "libqmap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

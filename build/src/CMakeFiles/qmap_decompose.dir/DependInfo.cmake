@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decompose/decomposer.cpp" "src/CMakeFiles/qmap_decompose.dir/decompose/decomposer.cpp.o" "gcc" "src/CMakeFiles/qmap_decompose.dir/decompose/decomposer.cpp.o.d"
+  "/root/repo/src/decompose/euler.cpp" "src/CMakeFiles/qmap_decompose.dir/decompose/euler.cpp.o" "gcc" "src/CMakeFiles/qmap_decompose.dir/decompose/euler.cpp.o.d"
+  "/root/repo/src/decompose/peephole.cpp" "src/CMakeFiles/qmap_decompose.dir/decompose/peephole.cpp.o" "gcc" "src/CMakeFiles/qmap_decompose.dir/decompose/peephole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmap_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_decompose.dir/decompose/decomposer.cpp.o"
+  "CMakeFiles/qmap_decompose.dir/decompose/decomposer.cpp.o.d"
+  "CMakeFiles/qmap_decompose.dir/decompose/euler.cpp.o"
+  "CMakeFiles/qmap_decompose.dir/decompose/euler.cpp.o.d"
+  "CMakeFiles/qmap_decompose.dir/decompose/peephole.cpp.o"
+  "CMakeFiles/qmap_decompose.dir/decompose/peephole.cpp.o.d"
+  "libqmap_decompose.a"
+  "libqmap_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

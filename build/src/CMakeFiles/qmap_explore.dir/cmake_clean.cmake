@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_explore.dir/explore/architecture_search.cpp.o"
+  "CMakeFiles/qmap_explore.dir/explore/architecture_search.cpp.o.d"
+  "libqmap_explore.a"
+  "libqmap_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/ascii.cpp" "src/CMakeFiles/qmap_ir.dir/ir/ascii.cpp.o" "gcc" "src/CMakeFiles/qmap_ir.dir/ir/ascii.cpp.o.d"
+  "/root/repo/src/ir/circuit.cpp" "src/CMakeFiles/qmap_ir.dir/ir/circuit.cpp.o" "gcc" "src/CMakeFiles/qmap_ir.dir/ir/circuit.cpp.o.d"
+  "/root/repo/src/ir/dag.cpp" "src/CMakeFiles/qmap_ir.dir/ir/dag.cpp.o" "gcc" "src/CMakeFiles/qmap_ir.dir/ir/dag.cpp.o.d"
+  "/root/repo/src/ir/gate.cpp" "src/CMakeFiles/qmap_ir.dir/ir/gate.cpp.o" "gcc" "src/CMakeFiles/qmap_ir.dir/ir/gate.cpp.o.d"
+  "/root/repo/src/ir/metrics.cpp" "src/CMakeFiles/qmap_ir.dir/ir/metrics.cpp.o" "gcc" "src/CMakeFiles/qmap_ir.dir/ir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_ir.dir/ir/ascii.cpp.o"
+  "CMakeFiles/qmap_ir.dir/ir/ascii.cpp.o.d"
+  "CMakeFiles/qmap_ir.dir/ir/circuit.cpp.o"
+  "CMakeFiles/qmap_ir.dir/ir/circuit.cpp.o.d"
+  "CMakeFiles/qmap_ir.dir/ir/dag.cpp.o"
+  "CMakeFiles/qmap_ir.dir/ir/dag.cpp.o.d"
+  "CMakeFiles/qmap_ir.dir/ir/gate.cpp.o"
+  "CMakeFiles/qmap_ir.dir/ir/gate.cpp.o.d"
+  "CMakeFiles/qmap_ir.dir/ir/metrics.cpp.o"
+  "CMakeFiles/qmap_ir.dir/ir/metrics.cpp.o.d"
+  "libqmap_ir.a"
+  "libqmap_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_layout.dir/layout/placement.cpp.o"
+  "CMakeFiles/qmap_layout.dir/layout/placement.cpp.o.d"
+  "CMakeFiles/qmap_layout.dir/layout/placers.cpp.o"
+  "CMakeFiles/qmap_layout.dir/layout/placers.cpp.o.d"
+  "libqmap_layout.a"
+  "libqmap_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqmap_layout.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_noise.dir/noise/estimator.cpp.o"
+  "CMakeFiles/qmap_noise.dir/noise/estimator.cpp.o.d"
+  "CMakeFiles/qmap_noise.dir/noise/reliability.cpp.o"
+  "CMakeFiles/qmap_noise.dir/noise/reliability.cpp.o.d"
+  "CMakeFiles/qmap_noise.dir/noise/trajectory.cpp.o"
+  "CMakeFiles/qmap_noise.dir/noise/trajectory.cpp.o.d"
+  "libqmap_noise.a"
+  "libqmap_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

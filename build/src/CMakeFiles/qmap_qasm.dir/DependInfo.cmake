@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qasm/cqasm.cpp" "src/CMakeFiles/qmap_qasm.dir/qasm/cqasm.cpp.o" "gcc" "src/CMakeFiles/qmap_qasm.dir/qasm/cqasm.cpp.o.d"
+  "/root/repo/src/qasm/expr.cpp" "src/CMakeFiles/qmap_qasm.dir/qasm/expr.cpp.o" "gcc" "src/CMakeFiles/qmap_qasm.dir/qasm/expr.cpp.o.d"
+  "/root/repo/src/qasm/openqasm.cpp" "src/CMakeFiles/qmap_qasm.dir/qasm/openqasm.cpp.o" "gcc" "src/CMakeFiles/qmap_qasm.dir/qasm/openqasm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmap_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

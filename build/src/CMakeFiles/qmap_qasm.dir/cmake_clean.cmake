@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_qasm.dir/qasm/cqasm.cpp.o"
+  "CMakeFiles/qmap_qasm.dir/qasm/cqasm.cpp.o.d"
+  "CMakeFiles/qmap_qasm.dir/qasm/expr.cpp.o"
+  "CMakeFiles/qmap_qasm.dir/qasm/expr.cpp.o.d"
+  "CMakeFiles/qmap_qasm.dir/qasm/openqasm.cpp.o"
+  "CMakeFiles/qmap_qasm.dir/qasm/openqasm.cpp.o.d"
+  "libqmap_qasm.a"
+  "libqmap_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

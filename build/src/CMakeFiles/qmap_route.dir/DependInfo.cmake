@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/astar_layer.cpp" "src/CMakeFiles/qmap_route.dir/route/astar_layer.cpp.o" "gcc" "src/CMakeFiles/qmap_route.dir/route/astar_layer.cpp.o.d"
+  "/root/repo/src/route/bidirectional_placer.cpp" "src/CMakeFiles/qmap_route.dir/route/bidirectional_placer.cpp.o" "gcc" "src/CMakeFiles/qmap_route.dir/route/bidirectional_placer.cpp.o.d"
+  "/root/repo/src/route/exact.cpp" "src/CMakeFiles/qmap_route.dir/route/exact.cpp.o" "gcc" "src/CMakeFiles/qmap_route.dir/route/exact.cpp.o.d"
+  "/root/repo/src/route/measure_relocation.cpp" "src/CMakeFiles/qmap_route.dir/route/measure_relocation.cpp.o" "gcc" "src/CMakeFiles/qmap_route.dir/route/measure_relocation.cpp.o.d"
+  "/root/repo/src/route/naive.cpp" "src/CMakeFiles/qmap_route.dir/route/naive.cpp.o" "gcc" "src/CMakeFiles/qmap_route.dir/route/naive.cpp.o.d"
+  "/root/repo/src/route/qmap_router.cpp" "src/CMakeFiles/qmap_route.dir/route/qmap_router.cpp.o" "gcc" "src/CMakeFiles/qmap_route.dir/route/qmap_router.cpp.o.d"
+  "/root/repo/src/route/router.cpp" "src/CMakeFiles/qmap_route.dir/route/router.cpp.o" "gcc" "src/CMakeFiles/qmap_route.dir/route/router.cpp.o.d"
+  "/root/repo/src/route/sabre.cpp" "src/CMakeFiles/qmap_route.dir/route/sabre.cpp.o" "gcc" "src/CMakeFiles/qmap_route.dir/route/sabre.cpp.o.d"
+  "/root/repo/src/route/shuttle.cpp" "src/CMakeFiles/qmap_route.dir/route/shuttle.cpp.o" "gcc" "src/CMakeFiles/qmap_route.dir/route/shuttle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmap_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_decompose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

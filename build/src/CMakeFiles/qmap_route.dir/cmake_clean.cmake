@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_route.dir/route/astar_layer.cpp.o"
+  "CMakeFiles/qmap_route.dir/route/astar_layer.cpp.o.d"
+  "CMakeFiles/qmap_route.dir/route/bidirectional_placer.cpp.o"
+  "CMakeFiles/qmap_route.dir/route/bidirectional_placer.cpp.o.d"
+  "CMakeFiles/qmap_route.dir/route/exact.cpp.o"
+  "CMakeFiles/qmap_route.dir/route/exact.cpp.o.d"
+  "CMakeFiles/qmap_route.dir/route/measure_relocation.cpp.o"
+  "CMakeFiles/qmap_route.dir/route/measure_relocation.cpp.o.d"
+  "CMakeFiles/qmap_route.dir/route/naive.cpp.o"
+  "CMakeFiles/qmap_route.dir/route/naive.cpp.o.d"
+  "CMakeFiles/qmap_route.dir/route/qmap_router.cpp.o"
+  "CMakeFiles/qmap_route.dir/route/qmap_router.cpp.o.d"
+  "CMakeFiles/qmap_route.dir/route/router.cpp.o"
+  "CMakeFiles/qmap_route.dir/route/router.cpp.o.d"
+  "CMakeFiles/qmap_route.dir/route/sabre.cpp.o"
+  "CMakeFiles/qmap_route.dir/route/sabre.cpp.o.d"
+  "CMakeFiles/qmap_route.dir/route/shuttle.cpp.o"
+  "CMakeFiles/qmap_route.dir/route/shuttle.cpp.o.d"
+  "libqmap_route.a"
+  "libqmap_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

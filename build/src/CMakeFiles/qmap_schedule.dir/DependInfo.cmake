@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/constraints.cpp" "src/CMakeFiles/qmap_schedule.dir/schedule/constraints.cpp.o" "gcc" "src/CMakeFiles/qmap_schedule.dir/schedule/constraints.cpp.o.d"
+  "/root/repo/src/schedule/export.cpp" "src/CMakeFiles/qmap_schedule.dir/schedule/export.cpp.o" "gcc" "src/CMakeFiles/qmap_schedule.dir/schedule/export.cpp.o.d"
+  "/root/repo/src/schedule/schedule.cpp" "src/CMakeFiles/qmap_schedule.dir/schedule/schedule.cpp.o" "gcc" "src/CMakeFiles/qmap_schedule.dir/schedule/schedule.cpp.o.d"
+  "/root/repo/src/schedule/schedulers.cpp" "src/CMakeFiles/qmap_schedule.dir/schedule/schedulers.cpp.o" "gcc" "src/CMakeFiles/qmap_schedule.dir/schedule/schedulers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmap_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

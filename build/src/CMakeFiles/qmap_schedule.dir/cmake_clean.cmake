@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_schedule.dir/schedule/constraints.cpp.o"
+  "CMakeFiles/qmap_schedule.dir/schedule/constraints.cpp.o.d"
+  "CMakeFiles/qmap_schedule.dir/schedule/export.cpp.o"
+  "CMakeFiles/qmap_schedule.dir/schedule/export.cpp.o.d"
+  "CMakeFiles/qmap_schedule.dir/schedule/schedule.cpp.o"
+  "CMakeFiles/qmap_schedule.dir/schedule/schedule.cpp.o.d"
+  "CMakeFiles/qmap_schedule.dir/schedule/schedulers.cpp.o"
+  "CMakeFiles/qmap_schedule.dir/schedule/schedulers.cpp.o.d"
+  "libqmap_schedule.a"
+  "libqmap_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

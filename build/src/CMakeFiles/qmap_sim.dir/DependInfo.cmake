@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/equivalence.cpp" "src/CMakeFiles/qmap_sim.dir/sim/equivalence.cpp.o" "gcc" "src/CMakeFiles/qmap_sim.dir/sim/equivalence.cpp.o.d"
+  "/root/repo/src/sim/stabilizer.cpp" "src/CMakeFiles/qmap_sim.dir/sim/stabilizer.cpp.o" "gcc" "src/CMakeFiles/qmap_sim.dir/sim/stabilizer.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/CMakeFiles/qmap_sim.dir/sim/statevector.cpp.o" "gcc" "src/CMakeFiles/qmap_sim.dir/sim/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmap_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_sim.dir/sim/equivalence.cpp.o"
+  "CMakeFiles/qmap_sim.dir/sim/equivalence.cpp.o.d"
+  "CMakeFiles/qmap_sim.dir/sim/stabilizer.cpp.o"
+  "CMakeFiles/qmap_sim.dir/sim/stabilizer.cpp.o.d"
+  "CMakeFiles/qmap_sim.dir/sim/statevector.cpp.o"
+  "CMakeFiles/qmap_sim.dir/sim/statevector.cpp.o.d"
+  "libqmap_sim.a"
+  "libqmap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

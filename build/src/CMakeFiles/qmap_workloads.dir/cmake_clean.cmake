@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmap_workloads.dir/workloads/workloads.cpp.o"
+  "CMakeFiles/qmap_workloads.dir/workloads/workloads.cpp.o.d"
+  "libqmap_workloads.a"
+  "libqmap_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmap_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

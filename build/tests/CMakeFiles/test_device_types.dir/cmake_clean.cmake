@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_types.dir/test_device_types.cpp.o"
+  "CMakeFiles/test_device_types.dir/test_device_types.cpp.o.d"
+  "test_device_types"
+  "test_device_types.pdb"
+  "test_device_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_export_and_bidir.cpp" "tests/CMakeFiles/test_export_and_bidir.dir/test_export_and_bidir.cpp.o" "gcc" "tests/CMakeFiles/test_export_and_bidir.dir/test_export_and_bidir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_decompose.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

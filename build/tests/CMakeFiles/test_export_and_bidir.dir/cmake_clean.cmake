@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_export_and_bidir.dir/test_export_and_bidir.cpp.o"
+  "CMakeFiles/test_export_and_bidir.dir/test_export_and_bidir.cpp.o.d"
+  "test_export_and_bidir"
+  "test_export_and_bidir.pdb"
+  "test_export_and_bidir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_export_and_bidir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_export_and_bidir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rendering.dir/test_rendering.cpp.o"
+  "CMakeFiles/test_rendering.dir/test_rendering.cpp.o.d"
+  "test_rendering"
+  "test_rendering.pdb"
+  "test_rendering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rendering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

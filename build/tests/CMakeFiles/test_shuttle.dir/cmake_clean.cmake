@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shuttle.dir/test_shuttle.cpp.o"
+  "CMakeFiles/test_shuttle.dir/test_shuttle.cpp.o.d"
+  "test_shuttle"
+  "test_shuttle.pdb"
+  "test_shuttle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shuttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
