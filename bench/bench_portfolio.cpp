@@ -1,0 +1,162 @@
+// Portfolio engine vs. every fixed strategy — the engine's two promises,
+// measured on the workload suite:
+//
+//   1. Quality: the portfolio winner's selection cost is <= the cost of
+//      every fixed strategy it raced (it IS the per-circuit min, and the
+//      table shows how often each fixed strategy would have been the wrong
+//      default — the paper's "no single mapper wins everywhere" point made
+//      quantitative).
+//   2. Throughput: racing N strategies on a pool costs close to
+//      max(strategy time), not sum — reported as the parallel speedup
+//      (needs a multi-core machine to show a >1 factor; on one core the
+//      wall time degenerates to the serial sum).
+//
+// The bench exits non-zero if the portfolio result fails verification or
+// ever costs more than a fixed strategy.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench_util.hpp"
+#include "engine/portfolio.hpp"
+
+namespace {
+
+using namespace qmap;
+using namespace qmap::bench;
+
+std::vector<std::pair<std::string, Circuit>> suite() {
+  Rng rng(99);
+  std::vector<std::pair<std::string, Circuit>> rows;
+  rows.emplace_back("fig1", workloads::fig1_example());
+  rows.emplace_back("ghz8", workloads::ghz(8));
+  rows.emplace_back("qft6", workloads::qft(6));
+  rows.emplace_back("bv7", workloads::bernstein_vazirani({1, 0, 1, 1, 0, 1})
+                               .unitary_part());
+  rows.emplace_back("adder2", workloads::cuccaro_adder(2));
+  rows.emplace_back("qv8", workloads::quantum_volume(8, 2, rng));
+  rows.emplace_back("random10",
+                    workloads::random_circuit(10, 80, rng, 0.45));
+  return rows;
+}
+
+PortfolioOptions bench_options(int num_threads) {
+  PortfolioOptions options;
+  options.num_threads = num_threads;
+  options.cost_name = "gates";
+  options.base_seed = 0xC0FFEE;
+  return options;
+}
+
+void print_figure() {
+  paper_note(
+      "Secs. III-VI: heuristic routers trade optimality for speed, exact "
+      "approaches do not scale, and the ranking flips per circuit/device "
+      "pair. The portfolio races them all and keeps the cheapest result.");
+
+  const Device device = devices::surface17();
+  const PortfolioCompiler portfolio(device, bench_options(0));
+
+  section("Portfolio-best vs fixed strategies on " + device.name() +
+          " (selection cost: routed two-qubit gates)");
+  std::vector<std::string> header = {"workload"};
+  for (const StrategySpec& spec : portfolio.strategies()) {
+    header.push_back(spec.label());
+  }
+  header.push_back("portfolio");
+  header.push_back("winner");
+  TextTable table(header);
+
+  const CostFunction cost = make_cost_function("gates");
+  std::vector<int> wins(portfolio.strategies().size(), 0);
+  double serial_sum_ms = 0.0;
+  double portfolio_wall_ms = 0.0;
+
+  for (const auto& [label, circuit] : suite()) {
+    const PortfolioResult result = portfolio.compile(circuit);
+    if (!Compiler::verify(result.best)) {
+      std::cerr << "FATAL: portfolio result failed verification on " << label
+                << "\n";
+      std::exit(1);
+    }
+    portfolio_wall_ms += result.wall_ms;
+    const double winner_cost =
+        result.telemetry[static_cast<std::size_t>(result.winner_index)].cost;
+
+    std::vector<std::string> row = {label};
+    for (const StrategyTelemetry& t : result.telemetry) {
+      serial_sum_ms += t.wall_ms;
+      if (t.status != StrategyTelemetry::Status::Completed) {
+        row.push_back("-");
+        continue;
+      }
+      if (winner_cost > t.cost) {
+        std::cerr << "FATAL: portfolio winner (" << winner_cost
+                  << ") costs more than fixed strategy " << t.spec.label()
+                  << " (" << t.cost << ") on " << label << "\n";
+        std::exit(1);
+      }
+      row.push_back(TextTable::num(t.cost, 0));
+    }
+    row.push_back(TextTable::num(winner_cost, 0));
+    row.push_back(result.winner_label);
+    wins[static_cast<std::size_t>(result.winner_index)] += 1;
+    table.add_row(row);
+  }
+  std::cout << table.str();
+
+  section("Winner distribution (why a fixed default is the wrong bet)");
+  TextTable wins_table({"strategy", "wins"});
+  for (std::size_t i = 0; i < portfolio.strategies().size(); ++i) {
+    wins_table.add_row(
+        {portfolio.strategies()[i].label(), TextTable::num(wins[i])});
+  }
+  std::cout << wins_table.str();
+
+  section("Throughput: portfolio wall time vs serial strategy sum");
+  std::printf(
+      "portfolio wall %.1f ms, serial strategy sum %.1f ms, speedup %.2fx "
+      "on %u hardware thread(s)\n",
+      portfolio_wall_ms, serial_sum_ms, serial_sum_ms / portfolio_wall_ms,
+      std::thread::hardware_concurrency());
+  std::printf(
+      "(speedup approaches the strategy count on machines with >= 4 cores; "
+      "a single-core host degenerates to the serial sum)\n");
+}
+
+void BM_PortfolioCompile(benchmark::State& state) {
+  const Device device = devices::surface17();
+  const PortfolioCompiler portfolio(
+      device, bench_options(static_cast<int>(state.range(0))));
+  Rng rng(99);
+  const Circuit circuit = workloads::random_circuit(10, 80, rng, 0.45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(portfolio.compile(circuit));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " threads");
+}
+BENCHMARK(BM_PortfolioCompile)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_FixedStrategyCompile(benchmark::State& state) {
+  const Device device = devices::surface17();
+  CompilerOptions options;
+  options.placer = "greedy";
+  options.router = "sabre";
+  const Compiler compiler(device, options);
+  Rng rng(99);
+  const Circuit circuit = workloads::random_circuit(10, 80, rng, 0.45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler.compile(circuit));
+  }
+  state.SetLabel("greedy+sabre");
+}
+BENCHMARK(BM_FixedStrategyCompile);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

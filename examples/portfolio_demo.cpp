@@ -1,0 +1,58 @@
+// Portfolio engine walkthrough: compile one workload-suite circuit on
+// Surface-17 with the full default strategy portfolio, print the
+// per-strategy telemetry table and the JSON blob a service would log,
+// then show the BatchCompiler throughput path over several circuits.
+// Exits non-zero if any result fails simulation-based verification.
+#include <iostream>
+
+#include "arch/builtin.hpp"
+#include "engine/batch.hpp"
+#include "engine/portfolio.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace qmap;
+
+  const Device device = devices::surface17();
+  const Circuit circuit = workloads::qft(5);
+
+  // --- One circuit, the whole portfolio -----------------------------------
+  PortfolioOptions options;
+  options.cost_name = "gates";          // select by routed 2q-gate count
+  options.strategy_deadline_ms = 2000;  // soft cap per strategy
+  const PortfolioCompiler portfolio(device, options);
+
+  std::cout << "racing " << portfolio.strategies().size()
+            << " strategies for " << circuit.name() << " on "
+            << device.name() << "...\n\n";
+  const PortfolioResult result = portfolio.compile(circuit);
+  std::cout << result.report() << "\n";
+
+  if (!Compiler::verify(result.best)) {
+    std::cerr << "verification failed for the portfolio winner\n";
+    return 1;
+  }
+  std::cout << "winner verified by state-vector equivalence\n\n";
+
+  std::cout << "telemetry JSON (winner + per-strategy records):\n"
+            << result.to_json().dump(2) << "\n\n";
+
+  // --- Many circuits, one pool (throughput mode) --------------------------
+  std::vector<Circuit> batch_circuits = {
+      workloads::ghz(6), workloads::qft(4), workloads::fig1_example(),
+      workloads::cuccaro_adder(2)};
+  BatchOptions batch_options;
+  batch_options.use_portfolio = true;
+  const BatchCompiler batch(device, batch_options);
+  const BatchResult batch_result = batch.compile_all(batch_circuits);
+  std::cout << batch_result.report();
+
+  for (const BatchItem& item : batch_result.items) {
+    if (!item.ok || !Compiler::verify(item.result)) {
+      std::cerr << "batch item failed\n";
+      return 1;
+    }
+  }
+  std::cout << "all batch results verified\n";
+  return 0;
+}

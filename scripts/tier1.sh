@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then the
+# parallel engine's tests again under ThreadSanitizer so data races in
+# src/engine/ (or anything it drives concurrently) fail the build.
+#
+# Usage: scripts/tier1.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo "== tier 1: test_engine under ThreadSanitizer =="
+cmake -B build-tsan -S . -DQMAP_SANITIZE=thread
+cmake --build build-tsan -j "${JOBS}" --target test_engine
+# TSAN_OPTIONS makes the run fail loudly on the first race report.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_engine
+
+echo "tier 1 OK"

@@ -51,6 +51,15 @@ class CouplingGraph {
   /// Hop distance over the undirected graph; -1 when disconnected.
   [[nodiscard]] int distance(int a, int b) const;
 
+  /// Fills the lazy all-pairs distance matrix now. The first distance()
+  /// call otherwise computes it on demand — a logically-const mutation
+  /// that is a data race under concurrent first calls. The portfolio
+  /// engine warms the cache once before sharing a device across workers,
+  /// after which distance() is a pure read.
+  void precompute_distances() const {
+    if (!distances_valid_) compute_distances();
+  }
+
   /// One shortest undirected path from a to b (inclusive of endpoints).
   /// Empty when disconnected.
   [[nodiscard]] std::vector<int> shortest_path(int a, int b) const;

@@ -10,9 +10,28 @@
 namespace qmap {
 
 /// Thin wrapper around std::mt19937_64 with convenience draws.
+///
+/// An Rng instance is NOT thread-safe: concurrent draws from one engine
+/// are a data race. Concurrent components (the portfolio engine's
+/// workers) must each own an Rng seeded with derive_stream, never share
+/// one.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0xC0FFEE) : engine_(seed) {}
+
+  /// Derives an independent, well-mixed seed for stream `stream` of a run
+  /// keyed by `base_seed` (splitmix64 finalizer). Portfolio worker k seeds
+  /// its Rng with derive_stream(base_seed, k), making parallel and serial
+  /// runs bit-identical: the stream depends only on (base_seed, k), never
+  /// on thread scheduling. Nearby base seeds / stream indices yield
+  /// unrelated streams.
+  [[nodiscard]] static std::uint64_t derive_stream(std::uint64_t base_seed,
+                                                   std::uint64_t stream) {
+    std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
 
   /// Uniform integer in [0, bound). Requires bound > 0.
   [[nodiscard]] std::size_t index(std::size_t bound) {

@@ -3,7 +3,9 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
 #include "decompose/decomposer.hpp"
+#include "engine/cancel.hpp"
 #include "decompose/peephole.hpp"
 #include "noise/reliability.hpp"
 #include "route/astar_layer.hpp"
@@ -20,14 +22,30 @@
 
 namespace qmap {
 
-std::unique_ptr<Placer> make_placer(const std::string& name) {
+const std::vector<std::string>& known_placers() {
+  static const std::vector<std::string> names = {
+      "identity",    "greedy",      "exhaustive",
+      "annealing",   "reliability", "bidirectional"};
+  return names;
+}
+
+const std::vector<std::string>& known_routers() {
+  static const std::vector<std::string> names = {
+      "naive", "sabre", "sabre+commute", "astar",
+      "exact", "qmap",  "reliability",   "shuttle"};
+  return names;
+}
+
+std::unique_ptr<Placer> make_placer(const std::string& name,
+                                    std::uint64_t seed) {
   if (name == "identity") return std::make_unique<IdentityPlacer>();
   if (name == "greedy") return std::make_unique<GreedyPlacer>();
   if (name == "exhaustive") return std::make_unique<ExhaustivePlacer>();
-  if (name == "annealing") return std::make_unique<AnnealingPlacer>();
+  if (name == "annealing") return std::make_unique<AnnealingPlacer>(seed);
   if (name == "reliability") return std::make_unique<ReliabilityPlacer>();
   if (name == "bidirectional") return std::make_unique<BidirectionalPlacer>();
-  throw MappingError("unknown placer: " + name);
+  throw MappingError("unknown placer: '" + name + "' (valid: " +
+                     join(known_placers(), ", ") + ")");
 }
 
 std::unique_ptr<Router> make_router(const std::string& name) {
@@ -43,13 +61,17 @@ std::unique_ptr<Router> make_router(const std::string& name) {
   if (name == "qmap") return std::make_unique<QmapRouter>();
   if (name == "reliability") return std::make_unique<ReliabilityRouter>();
   if (name == "shuttle") return std::make_unique<ShuttleRouter>();
-  throw MappingError("unknown router: " + name);
+  throw MappingError("unknown router: '" + name + "' (valid: " +
+                     join(known_routers(), ", ") + ")");
 }
 
 Compiler::Compiler(Device device, CompilerOptions options)
     : device_(std::move(device)), options_(std::move(options)) {}
 
 CompilationResult Compiler::compile(const Circuit& circuit) const {
+  const auto checkpoint = [this] {
+    if (options_.cancel) options_.cancel->check();
+  };
   CompilationResult result;
   result.original = circuit;
   result.original_metrics = compute_metrics(circuit);
@@ -71,12 +93,17 @@ CompilationResult Compiler::compile(const Circuit& circuit) const {
   }
 
   // 2. Initial placement.
+  checkpoint();
   const Placement initial =
-      make_placer(options_.placer)->place(result.lowered, device_);
+      make_placer(options_.placer, options_.seed)->place(result.lowered,
+                                                         device_);
 
-  // 3. Routing.
-  result.routing =
-      make_router(options_.router)->route(result.lowered, device_, initial);
+  // 3. Routing (cooperatively cancellable inside the router main loop).
+  checkpoint();
+  std::unique_ptr<Router> router = make_router(options_.router);
+  router->set_cancel_token(options_.cancel);
+  result.routing = router->route(result.lowered, device_, initial);
+  checkpoint();
 
   // 4. Measurement relocation (devices where not every qubit is
   //    measurable, Sec. VI-A), SWAP expansion, direction repair, final

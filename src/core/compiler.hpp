@@ -12,8 +12,10 @@
 //   scheduled native circuit on physical qubits
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "arch/device.hpp"
 #include "common/json.hpp"
@@ -25,13 +27,21 @@
 
 namespace qmap {
 
+class CancelToken;  // engine/cancel.hpp
+
 struct CompilerOptions {
-  std::string placer = "greedy";   // identity | greedy | exhaustive | annealing
-  std::string router = "sabre";    // naive | sabre | astar | exact | qmap
+  std::string placer = "greedy";   // see known_placers()
+  std::string router = "sabre";    // see known_routers()
   bool lower_to_native = true;     // decompose before routing
   bool peephole = true;            // post-routing gate-count clean-up
   bool run_scheduler = true;
   bool use_control_constraints = true;  // when the device declares them
+  /// Seed for stochastic placers (annealing). The portfolio engine derives
+  /// a distinct stream per strategy so parallel runs stay reproducible.
+  std::uint64_t seed = 0xC0FFEE;
+  /// Cooperative cancellation (engine/cancel.hpp): checked between pipeline
+  /// stages and inside the router main loops. Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 struct CompilationResult {
@@ -60,9 +70,18 @@ struct CompilationResult {
   [[nodiscard]] Json to_json() const;
 };
 
-/// Factory helpers shared by the compiler, benches and tests.
-[[nodiscard]] std::unique_ptr<Placer> make_placer(const std::string& name);
+/// Factory helpers shared by the compiler, engine, benches and tests.
+/// Unknown names throw a MappingError whose message lists every valid name.
+/// `seed` feeds stochastic placers (annealing); deterministic placers
+/// ignore it.
+[[nodiscard]] std::unique_ptr<Placer> make_placer(const std::string& name,
+                                                  std::uint64_t seed = 0xC0FFEE);
 [[nodiscard]] std::unique_ptr<Router> make_router(const std::string& name);
+
+/// Registered strategy names, in the factories' canonical order. The
+/// portfolio engine enumerates these to build/validate its strategy set.
+[[nodiscard]] const std::vector<std::string>& known_placers();
+[[nodiscard]] const std::vector<std::string>& known_routers();
 
 class Compiler {
  public:

@@ -1,0 +1,155 @@
+#include "engine/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/report.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace qmap {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::size_t BatchResult::ok_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      items.begin(), items.end(), [](const BatchItem& i) { return i.ok; }));
+}
+
+double BatchResult::total_item_ms() const {
+  return std::accumulate(
+      items.begin(), items.end(), 0.0,
+      [](double sum, const BatchItem& i) { return sum + i.wall_ms; });
+}
+
+std::string BatchResult::report() const {
+  TextTable table({"#", "circuit", "ok", "strategy", "2q gates", "cycles",
+                   "wall ms"});
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    table.add_row(
+        {TextTable::num(i),
+         item.ok ? item.result.original.name() : std::string("-"),
+         item.ok ? "yes" : "NO",
+         item.winner_label.empty() ? std::string("-") : item.winner_label,
+         item.ok ? TextTable::num(item.result.final_metrics.two_qubit_gates)
+                 : item.error,
+         item.ok ? TextTable::num(item.result.scheduled_cycles)
+                 : std::string("-"),
+         TextTable::num(item.wall_ms, 2)});
+  }
+  std::string out = table.str();
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "batch: %zu/%zu ok, wall %.2f ms (serial sum %.2f ms) on "
+                "%d thread(s)\n",
+                ok_count(), items.size(), wall_ms, total_item_ms(),
+                num_threads);
+  out += buffer;
+  return out;
+}
+
+Json BatchResult::to_json() const {
+  Json out;
+  out["num_threads"] = Json(num_threads);
+  out["wall_ms"] = Json(wall_ms);
+  out["serial_sum_ms"] = Json(total_item_ms());
+  out["ok"] = Json(ok_count());
+  out["total"] = Json(items.size());
+  JsonArray array;
+  for (const BatchItem& item : items) {
+    Json entry;
+    entry["ok"] = Json(item.ok);
+    entry["wall_ms"] = Json(item.wall_ms);
+    if (!item.winner_label.empty()) {
+      entry["strategy"] = Json(item.winner_label);
+    }
+    if (item.ok) {
+      entry["result"] = item.result.to_json();
+    } else {
+      entry["error"] = Json(item.error);
+    }
+    array.push_back(std::move(entry));
+  }
+  out["items"] = Json(std::move(array));
+  return out;
+}
+
+BatchCompiler::BatchCompiler(Device device, BatchOptions options)
+    : device_(std::move(device)), options_(std::move(options)) {
+  // Same eager validation + cache warm-up as the portfolio: misconfigured
+  // batches fail at construction, and workers only ever read the device.
+  if (options_.use_portfolio) {
+    if (options_.portfolio.strategies.empty()) {
+      options_.portfolio.strategies =
+          PortfolioCompiler::default_portfolio(device_);
+    }
+  } else {
+    (void)make_placer(options_.compiler.placer);
+    (void)make_router(options_.compiler.router);
+  }
+  device_.coupling().precompute_distances();
+}
+
+BatchResult BatchCompiler::compile_all(
+    const std::vector<Circuit>& circuits) const {
+  const auto batch_start = Clock::now();
+  ThreadPool pool(options_.num_threads);
+
+  BatchResult batch;
+  batch.items.resize(circuits.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(circuits.size());
+
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    futures.push_back(pool.async([this, &circuits, &batch, i] {
+      BatchItem& item = batch.items[i];  // disjoint slot per task
+      const auto start = Clock::now();
+      try {
+        if (options_.use_portfolio) {
+          PortfolioOptions portfolio_options = options_.portfolio;
+          portfolio_options.base_seed =
+              Rng::derive_stream(options_.base_seed, i);
+          // The circuit-level fan-out already saturates the pool; racing
+          // this circuit's strategies serially avoids oversubscription.
+          portfolio_options.num_threads = 1;
+          const PortfolioCompiler compiler(device_, portfolio_options);
+          PortfolioResult result = compiler.compile(circuits[i]);
+          item.winner_label = result.winner_label;
+          item.result = std::move(result.best);
+        } else {
+          CompilerOptions compiler_options = options_.compiler;
+          compiler_options.seed = Rng::derive_stream(options_.base_seed, i);
+          const Compiler compiler(device_, compiler_options);
+          item.result = compiler.compile(circuits[i]);
+          item.winner_label = compiler_options.placer + "+" +
+                              compiler_options.router;
+        }
+        item.ok = true;
+      } catch (const Error& e) {
+        item.ok = false;
+        item.error = e.what();
+      }
+      item.wall_ms = ms_since(start);
+    }));
+  }
+  for (std::future<void>& future : futures) future.get();
+
+  batch.wall_ms = ms_since(batch_start);
+  batch.num_threads = pool.size();
+  return batch;
+}
+
+}  // namespace qmap

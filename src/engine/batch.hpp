@@ -1,0 +1,78 @@
+// Throughput-oriented batch compilation: many circuits, one device, one
+// thread pool. The front half of a production mapping service — a request
+// queue fanned across workers — with results delivered in submission
+// order regardless of completion order.
+//
+// Two modes:
+//   * fixed-strategy (default): every circuit compiles with the same
+//     CompilerOptions; one pool task per circuit.
+//   * portfolio: every circuit races a full PortfolioCompiler portfolio;
+//     the racing strategies of one circuit run serially inside its worker
+//     (parallelism comes from circuit-level fan-out, which saturates the
+//     pool without oversubscription).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "core/compiler.hpp"
+#include "engine/portfolio.hpp"
+
+namespace qmap {
+
+struct BatchOptions {
+  /// Worker threads (0 = hardware concurrency).
+  int num_threads = 0;
+  /// When true, each circuit runs the whole portfolio instead of the
+  /// fixed `compiler` strategy.
+  bool use_portfolio = false;
+  /// Fixed-strategy mode settings (seed is re-derived per circuit).
+  CompilerOptions compiler;
+  /// Portfolio mode settings (base_seed is re-derived per circuit).
+  PortfolioOptions portfolio;
+  /// Base seed; circuit k uses Rng::derive_stream(base_seed, k), so batch
+  /// results match the equivalent serial compilations bit for bit.
+  std::uint64_t base_seed = 0xC0FFEE;
+};
+
+/// Outcome of one batch entry, in submission order.
+struct BatchItem {
+  bool ok = false;
+  CompilationResult result;      // valid when ok
+  std::string winner_label;      // portfolio mode: winning strategy
+  std::string error;             // failure message when !ok
+  double wall_ms = 0.0;
+};
+
+struct BatchResult {
+  std::vector<BatchItem> items;
+  double wall_ms = 0.0;
+  int num_threads = 1;
+
+  [[nodiscard]] std::size_t ok_count() const;
+  /// Sum of per-item wall times: the serial cost the pool amortized.
+  [[nodiscard]] double total_item_ms() const;
+  [[nodiscard]] std::string report() const;
+  [[nodiscard]] Json to_json() const;
+};
+
+class BatchCompiler {
+ public:
+  explicit BatchCompiler(Device device, BatchOptions options = {});
+
+  [[nodiscard]] const Device& device() const noexcept { return device_; }
+
+  /// Compiles every circuit concurrently. Per-circuit failures are
+  /// recorded in the matching BatchItem, never thrown: one bad circuit
+  /// must not poison the whole batch — see BatchItem::error.
+  [[nodiscard]] BatchResult compile_all(
+      const std::vector<Circuit>& circuits) const;
+
+ private:
+  Device device_;
+  BatchOptions options_;
+};
+
+}  // namespace qmap

@@ -1,0 +1,86 @@
+// Cooperative cancellation for long-running compilation passes.
+//
+// The portfolio engine gives every strategy a CancelToken carrying an
+// optional soft deadline. The routers' main loops poll the token (through
+// Router::check_cancelled) and abort by throwing CancelledError, which the
+// engine records as `cancelled` telemetry instead of a failure. Tokens are
+// plain data + atomics: signalling is lock-free and polling is cheap
+// enough for per-iteration checks in SWAP-selection loops.
+//
+// Header-only on purpose: src/route/ polls tokens but must not link
+// against the engine library (the engine sits *above* routing in the
+// dependency order).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+/// Thrown by a cancellation checkpoint once its token fires. Derived from
+/// qmap::Error so generic error handling still works, but distinct so the
+/// engine can tell "gave up on request" from "genuinely failed".
+class CancelledError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Cooperative cancellation token: a manual flag plus an optional
+/// steady-clock deadline. Thread-safe; one writer (the engine) and many
+/// readers (worker checkpoints) need no locking.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Requests cancellation. Idempotent; never blocks.
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+
+  /// Arms a soft deadline: cancelled() turns true once `deadline` passes.
+  void set_deadline(Clock::time_point deadline) noexcept {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Convenience: deadline `ms` milliseconds from now (<= 0 disarms).
+  void set_deadline_after_ms(double ms) noexcept {
+    if (ms <= 0.0) {
+      deadline_ns_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    set_deadline(Clock::now() +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::milli>(ms)));
+  }
+
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// True once cancel() was called or the deadline passed.
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (flag_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != 0 &&
+           Clock::now().time_since_epoch().count() >= deadline;
+  }
+
+  /// Checkpoint: throws CancelledError once the token fired.
+  void check() const {
+    if (cancelled()) {
+      throw CancelledError("compilation cancelled (deadline or request)");
+    }
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+  // Deadline as steady-clock nanoseconds since epoch; 0 = disarmed.
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+}  // namespace qmap

@@ -1,0 +1,79 @@
+#include "engine/cost.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "noise/estimator.hpp"
+
+namespace qmap {
+
+namespace {
+
+double neg_log_esp(const CompilationResult& result, const Device& device) {
+  if (!device.has_noise()) return 0.0;
+  // The schedule-aware ESP also charges idle-time decoherence; fall back
+  // to the gate-error-only estimate when the scheduler was disabled.
+  const double esp =
+      result.schedule.size() > 0
+          ? estimated_success_probability(result.schedule, device)
+          : estimated_success_probability(result.final_circuit, device);
+  if (esp <= 0.0) return 1e9;  // numerically dead circuit: worst cost
+  return -std::log(esp);
+}
+
+}  // namespace
+
+CostFunction make_cost_function(const CostWeights& weights) {
+  return [weights](const CompilationResult& result,
+                   const Device& device) -> double {
+    double cost = 0.0;
+    if (weights.two_qubit_gates != 0.0) {
+      cost += weights.two_qubit_gates *
+              static_cast<double>(result.final_metrics.two_qubit_gates);
+    }
+    if (weights.depth != 0.0) {
+      cost += weights.depth * static_cast<double>(result.final_metrics.depth);
+    }
+    if (weights.scheduled_cycles != 0.0) {
+      cost += weights.scheduled_cycles *
+              static_cast<double>(result.scheduled_cycles);
+    }
+    if (weights.neg_log_esp != 0.0) {
+      cost += weights.neg_log_esp * neg_log_esp(result, device);
+    }
+    return cost;
+  };
+}
+
+const std::vector<std::string>& known_cost_functions() {
+  static const std::vector<std::string> names = {"gates", "depth", "cycles",
+                                                 "esp", "balanced"};
+  return names;
+}
+
+CostFunction make_cost_function(const std::string& name) {
+  CostWeights weights;
+  weights.two_qubit_gates = 0.0;
+  if (name == "gates") {
+    weights.two_qubit_gates = 1.0;
+  } else if (name == "depth") {
+    weights.depth = 1.0;
+  } else if (name == "cycles") {
+    weights.scheduled_cycles = 1.0;
+    weights.depth = 1e-3;  // tie-break unscheduled runs by depth
+  } else if (name == "esp") {
+    weights.neg_log_esp = 1.0;
+    weights.two_qubit_gates = 1e-3;  // tie-break noiseless devices by gates
+  } else if (name == "balanced") {
+    weights.two_qubit_gates = 1.0;
+    weights.depth = 0.1;
+    weights.scheduled_cycles = 0.01;
+  } else {
+    throw MappingError("unknown cost function: '" + name + "' (valid: " +
+                       join(known_cost_functions(), ", ") + ")");
+  }
+  return make_cost_function(weights);
+}
+
+}  // namespace qmap

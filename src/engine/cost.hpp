@@ -1,0 +1,46 @@
+// Winner selection for the portfolio engine (ISSUE: pluggable cost over
+// CircuitMetrics + schedule + noise).
+//
+// A cost function maps a finished CompilationResult to a scalar; the
+// portfolio keeps the strategy with the smallest value, ties broken by
+// strategy index so the outcome is independent of thread timing. Weighted
+// linear combinations cover the cost functions the paper's Sec. III-B
+// taxonomy discusses (gate count, depth, latency, reliability); fully
+// custom std::function costs are accepted too.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "core/compiler.hpp"
+
+namespace qmap {
+
+/// Scalar selection cost; lower is better. Must be a pure function of the
+/// result + device (it runs concurrently from several workers).
+using CostFunction =
+    std::function<double(const CompilationResult&, const Device&)>;
+
+/// Weights of the built-in linear cost. Each term is multiplied into the
+/// sum only when its weight is non-zero, so unused terms cost nothing.
+struct CostWeights {
+  double two_qubit_gates = 1.0;  // routed two-qubit gate count
+  double depth = 0.0;            // unit-depth of the final circuit
+  double scheduled_cycles = 0.0; // cycle-accurate latency (0 w/o scheduler)
+  /// Weight on -log(estimated success probability), the additive
+  /// reliability cost of src/noise/. Ignored when the device carries no
+  /// calibration data.
+  double neg_log_esp = 0.0;
+};
+
+[[nodiscard]] CostFunction make_cost_function(const CostWeights& weights);
+
+/// Named presets: "gates" | "depth" | "cycles" | "esp" | "balanced".
+/// Throws MappingError listing the valid names on an unknown string.
+[[nodiscard]] CostFunction make_cost_function(const std::string& name);
+
+[[nodiscard]] const std::vector<std::string>& known_cost_functions();
+
+}  // namespace qmap

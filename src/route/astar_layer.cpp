@@ -126,6 +126,7 @@ RoutingResult AStarLayerRouter::route(const Circuit& circuit,
       int goal = -1;
       std::size_t expansions = 0;
       while (!open.empty()) {
+        check_cancelled();
         const auto [f, index] = open.top();
         open.pop();
         const SearchNode node = arena[static_cast<std::size_t>(index)];

@@ -53,7 +53,11 @@ RoutingResult ExactRouter::route(const Circuit& circuit, const Device& device,
   open.emplace(0, initial_state);
 
   State goal_state{-1, {}};
+  std::size_t pops = 0;
   while (!open.empty()) {
+    // Poll the cancellation token every few hundred expansions: often
+    // enough for ms-scale deadlines, rare enough to stay off the profile.
+    if ((++pops & 0xFF) == 0) check_cancelled();
     const auto [d, state] = open.top();
     open.pop();
     const auto it = dist.find(state);

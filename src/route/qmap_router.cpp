@@ -76,6 +76,7 @@ RoutingResult QmapRouter::route(const Circuit& circuit, const Device& device,
   int stall_guard = 0;
   const int stall_limit = 10 * std::max(1, device.num_qubits());
   while (!dag.all_scheduled()) {
+    check_cancelled();
     if (flush_executable()) {
       stall_guard = 0;
       continue;

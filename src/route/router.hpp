@@ -12,6 +12,7 @@
 #include <string>
 
 #include "arch/device.hpp"
+#include "engine/cancel.hpp"
 #include "ir/circuit.hpp"
 #include "layout/placement.hpp"
 
@@ -36,6 +37,22 @@ class Router {
   [[nodiscard]] virtual RoutingResult route(const Circuit& circuit,
                                             const Device& device,
                                             const Placement& initial) = 0;
+
+  /// Attaches a cooperative cancellation token (engine/cancel.hpp, header
+  /// only — no dependency on the engine library). Not owned; null detaches.
+  /// Implementations poll it via check_cancelled() in their main loops and
+  /// abort by letting CancelledError propagate.
+  void set_cancel_token(const CancelToken* token) noexcept { cancel_ = token; }
+
+ protected:
+  /// Cancellation checkpoint for router main loops; cheap enough to call
+  /// once per routing decision. Throws CancelledError when the token fired.
+  void check_cancelled() const {
+    if (cancel_ != nullptr) cancel_->check();
+  }
+
+ private:
+  const CancelToken* cancel_ = nullptr;
 };
 
 /// Helper used by all router implementations: appends gates to the output

@@ -60,6 +60,7 @@ RoutingResult SabreRouter::route(const Circuit& circuit, const Device& device,
   };
 
   while (!dag.all_scheduled()) {
+    check_cancelled();
     if (flush_executable()) {
       swaps_since_progress = 0;
       continue;
