@@ -1,0 +1,104 @@
+// Verification harness micro-benchmarks: what does it cost to audit a
+// mapping, to run one differential check, and to shrink a counterexample?
+//
+// The audit should be negligible next to a compile (so it can run after
+// every mapping in CI), run_strategy is the fuzzer's unit of work (its
+// cost bounds campaign throughput), and the shrink cost is dominated by
+// the predicate recompiles ddmin spends.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "verify/fuzzer.hpp"
+#include "verify/shrink.hpp"
+#include "verify/validity.hpp"
+
+namespace qmap {
+namespace {
+
+void BM_ValidityAudit(benchmark::State& state) {
+  const Device s17 = devices::surface17();
+  Rng rng(21);
+  const CompilationResult result = Compiler(s17).compile(
+      workloads::random_circuit(8, 60, rng, 0.4));
+  const verify::ValidityChecker checker(s17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check_result(result));
+  }
+}
+BENCHMARK(BM_ValidityAudit);
+
+void BM_RunStrategyQx4(benchmark::State& state) {
+  const Device qx4 = devices::ibm_qx4();
+  Rng rng(22);
+  const Circuit circuit = workloads::random_circuit(5, 25, rng, 0.5);
+  const verify::FuzzStrategy strategy{"greedy", "sabre"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify::run_strategy(circuit, qx4, strategy, 0xBE7C));
+  }
+}
+BENCHMARK(BM_RunStrategyQx4);
+
+void BM_RunStrategyCliffordSurface17(benchmark::State& state) {
+  // Wide-device path: equivalence via the exact stabilizer tableau.
+  const Device s17 = devices::surface17();
+  Rng rng(23);
+  const Circuit circuit = workloads::random_clifford_circuit(8, 35, rng, 0.5);
+  const verify::FuzzStrategy strategy{"greedy", "astar"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify::run_strategy(circuit, s17, strategy, 0xBE7C));
+  }
+}
+BENCHMARK(BM_RunStrategyCliffordSurface17);
+
+void BM_ShrinkPlantedFault(benchmark::State& state) {
+  // Real-world shrink: predicate re-runs the full compile + oracle with a
+  // planted dropped-SWAP fault, the exact loop the fuzzer runs on a
+  // genuine failure.
+  const Device qx4 = devices::ibm_qx4();
+  Rng rng(24);
+  const Circuit circuit = workloads::random_circuit(5, 20, rng, 0.6);
+  const verify::FuzzStrategy strategy{"greedy", "sabre"};
+  const auto fails = [&](const Circuit& candidate) {
+    return verify::run_strategy(candidate, qx4, strategy, 0xBE7C, 2,
+                                verify::FaultInjection::DropLastSwap)
+               .kind != verify::FailureKind::None;
+  };
+  if (!fails(circuit)) {
+    state.SkipWithError("planted fault did not fire on the bench circuit");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::Shrinker().shrink(circuit, fails));
+  }
+}
+BENCHMARK(BM_ShrinkPlantedFault)->Unit(benchmark::kMillisecond);
+
+void BM_FuzzCampaignQx4(benchmark::State& state) {
+  // End-to-end throughput of a small campaign (threads = state.range(0)).
+  verify::FuzzOptions options;
+  options.num_circuits = 8;
+  options.max_qubits = 5;
+  options.max_gates = 20;
+  options.base_seed = 0xCAFE;
+  options.trials = 2;
+  options.placers = {"identity", "greedy"};
+  options.routers = {"naive", "sabre", "astar"};
+  options.num_threads = static_cast<int>(state.range(0));
+  const verify::DifferentialFuzzer fuzzer({devices::ibm_qx4()}, options);
+  for (auto _ : state) {
+    const verify::FuzzReport report = fuzzer.run();
+    if (!report.ok()) {
+      state.SkipWithError("campaign reported failures");
+      return;
+    }
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_FuzzCampaignQx4)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qmap
+
+BENCHMARK_MAIN();

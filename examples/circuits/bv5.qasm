@@ -1,0 +1,24 @@
+// Bernstein-Vazirani for the hidden string 1011 (4 data qubits + 1
+// ancilla): a one-layer oracle of CNOTs fanning into the ancilla —
+// a star-shaped interaction graph that placement quality dominates.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[4];
+x q[4];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+h q[4];
+cx q[0], q[4];
+cx q[2], q[4];
+cx q[3], q[4];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+measure q[3] -> c[3];

@@ -1,0 +1,16 @@
+// The paper's Fig. 1 running example: a 4-qubit circuit whose CNOT(q2, q3)
+// is exactly the orientation IBM QX4 forbids, so mapping must add SWAPs
+// and direction fixes (Sec. IV).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+h q[2];
+cx q[2], q[3];
+t q[1];
+cx q[0], q[1];
+h q[3];
+cx q[1], q[2];
+t q[0];
+cx q[0], q[2];
+cx q[2], q[3];

@@ -14,10 +14,18 @@ cmake -B build -S .
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
-echo "== tier 1: test_engine under ThreadSanitizer =="
+echo "== tier 1: differential fuzz label =="
+# The fuzz-labelled tests carry their own per-test timeouts
+# (tests/CMakeLists.txt); run them serially so a timeout is attributable.
+(cd build && ctest --output-on-failure -L fuzz)
+
+echo "== tier 1: test_engine + test_verify under ThreadSanitizer =="
 cmake -B build-tsan -S . -DQMAP_SANITIZE=thread
-cmake --build build-tsan -j "${JOBS}" --target test_engine
+cmake --build build-tsan -j "${JOBS}" --target test_engine test_verify
 # TSAN_OPTIONS makes the run fail loudly on the first race report.
+# test_verify's fuzzer tests fan compiles across the engine ThreadPool, so
+# they double as a race check of the whole compile pipeline.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_engine
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_verify
 
 echo "tier 1 OK"

@@ -1,0 +1,197 @@
+// Differential fuzzing of the whole mapping stack.
+//
+// The harness manufactures seeded random circuits (Rng::derive_stream per
+// circuit, so a report is bit-identical for a fixed base seed regardless
+// of thread count), fans each across every applicable placer x router
+// strategy on every device under test, runs the full Compiler pipeline,
+// and checks two properties per run:
+//
+//   validity     — the ValidityChecker audit: coupling edges, CNOT
+//                  directions, native gates, durations, Surface-17
+//                  classical-control constraints;
+//   equivalence  — the mapped circuit realizes the original under the
+//                  reported placements. Clifford circuits use the exact
+//                  tableau check at any width; everything else uses
+//                  randomized state-vector equivalence (<= a width cap).
+//
+// Because every strategy is checked against the *same* original circuit,
+// agreement between strategies is transitive: one strategy failing while
+// its siblings pass pinpoints the guilty router/placer immediately.
+//
+// Failures are minimized with the delta-debugging Shrinker and (optional)
+// dumped as QASM + JSON-seed reproducers that replay as ordinary unit
+// tests (see verify/reproducer.hpp).
+//
+// Fault injection: the fuzzer can deliberately sabotage results after
+// routing (drop the last SWAP, flip the last CX) to prove — in tests and
+// demos — that the oracle actually catches real router bugs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "common/json.hpp"
+#include "core/compiler.hpp"
+#include "engine/thread_pool.hpp"
+#include "verify/shrink.hpp"
+#include "verify/validity.hpp"
+
+namespace qmap::verify {
+
+/// Post-routing sabotage for harness self-tests: prove the oracle catches
+/// a planted bug before trusting it on real ones.
+enum class FaultInjection {
+  None,
+  /// Remove the last routing SWAP and rebuild the final circuit: the
+  /// mapped circuit stays coupling-legal but no longer matches the
+  /// reported final placement — an equivalence failure.
+  DropLastSwap,
+  /// Flip the operands of the last CX of the final circuit: a direction
+  /// violation on directed devices (validity), an equivalence failure on
+  /// symmetric ones.
+  FlipLastCx,
+};
+
+[[nodiscard]] std::string fault_name(FaultInjection fault);
+[[nodiscard]] FaultInjection fault_from_name(const std::string& name);
+
+enum class FailureKind { None, Validity, Equivalence, Exception };
+
+[[nodiscard]] std::string failure_kind_name(FailureKind kind);
+
+/// Outcome of one (circuit, device, placer, router) compile + check.
+struct RunOutcome {
+  FailureKind kind = FailureKind::None;
+  std::string message;       // violation list / mismatch note / what()
+  bool equivalence_checked = false;  // false when the width cap skipped it
+  std::size_t final_gates = 0;
+  std::size_t added_swaps = 0;
+};
+
+/// One strategy to fuzz. Unlike the portfolio engine's StrategySpec this
+/// carries no deadline — the fuzzer wants failures, not wall-clock wins.
+struct FuzzStrategy {
+  std::string placer;
+  std::string router;
+
+  [[nodiscard]] std::string label() const { return placer + "+" + router; }
+};
+
+struct FuzzOptions {
+  /// Number of random circuits to generate.
+  int num_circuits = 50;
+  int min_qubits = 2;
+  /// Circuits wider than a device skip that device.
+  int max_qubits = 8;
+  int min_gates = 4;
+  int max_gates = 40;
+  double two_qubit_fraction = 0.4;
+  /// Draw gates from the Clifford set only: the exact tableau check then
+  /// applies at any width, so 16/17-qubit devices fuzz at full speed.
+  bool clifford_only = false;
+  /// Per-circuit streams derive from this (Rng::derive_stream).
+  std::uint64_t base_seed = 0xFADED;
+  /// Worker threads (0 = hardware concurrency). The report is
+  /// byte-identical for every thread count.
+  int num_threads = 0;
+  /// Random-state trials for the state-vector equivalence check.
+  int trials = 3;
+  /// Non-Clifford circuits on devices wider than this skip the
+  /// equivalence check (validity is still audited).
+  int max_statevector_qubits = 20;
+  /// Placers/routers to pair up; empty = every known_placers()/known_
+  /// routers() entry applicable to the device (reliability needs noise,
+  /// shuttle needs shuttling support, exact/exhaustive are width-gated).
+  std::vector<std::string> placers;
+  std::vector<std::string> routers;
+  /// Width gates for the exponential strategies.
+  int exact_router_max_device = 6;
+  int exhaustive_placer_max_device = 9;
+  /// Planted bug applied to every run (harness self-test).
+  FaultInjection fault = FaultInjection::None;
+  /// Minimize failing circuits with the Shrinker.
+  bool shrink_failures = true;
+  /// When non-empty, dump each shrunk failure as a QASM + JSON reproducer
+  /// into this directory (created if missing).
+  std::string reproducer_dir;
+};
+
+/// One confirmed failure, fully replayable from (seed, device, strategy).
+struct FuzzFailure {
+  int circuit_index = -1;
+  std::uint64_t seed = 0;  // the per-circuit derived stream seed
+  std::string device;
+  FuzzStrategy strategy;
+  FailureKind kind = FailureKind::None;
+  std::string message;
+  Circuit circuit;            // original (pre-shrink) failing circuit
+  Circuit shrunk;             // minimized (== circuit when shrinking off)
+  std::size_t shrink_tests = 0;
+  std::string reproducer_path;  // JSON path when dumped, else empty
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Aggregate per-strategy tallies (summed over devices).
+struct StrategyTally {
+  FuzzStrategy strategy;
+  std::size_t runs = 0;
+  std::size_t failures = 0;
+  std::size_t equivalence_skipped = 0;
+  std::size_t total_added_swaps = 0;
+};
+
+struct FuzzReport {
+  int circuits = 0;
+  std::size_t runs = 0;
+  std::vector<FuzzFailure> failures;
+  std::vector<StrategyTally> tallies;
+  double wall_ms = 0.0;
+  int num_threads = 1;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  [[nodiscard]] std::string report() const;
+  [[nodiscard]] Json to_json() const;
+  /// Deterministic digest excluding wall-clock fields: byte-identical
+  /// across runs and thread counts for a fixed base seed.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Compiles `circuit` onto `device` with one strategy and runs both
+/// checks. This is the single source of truth shared by the fuzzer, the
+/// reproducer replay, and the tests: a reproducer replays by calling
+/// exactly this function with the recorded arguments.
+[[nodiscard]] RunOutcome run_strategy(const Circuit& circuit,
+                                      const Device& device,
+                                      const FuzzStrategy& strategy,
+                                      std::uint64_t seed, int trials = 3,
+                                      FaultInjection fault =
+                                          FaultInjection::None,
+                                      int max_statevector_qubits = 20);
+
+class DifferentialFuzzer {
+ public:
+  /// Validates strategy names eagerly and warms every device's distance
+  /// cache so worker threads only read shared state.
+  DifferentialFuzzer(std::vector<Device> devices, FuzzOptions options = {});
+
+  [[nodiscard]] const std::vector<Device>& devices() const noexcept {
+    return devices_;
+  }
+  /// The strategy pairings applicable to `device` under the options.
+  [[nodiscard]] std::vector<FuzzStrategy> strategies_for(
+      const Device& device) const;
+
+  /// Runs the whole campaign on an internally owned pool.
+  [[nodiscard]] FuzzReport run() const;
+  /// Runs on a caller-owned pool.
+  [[nodiscard]] FuzzReport run(ThreadPool& pool) const;
+
+ private:
+  std::vector<Device> devices_;
+  FuzzOptions options_;
+};
+
+}  // namespace qmap::verify

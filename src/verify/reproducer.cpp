@@ -1,0 +1,127 @@
+#include "verify/reproducer.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "arch/builtin.hpp"
+#include "common/error.hpp"
+#include "qasm/openqasm.hpp"
+
+namespace qmap::verify {
+
+namespace {
+
+/// Parses the integer suffix of "prefix<n>" names; -1 when malformed.
+int suffix_int(const std::string& name, const std::string& prefix) {
+  if (name.size() <= prefix.size() || name.rfind(prefix, 0) != 0) return -1;
+  const std::string digits = name.substr(prefix.size());
+  if (digits.find_first_not_of("0123456789") != std::string::npos) return -1;
+  return std::atoi(digits.c_str());
+}
+
+/// Parses "prefix<r>x<c>" names; false when malformed.
+bool suffix_grid(const std::string& name, const std::string& prefix, int* rows,
+                 int* cols) {
+  if (name.rfind(prefix, 0) != 0) return false;
+  const std::string tail = name.substr(prefix.size());
+  const std::size_t x = tail.find('x');
+  if (x == std::string::npos) return false;
+  const std::string r = tail.substr(0, x);
+  const std::string c = tail.substr(x + 1);
+  if (r.empty() || c.empty() ||
+      r.find_first_not_of("0123456789") != std::string::npos ||
+      c.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *rows = std::atoi(r.c_str());
+  *cols = std::atoi(c.c_str());
+  return true;
+}
+
+}  // namespace
+
+Device device_by_name(const std::string& name) {
+  if (name == "ibm_qx4") return devices::ibm_qx4();
+  if (name == "ibm_qx5") return devices::ibm_qx5();
+  if (name == "surface17") return devices::surface17();
+  if (name == "surface7") return devices::surface7();
+  int rows = 0;
+  int cols = 0;
+  if (int n = suffix_int(name, "linear"); n > 0) return devices::linear(n);
+  if (int n = suffix_int(name, "all_to_all"); n > 0) {
+    return devices::all_to_all(n);
+  }
+  if (int n = suffix_int(name, "ion"); n > 0) return devices::trapped_ion(n);
+  if (suffix_grid(name, "grid", &rows, &cols)) {
+    return devices::grid(rows, cols);
+  }
+  if (suffix_grid(name, "qdot", &rows, &cols)) {
+    return devices::quantum_dot_array(rows, cols);
+  }
+  throw DeviceError("device_by_name: unknown device '" + name +
+                    "' (builtin names: ibm_qx4, ibm_qx5, surface17, "
+                    "surface7, linear<n>, grid<r>x<c>, all_to_all<n>, "
+                    "ion<n>, qdot<r>x<c>)");
+}
+
+std::string save_reproducer(const Reproducer& repro, const std::string& dir,
+                            const std::string& stem) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  const fs::path qasm_path = fs::path(dir) / (stem + ".qasm");
+  const fs::path json_path = fs::path(dir) / (stem + ".json");
+  save_openqasm(repro.circuit, qasm_path.string());
+
+  Json out;
+  out["version"] = Json(1);
+  out["qasm"] = Json(stem + ".qasm");
+  out["device"] = Json(repro.device);
+  out["placer"] = Json(repro.strategy.placer);
+  out["router"] = Json(repro.strategy.router);
+  // Decimal string: JSON numbers are doubles and would round the seed.
+  out["seed"] = Json(std::to_string(repro.seed));
+  out["trials"] = Json(repro.trials);
+  out["fault"] = Json(fault_name(repro.fault));
+  out["kind"] = Json(repro.kind);
+  out["message"] = Json(repro.message);
+
+  std::ofstream file(json_path);
+  if (!file) {
+    throw ParseError("cannot write reproducer: " + json_path.string());
+  }
+  file << out.dump(2) << "\n";
+  return json_path.string();
+}
+
+Reproducer load_reproducer(const std::string& json_path) {
+  std::ifstream file(json_path);
+  if (!file) throw ParseError("cannot read reproducer: " + json_path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+
+  Reproducer repro;
+  repro.device = doc.at("device").as_string();
+  repro.strategy.placer = doc.at("placer").as_string();
+  repro.strategy.router = doc.at("router").as_string();
+  repro.seed = std::strtoull(doc.at("seed").as_string().c_str(), nullptr, 10);
+  repro.trials = doc.at("trials").as_int();
+  repro.fault = fault_from_name(doc.at("fault").as_string());
+  repro.kind = doc.at("kind").as_string();
+  repro.message = doc.at("message").as_string();
+
+  const std::filesystem::path qasm =
+      std::filesystem::path(json_path).parent_path() /
+      doc.at("qasm").as_string();
+  repro.circuit = load_openqasm(qasm.string());
+  return repro;
+}
+
+RunOutcome replay(const Reproducer& repro) {
+  return run_strategy(repro.circuit, device_by_name(repro.device),
+                      repro.strategy, repro.seed, repro.trials, repro.fault);
+}
+
+}  // namespace qmap::verify

@@ -1,0 +1,53 @@
+// Failure reproducers: dump a fuzz counterexample to disk, reload it,
+// replay it.
+//
+// A reproducer is two sibling files: `<stem>.qasm` (the minimized failing
+// circuit, ordinary OpenQASM 2.0) and `<stem>.json` (the device, the
+// placer x router strategy, the run seed, the injected fault if any, and
+// the recorded failure). Replaying calls exactly the fuzzer's
+// run_strategy(), so a dumped failure becomes an ordinary deterministic
+// unit test: load, replay, assert the same FailureKind.
+//
+// Seeds are serialized as decimal strings — the JSON number type is a
+// double and would silently round 64-bit seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/device.hpp"
+#include "verify/fuzzer.hpp"
+
+namespace qmap::verify {
+
+struct Reproducer {
+  Circuit circuit;
+  std::string device;        // built-in device name, see device_by_name
+  FuzzStrategy strategy;
+  std::uint64_t seed = 0;    // run seed passed to run_strategy
+  int trials = 3;
+  FaultInjection fault = FaultInjection::None;
+  std::string kind;          // failure_kind_name at dump time
+  std::string message;       // diagnostic at dump time
+};
+
+/// Resolves a built-in device by its Device::name() string: "ibm_qx4",
+/// "ibm_qx5", "surface17", "surface7", and the parametric families
+/// "linear<n>", "grid<r>x<c>", "all_to_all<n>", "ion<n>", "qdot<r>x<c>".
+/// Throws DeviceError for anything else.
+[[nodiscard]] Device device_by_name(const std::string& name);
+
+/// Writes `<dir>/<stem>.qasm` and `<dir>/<stem>.json` (directory created
+/// if missing). Returns the JSON path.
+std::string save_reproducer(const Reproducer& repro, const std::string& dir,
+                            const std::string& stem);
+
+/// Loads a reproducer from its JSON path; the QASM file is resolved
+/// relative to the JSON's directory.
+[[nodiscard]] Reproducer load_reproducer(const std::string& json_path);
+
+/// Re-runs the recorded compile + checks. A genuine reproducer returns
+/// the same FailureKind it was dumped with.
+[[nodiscard]] RunOutcome replay(const Reproducer& repro);
+
+}  // namespace qmap::verify

@@ -1,0 +1,109 @@
+#include "verify/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qmap::verify {
+
+Circuit remove_gates(const Circuit& circuit,
+                     const std::vector<std::size_t>& removed) {
+  std::vector<bool> drop(circuit.size(), false);
+  for (const std::size_t i : removed) {
+    if (i < circuit.size()) drop[i] = true;
+  }
+  Circuit out(circuit.num_qubits(), circuit.name());
+  out.declare_cbits(circuit.num_cbits());
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    if (!drop[i]) out.add(circuit.gate(i));
+  }
+  return out;
+}
+
+Circuit compact_qubits(const Circuit& circuit) {
+  std::vector<bool> used(static_cast<std::size_t>(circuit.num_qubits()),
+                         false);
+  for (const Gate& gate : circuit) {
+    for (const int q : gate.qubits) used[static_cast<std::size_t>(q)] = true;
+  }
+  std::vector<int> relabel(used.size(), -1);
+  int next = 0;
+  for (std::size_t q = 0; q < used.size(); ++q) {
+    if (used[q]) relabel[q] = next++;
+  }
+  if (next == circuit.num_qubits()) return circuit;  // nothing idle
+  Circuit out(std::max(next, 1), circuit.name());
+  out.declare_cbits(circuit.num_cbits());
+  for (const Gate& gate : circuit) {
+    Gate moved = gate;
+    for (int& q : moved.qubits) q = relabel[static_cast<std::size_t>(q)];
+    out.add(std::move(moved));
+  }
+  return out;
+}
+
+Shrinker::Result Shrinker::shrink(const Circuit& failing,
+                                  const Predicate& still_fails) const {
+  Result result;
+  result.original_gates = failing.size();
+
+  const auto budget_left = [this, &result] {
+    return options_.max_tests == 0 || result.tests < options_.max_tests;
+  };
+  const auto test = [&](const Circuit& candidate) {
+    ++result.tests;
+    return still_fails(candidate);
+  };
+
+  if (!test(failing)) {
+    throw MappingError(
+        "Shrinker: the input circuit does not satisfy the failure "
+        "predicate; nothing to minimize");
+  }
+
+  Circuit current = failing;
+  bool changed = true;
+  while (changed && budget_left()) {
+    changed = false;
+    ++result.rounds;
+    // ddmin over the gate list: chunk sizes n/2, n/4, ..., 1. Removing a
+    // chunk that keeps the failure restarts at that granularity, so large
+    // simplifications are found before single-gate polishing.
+    for (std::size_t chunk = std::max<std::size_t>(current.size() / 2, 1);
+         chunk >= 1 && budget_left(); chunk /= 2) {
+      bool removed_any = true;
+      while (removed_any && budget_left()) {
+        removed_any = false;
+        for (std::size_t begin = 0; begin < current.size() && budget_left();) {
+          std::vector<std::size_t> indices;
+          for (std::size_t i = begin;
+               i < std::min(begin + chunk, current.size()); ++i) {
+            indices.push_back(i);
+          }
+          const Circuit candidate = remove_gates(current, indices);
+          if (candidate.size() < current.size() && test(candidate)) {
+            current = candidate;
+            changed = true;
+            removed_any = true;
+            // Do not advance: the chunk at `begin` is now different gates.
+          } else {
+            begin += chunk;
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+    if (options_.drop_idle_qubits && budget_left()) {
+      const Circuit compacted = compact_qubits(current);
+      if (compacted.num_qubits() < current.num_qubits() && test(compacted)) {
+        current = compacted;
+        changed = true;
+      }
+    }
+  }
+  result.circuit = std::move(current);
+  return result;
+}
+
+}  // namespace qmap::verify

@@ -1,0 +1,63 @@
+// Delta-debugging circuit minimizer.
+//
+// A fuzzer counterexample is only useful once it is small: a 40-gate
+// random circuit that breaks a router almost always contains a handful of
+// gates that actually matter. The Shrinker runs ddmin-style reduction over
+// the gate list — remove halves, then quarters, ... down to single gates,
+// keeping every removal after which the failure predicate still fires —
+// followed by removal of qubits that no remaining gate touches. The result
+// is a local minimum: no single gate can be removed and no idle qubit
+// remains, while the predicate still fails.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "ir/circuit.hpp"
+
+namespace qmap::verify {
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations (0 = unbounded). Each evaluation
+  /// typically re-runs a full compile, so runaway shrinks are bounded.
+  std::size_t max_tests = 2000;
+  /// Also drop qubits no remaining gate touches and relabel the rest.
+  bool drop_idle_qubits = true;
+};
+
+class Shrinker {
+ public:
+  /// Returns true when the candidate circuit still exhibits the failure.
+  /// The predicate must be deterministic (fix all seeds) or shrinking can
+  /// wander; it must also tolerate any gate subset of the original.
+  using Predicate = std::function<bool(const Circuit&)>;
+
+  struct Result {
+    Circuit circuit;                // the minimized failing circuit
+    std::size_t original_gates = 0;
+    std::size_t tests = 0;          // predicate evaluations spent
+    int rounds = 0;                 // full ddmin passes until fixpoint
+  };
+
+  explicit Shrinker(ShrinkOptions options = {}) : options_(options) {}
+
+  /// Minimizes `failing` (which must satisfy the predicate; throws
+  /// MappingError otherwise, catching harness bugs early).
+  [[nodiscard]] Result shrink(const Circuit& failing,
+                              const Predicate& still_fails) const;
+
+ private:
+  ShrinkOptions options_;
+};
+
+/// Copy of `circuit` without the gates whose indices are listed in
+/// `removed` (sorted or not); helper shared with tests.
+[[nodiscard]] Circuit remove_gates(const Circuit& circuit,
+                                   const std::vector<std::size_t>& removed);
+
+/// Copy of `circuit` with qubits no gate touches removed and the remaining
+/// qubits relabeled densely (order preserved). Width-0 circuits are kept
+/// at width 1 so downstream passes stay happy.
+[[nodiscard]] Circuit compact_qubits(const Circuit& circuit);
+
+}  // namespace qmap::verify

@@ -148,6 +148,37 @@ Circuit random_circuit(int n, int num_gates, Rng& rng,
   return c;
 }
 
+Circuit random_clifford_circuit(int n, int num_gates, Rng& rng,
+                                double two_qubit_fraction) {
+  if (n < 2) throw CircuitError("random_clifford_circuit: need n >= 2");
+  Circuit c(n, "clifford" + std::to_string(n) + "x" +
+                   std::to_string(num_gates));
+  for (int g = 0; g < num_gates; ++g) {
+    if (rng.chance(two_qubit_fraction)) {
+      const int a = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      int b = static_cast<int>(rng.index(static_cast<std::size_t>(n - 1)));
+      if (b >= a) ++b;
+      switch (rng.index(3)) {
+        case 0: c.cx(a, b); break;
+        case 1: c.cz(a, b); break;
+        default: c.swap(a, b); break;
+      }
+    } else {
+      const int q = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      switch (rng.index(7)) {
+        case 0: c.h(q); break;
+        case 1: c.s(q); break;
+        case 2: c.sdg(q); break;
+        case 3: c.x(q); break;
+        case 4: c.y(q); break;
+        case 5: c.z(q); break;
+        default: c.sx(q); break;
+      }
+    }
+  }
+  return c;
+}
+
 Circuit quantum_volume(int n, int depth, Rng& rng) {
   if (n < 2) throw CircuitError("quantum_volume: need n >= 2");
   Circuit c(n, "qv" + std::to_string(n) + "d" + std::to_string(depth));

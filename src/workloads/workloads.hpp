@@ -50,6 +50,13 @@ namespace qmap::workloads {
 [[nodiscard]] Circuit random_circuit(int n, int num_gates, Rng& rng,
                                      double two_qubit_fraction = 0.4);
 
+/// Random Clifford-only circuit (H/S/Sdg/X/Y/Z/SX single-qubit gates;
+/// CX/CZ/SWAP on random distinct pairs). Clifford circuits verify exactly
+/// via the stabilizer tableau at any width, so these are the workload of
+/// choice for fuzzing wide devices where state-vector checks are too slow.
+[[nodiscard]] Circuit random_clifford_circuit(int n, int num_gates, Rng& rng,
+                                              double two_qubit_fraction = 0.4);
+
 /// Quantum-volume-style model circuit: `depth` layers, each pairing the
 /// qubits at random and applying a random SU(4)-ish block (3 CNOTs dressed
 /// with random single-qubit rotations).

@@ -1,0 +1,137 @@
+// Bounded differential-fuzz smoke: seeded random circuits fanned across
+// every applicable placer x router strategy on the paper's devices must
+// map to valid, equivalent circuits. Runs under the `fuzz` ctest label
+// with a hard timeout (tests/CMakeLists.txt) so a runaway router fails
+// fast instead of hanging the suite.
+//
+// Budget note: QX4 fuzzes with general (non-Clifford) circuits — 5 qubits
+// keep the state-vector oracle cheap. QX5 and Surface-17 are too wide for
+// state vectors at this volume, so they fuzz Clifford-only circuits and
+// the exact stabilizer-tableau oracle checks equivalence at full width.
+#include <gtest/gtest.h>
+
+#include "arch/builtin.hpp"
+#include "verify/fuzzer.hpp"
+
+namespace qmap::verify {
+namespace {
+
+TEST(DifferentialFuzz, Qx4AllStrategiesStateVector) {
+  FuzzOptions options;
+  options.num_circuits = 15;
+  options.min_qubits = 2;
+  options.max_qubits = 5;
+  options.min_gates = 4;
+  options.max_gates = 25;
+  options.base_seed = 0x51D0A;
+  options.trials = 2;
+  // Empty placers/routers = everything applicable: QX4's 5 qubits keep
+  // even the exhaustive placer and the exact router in play.
+  const DifferentialFuzzer fuzzer({devices::ibm_qx4()}, options);
+  ASSERT_GE(fuzzer.strategies_for(devices::ibm_qx4()).size(), 12u);
+  const FuzzReport report = fuzzer.run();
+  EXPECT_TRUE(report.ok()) << report.report();
+  EXPECT_GT(report.runs, 0u);
+  for (const StrategyTally& tally : report.tallies) {
+    EXPECT_GT(tally.runs, 0u) << tally.strategy.label();
+  }
+}
+
+TEST(DifferentialFuzz, WideDevicesCliffordTableau) {
+  FuzzOptions options;
+  options.num_circuits = 20;
+  options.min_qubits = 3;
+  options.max_qubits = 8;
+  options.min_gates = 8;
+  options.max_gates = 35;
+  options.clifford_only = true;  // exact tableau oracle at 16/17 qubits
+  options.base_seed = 0xC11FF;
+  options.placers = {"identity", "greedy", "annealing", "bidirectional"};
+  options.routers = {"naive", "sabre", "sabre+commute", "astar", "qmap"};
+  const DifferentialFuzzer fuzzer(
+      {devices::ibm_qx5(), devices::surface17()}, options);
+  const FuzzReport report = fuzzer.run();
+  EXPECT_TRUE(report.ok()) << report.report();
+  // Clifford circuits are tableau-checkable at any width: the oracle must
+  // never have been skipped.
+  for (const StrategyTally& tally : report.tallies) {
+    EXPECT_EQ(tally.equivalence_skipped, 0u) << tally.strategy.label();
+  }
+}
+
+TEST(DifferentialFuzz, Surface17MixedGateSet) {
+  // A small non-Clifford batch on Surface-17 exercises the {Rx, Ry, CZ}
+  // lowering and the constrained scheduler; widths stay under the
+  // state-vector cap so equivalence is still checked.
+  FuzzOptions options;
+  options.num_circuits = 10;
+  options.min_qubits = 3;
+  options.max_qubits = 6;
+  options.min_gates = 6;
+  options.max_gates = 24;
+  options.base_seed = 0x517;
+  options.trials = 2;
+  options.max_statevector_qubits = 17;
+  options.placers = {"greedy"};
+  options.routers = {"naive", "sabre", "astar", "qmap"};
+  const FuzzReport report =
+      DifferentialFuzzer({devices::surface17()}, options).run();
+  EXPECT_TRUE(report.ok()) << report.report();
+}
+
+TEST(DifferentialFuzz, ReportIsByteIdenticalAcrossThreadCounts) {
+  FuzzOptions options;
+  options.num_circuits = 8;
+  options.max_qubits = 5;
+  options.max_gates = 20;
+  options.base_seed = 0xD15C0;
+  options.trials = 2;
+  options.placers = {"identity", "greedy"};
+  options.routers = {"naive", "sabre", "astar"};
+
+  std::vector<std::string> fingerprints;
+  for (const int threads : {1, 2, 8}) {
+    options.num_threads = threads;
+    const FuzzReport report =
+        DifferentialFuzzer({devices::ibm_qx4(), devices::surface7()}, options)
+            .run();
+    EXPECT_TRUE(report.ok()) << report.report();
+    fingerprints.push_back(report.fingerprint());
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+  EXPECT_EQ(fingerprints[0], fingerprints[2]);
+}
+
+TEST(DifferentialFuzz, FingerprintCapturesPlantedFailures) {
+  // Same campaign with and without a planted fault: the fault must change
+  // the fingerprint (failures are part of the digest), and the two
+  // faulty runs must agree with each other.
+  FuzzOptions options;
+  options.num_circuits = 5;
+  options.min_qubits = 4;
+  options.max_qubits = 5;
+  options.min_gates = 14;
+  options.max_gates = 24;
+  options.two_qubit_fraction = 0.6;
+  options.base_seed = 0xFA117;
+  options.trials = 2;
+  options.placers = {"greedy"};
+  options.routers = {"sabre"};
+  options.shrink_failures = false;
+
+  const FuzzReport clean =
+      DifferentialFuzzer({devices::ibm_qx4()}, options).run();
+  options.fault = FaultInjection::DropLastSwap;
+  const FuzzReport faulty1 =
+      DifferentialFuzzer({devices::ibm_qx4()}, options).run();
+  const FuzzReport faulty2 =
+      DifferentialFuzzer({devices::ibm_qx4()}, options).run();
+
+  EXPECT_TRUE(clean.ok()) << clean.report();
+  EXPECT_FALSE(faulty1.ok()) << "planted SWAP drop went unnoticed";
+  EXPECT_NE(clean.fingerprint(), faulty1.fingerprint());
+  EXPECT_EQ(faulty1.fingerprint(), faulty2.fingerprint());
+}
+
+}  // namespace
+}  // namespace qmap::verify

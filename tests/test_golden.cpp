@@ -1,0 +1,122 @@
+// Golden-file QASM round-trip tests.
+//
+// Each case parses a committed example circuit, maps it with a fixed
+// deterministic strategy, writes the final circuit as OpenQASM, and
+// compares the bytes against a committed golden file. This pins down the
+// whole parse -> map -> write chain: a formatting change, a gate-order
+// change, or a nondeterminism regression in a placer/router shows up as
+// a golden diff instead of a silent behavior change.
+//
+// Regenerating after an intentional change:
+//   QMAP_REGEN_GOLDEN=1 ./build/tests/test_golden
+// then review and commit the diff under tests/golden/.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/compiler.hpp"
+#include "qasm/openqasm.hpp"
+#include "verify/reproducer.hpp"
+#include "verify/validity.hpp"
+
+namespace qmap {
+namespace {
+
+struct GoldenCase {
+  std::string circuit;  // stem under examples/circuits/
+  std::string device;   // verify::device_by_name string
+  std::string placer;
+  std::string router;
+};
+
+std::string case_name(const testing::TestParamInfo<GoldenCase>& info) {
+  std::string name = info.param.circuit + "_" + info.param.device + "_" +
+                     info.param.placer + "_" + info.param.router;
+  for (char& c : name) {
+    if (c == '+') c = 'P';
+  }
+  return name;
+}
+
+// Deterministic strategies only: goldens must not depend on the seed.
+const GoldenCase kCases[] = {
+    {"fig1", "ibm_qx4", "greedy", "sabre"},
+    {"fig1", "surface17", "greedy", "qmap"},
+    {"ghz5", "ibm_qx5", "greedy", "sabre"},
+    {"ghz5", "surface7", "identity", "naive"},
+    {"qft4", "surface7", "greedy", "astar"},
+    {"qft4", "ibm_qx4", "greedy", "qmap"},
+    {"bv5", "ibm_qx4", "identity", "sabre"},
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) ADD_FAILURE() << "cannot read " << path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+class GoldenMapping : public testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenMapping, ParseMapWriteMatchesGolden) {
+  const GoldenCase& param = GetParam();
+  const Circuit input = load_openqasm(std::string(QMAP_EXAMPLES_DIR) +
+                                      "/circuits/" + param.circuit + ".qasm");
+  const Device device = verify::device_by_name(param.device);
+
+  CompilerOptions options;
+  options.placer = param.placer;
+  options.router = param.router;
+  const CompilationResult result = Compiler(device, options).compile(input);
+
+  // The mapped circuit must be valid before it becomes a golden.
+  const verify::ValidityReport audit =
+      verify::ValidityChecker(device).check_result(result);
+  ASSERT_TRUE(audit.ok()) << audit.to_string();
+
+  const std::string written = to_openqasm(result.final_circuit);
+  const std::string golden_path = std::string(QMAP_GOLDEN_DIR) + "/" +
+                                  param.circuit + "_" + param.device + "_" +
+                                  param.placer + "_" + param.router + ".qasm";
+
+  const char* regen = std::getenv("QMAP_REGEN_GOLDEN");
+  if (regen != nullptr && *regen != '\0') {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << golden_path;
+    out << written;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  EXPECT_EQ(written, read_file(golden_path))
+      << "mapped output drifted from " << golden_path
+      << " (QMAP_REGEN_GOLDEN=1 regenerates after an intentional change)";
+
+  // The written circuit must re-parse, and the writer must be a fixpoint
+  // on its own output (byte-stable round-trip).
+  const Circuit reparsed = parse_openqasm(written);
+  EXPECT_EQ(reparsed.size(), result.final_circuit.size());
+  EXPECT_EQ(to_openqasm(reparsed), written);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, GoldenMapping, testing::ValuesIn(kCases),
+                         case_name);
+
+TEST(ExampleCircuits, AllParseAndRoundTrip) {
+  for (const char* stem : {"fig1", "ghz5", "qft4", "bv5"}) {
+    const std::string path =
+        std::string(QMAP_EXAMPLES_DIR) + "/circuits/" + stem + ".qasm";
+    const Circuit circuit = load_openqasm(path);
+    EXPECT_GT(circuit.size(), 0u) << path;
+    const std::string written = to_openqasm(circuit);
+    const Circuit reparsed = parse_openqasm(written);
+    EXPECT_EQ(to_openqasm(reparsed), written) << path;
+    EXPECT_EQ(reparsed.size(), circuit.size()) << path;
+    EXPECT_EQ(reparsed.num_qubits(), circuit.num_qubits()) << path;
+  }
+}
+
+}  // namespace
+}  // namespace qmap

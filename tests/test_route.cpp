@@ -20,10 +20,34 @@
 #include "route/qmap_router.hpp"
 #include "route/sabre.hpp"
 #include "sim/equivalence.hpp"
+#include "verify/validity.hpp"
 #include "workloads/workloads.hpp"
 
 namespace qmap {
 namespace {
+
+/// Shared post-condition for every routing result: after SWAP expansion
+/// and direction repair the circuit passes the verify-subsystem audit
+/// (coupling edges, orientations, measurability) and is unitarily
+/// equivalent to the input under the reported placements. Swap-count
+/// assertions alone would accept a router that silently corrupts the
+/// permutation; this closes that hole.
+void expect_routed_valid_and_equivalent(const Circuit& original,
+                                        const Device& device,
+                                        const RoutingResult& result) {
+  Circuit legal = expand_swaps(result.circuit, device);
+  legal = fix_cx_directions(legal, device);
+  verify::CheckOptions options;
+  options.require_native = false;  // audit happens before gate lowering
+  const verify::ValidityReport report =
+      verify::ValidityChecker(device, options).check_circuit(legal);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  Rng rng(99);
+  EXPECT_TRUE(mapping_equivalent(original.unitary_part(),
+                                 legal.unitary_part(),
+                                 result.initial.wire_to_phys(),
+                                 result.final.wire_to_phys(), rng, 3));
+}
 
 struct RouteCase {
   std::string router;
@@ -153,11 +177,13 @@ TEST(ExactRouter, NeverWorseThanHeuristicsOnQx4) {
     const Placement initial =
         Placement::identity(circuit.num_qubits(), qx4.num_qubits());
     const RoutingResult exact = ExactRouter().route(circuit, qx4, initial);
+    expect_routed_valid_and_equivalent(circuit, qx4, exact);
     for (const char* name : {"naive", "sabre", "astar", "qmap"}) {
       const RoutingResult heuristic =
           make_router(name)->route(circuit, qx4, initial);
       EXPECT_LE(exact.added_swaps, heuristic.added_swaps)
           << "exact beat by " << name << " on trial " << trial;
+      expect_routed_valid_and_equivalent(circuit, qx4, heuristic);
     }
   }
 }
@@ -169,6 +195,7 @@ TEST(ExactRouter, ZeroSwapsWhenAlreadyRoutable) {
   const RoutingResult result = ExactRouter().route(
       c, line, Placement::identity(4, 4));
   EXPECT_EQ(result.added_swaps, 0u);
+  expect_routed_valid_and_equivalent(c, line, result);
 }
 
 TEST(ExactRouter, SingleSwapOnLineEndToEnd) {
@@ -179,6 +206,7 @@ TEST(ExactRouter, SingleSwapOnLineEndToEnd) {
   const RoutingResult result =
       ExactRouter().route(c, line, Placement::identity(3, 3));
   EXPECT_EQ(result.added_swaps, 1u);
+  expect_routed_valid_and_equivalent(c, line, result);
 }
 
 TEST(ExactRouter, ThrowsWhenStateBudgetExceeded) {
@@ -202,6 +230,8 @@ TEST(Routers, NaiveIsTheOverheadBaselineOnFig1Skeleton) {
   const RoutingResult naive = NaiveRouter().route(skeleton, qx4, initial);
   const RoutingResult exact = ExactRouter().route(skeleton, qx4, initial);
   EXPECT_LE(exact.added_swaps, naive.added_swaps);
+  expect_routed_valid_and_equivalent(skeleton, qx4, naive);
+  expect_routed_valid_and_equivalent(skeleton, qx4, exact);
 }
 
 TEST(Routers, RejectArityThreeGates) {
@@ -247,6 +277,7 @@ TEST(Routers, SingleQubitOnlyCircuitNeedsNoSwaps) {
         make_router(name)->route(c, qx4, Placement::identity(4, 5));
     EXPECT_EQ(result.added_swaps, 0u) << name;
     EXPECT_EQ(result.circuit.size(), c.size()) << name;
+    expect_routed_valid_and_equivalent(c, qx4, result);
   }
 }
 
@@ -261,6 +292,7 @@ TEST(Routers, MeasurementsSurviveRouting) {
     if (gate.kind == GateKind::Measure) ++measures;
   }
   EXPECT_EQ(measures, 3u);
+  expect_routed_valid_and_equivalent(c, s7, result);
 }
 
 TEST(RoutingEmitter, RefusesNonAdjacentTwoQubitGate) {
