@@ -1,0 +1,135 @@
+// Resilience layer overhead and degradation cost, measured:
+//
+//   1. Guard overhead: resilience::compile with no faults and a generous
+//      deadline vs. the bare PortfolioCompiler it wraps — the price of
+//      admission control, crash boundaries, and post-validation on the
+//      happy path.
+//   2. Degradation cost: the same call with a probability-1.0 placer
+//      fault on the portfolio rung — what a full rung-0 outage costs in
+//      wall time before the ladder hands back a validated rung-1 answer.
+//   3. Rejection cost: an inadmissible request, which must be near-free
+//      (no pass ever runs).
+//
+// Exits non-zero if any ladder outcome comes back non-validated, so the
+// bench doubles as an integration check of the fallback guarantees.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "resilience/resilience.hpp"
+
+namespace {
+
+using namespace qmap;
+using namespace qmap::bench;
+
+resilience::Policy clean_policy() {
+  resilience::Policy policy;
+  policy.deadline_ms = 5000;
+  policy.seed = 0xC0FFEE;
+  policy.backoff.base_ms = 0.1;
+  policy.backoff.cap_ms = 1.0;
+  return policy;
+}
+
+resilience::Policy hostile_policy() {
+  resilience::Policy policy = clean_policy();
+  resilience::FaultSpec fault;
+  fault.point = "throw-in-placer";
+  fault.rung = 0;
+  fault.probability = 1.0;
+  policy.faults.push_back(fault);
+  return policy;
+}
+
+void require_validated(const resilience::CompileOutcome& outcome,
+                       const char* what) {
+  if (!outcome.ok || !outcome.validated) {
+    std::cerr << "FATAL: " << what << " did not return a validated result\n";
+    std::exit(1);
+  }
+}
+
+void print_figure() {
+  paper_note(
+      "Sec. VII outlook: a mapping service facing real devices needs "
+      "predictable behaviour under partial failure, not just a fast happy "
+      "path. The ladder's overhead and its degradation cost are the two "
+      "numbers that decide whether the hardening is affordable.");
+
+  const Device device = devices::surface17();
+  const Circuit circuit = workloads::qft(5);
+
+  section("Ladder outcomes on " + device.name() + " / " + circuit.name());
+  TextTable table({"scenario", "rung", "winner", "retries", "validated"});
+
+  resilience::CompileOutcome outcome =
+      resilience::compile(circuit, device, clean_policy());
+  require_validated(outcome, "clean ladder");
+  table.add_row({"no faults", TextTable::num(outcome.rung),
+                 outcome.winner_label, TextTable::num(outcome.total_retries),
+                 outcome.validated ? "yes" : "no"});
+
+  outcome = resilience::compile(circuit, device, hostile_policy());
+  require_validated(outcome, "rung-0 outage ladder");
+  table.add_row({"placer fault @ rung 0", TextTable::num(outcome.rung),
+                 outcome.winner_label, TextTable::num(outcome.total_retries),
+                 outcome.validated ? "yes" : "no"});
+  std::cout << table.str();
+  std::cout << "(the hostile row must report rung >= 1: the portfolio rung "
+               "is dead, the ladder is not)\n";
+}
+
+void BM_ResilientCompileClean(benchmark::State& state) {
+  const Device device = devices::surface17();
+  const resilience::ResilientCompiler compiler(device, clean_policy());
+  const Circuit circuit = workloads::qft(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler.compile(circuit));
+  }
+  state.SetLabel("ladder, no faults");
+}
+BENCHMARK(BM_ResilientCompileClean);
+
+void BM_BarePortfolioBaseline(benchmark::State& state) {
+  const Device device = devices::surface17();
+  PortfolioOptions options;
+  options.base_seed = 0xC0FFEE;
+  const PortfolioCompiler portfolio(device, options);
+  const Circuit circuit = workloads::qft(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(portfolio.compile(circuit));
+  }
+  state.SetLabel("unguarded portfolio");
+}
+BENCHMARK(BM_BarePortfolioBaseline);
+
+void BM_ResilientCompileRungZeroOutage(benchmark::State& state) {
+  const Device device = devices::surface17();
+  const resilience::ResilientCompiler compiler(device, hostile_policy());
+  const Circuit circuit = workloads::qft(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler.compile(circuit));
+  }
+  state.SetLabel("placer fault p=1.0 @ rung 0");
+}
+BENCHMARK(BM_ResilientCompileRungZeroOutage);
+
+void BM_AdmissionRejection(benchmark::State& state) {
+  const Device device = devices::surface17();
+  const resilience::ResilientCompiler compiler(device, clean_policy());
+  const Circuit too_wide = workloads::ghz(device.num_qubits() + 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler.compile(too_wide));
+  }
+  state.SetLabel("rejected before any pass runs");
+}
+BENCHMARK(BM_AdmissionRejection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Resilient front-door walkthrough: compile with a wall-clock deadline and
+// a fallback ladder, then arm the fault injector and watch the same call
+// degrade gracefully instead of failing. Three acts:
+//
+//   1. a healthy compile under a deadline (portfolio rung wins);
+//   2. a probability-1.0 placer fault on the portfolio rung — the ladder
+//      falls back and still returns a ValidityChecker-clean mapping;
+//   3. an admission rejection (circuit wider than the device) that costs
+//      no compute at all.
+//
+// Exits non-zero unless every returned result is validated.
+#include <iostream>
+
+#include "arch/builtin.hpp"
+#include "resilience/resilience.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace qmap;
+
+  const Device device = devices::surface17();
+  const Circuit circuit = workloads::qft(5);
+
+  // --- Act 1: healthy request under a deadline ----------------------------
+  resilience::Policy policy;
+  policy.deadline_ms = 2000;  // whole-ladder budget; rung 2 is exempt
+  policy.seed = 0xC0FFEE;
+
+  std::cout << "compiling " << circuit.name() << " on " << device.name()
+            << " with a " << policy.deadline_ms << " ms deadline...\n\n";
+  resilience::CompileOutcome outcome =
+      resilience::compile(circuit, device, policy);
+  std::cout << outcome.report() << "\n";
+  if (!outcome.ok || !outcome.validated) {
+    std::cerr << "healthy compile did not produce a validated result\n";
+    return 1;
+  }
+
+  // --- Act 2: sabotage the portfolio rung, survive anyway -----------------
+  resilience::Policy hostile = policy;
+  resilience::FaultSpec fault;
+  fault.point = "throw-in-placer";
+  fault.rung = 0;          // only attack the portfolio race
+  fault.probability = 1.0; // every placer call on that rung throws
+  hostile.faults.push_back(fault);
+
+  std::cout << "re-running with '" << fault.point
+            << "' armed at probability 1.0 on rung 0...\n\n";
+  outcome = resilience::compile(circuit, device, hostile);
+  std::cout << outcome.report() << "\n";
+  if (!outcome.ok || !outcome.validated) {
+    std::cerr << "ladder failed to recover from the injected fault\n";
+    return 1;
+  }
+  std::cout << "degraded=" << (outcome.degraded() ? "yes" : "no")
+            << " (answer came from rung " << outcome.rung << ", "
+            << outcome.winner_label << ")\n\n";
+
+  // --- Act 3: hopeless requests are rejected before any compute ----------
+  const Circuit too_wide = workloads::ghz(device.num_qubits() + 3);
+  outcome = resilience::compile(too_wide, device, policy);
+  if (outcome.ok || outcome.admission.admitted()) {
+    std::cerr << "oversized circuit should have been rejected at admission\n";
+    return 1;
+  }
+  std::cout << "admission rejected " << too_wide.name() << ": "
+            << outcome.error << "\n\n";
+
+  std::cout << "telemetry JSON for the degraded compile is one dump away:\n"
+            << "  outcome.to_json().dump(2)\n";
+  return 0;
+}

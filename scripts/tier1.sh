@@ -19,13 +19,22 @@ echo "== tier 1: differential fuzz label =="
 # (tests/CMakeLists.txt); run them serially so a timeout is attributable.
 (cd build && ctest --output-on-failure -L fuzz)
 
-echo "== tier 1: test_engine + test_verify under ThreadSanitizer =="
+echo "== tier 1: resilience label =="
+# The fault-injection matrix (tests/test_resilience.cpp) runs as its own
+# leg with a ctest timeout: a fallback ladder that stops terminating hangs
+# here, attributably, instead of inside the main suite.
+(cd build && ctest --output-on-failure -L resilience)
+
+echo "== tier 1: test_engine + test_verify + test_resilience under ThreadSanitizer =="
 cmake -B build-tsan -S . -DQMAP_SANITIZE=thread
-cmake --build build-tsan -j "${JOBS}" --target test_engine test_verify
+cmake --build build-tsan -j "${JOBS}" --target test_engine test_verify test_resilience
 # TSAN_OPTIONS makes the run fail loudly on the first race report.
 # test_verify's fuzzer tests fan compiles across the engine ThreadPool, so
-# they double as a race check of the whole compile pipeline.
+# they double as a race check of the whole compile pipeline;
+# test_resilience adds the fault injector's concurrent fired-fault
+# recording and the supervisor/portfolio interplay.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_engine
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_verify
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_resilience
 
 echo "tier 1 OK"

@@ -7,80 +7,283 @@
 
 namespace qmap {
 
+namespace {
+
+const char* json_type_name(const Json& value) {
+  switch (value.type()) {
+    case Json::Type::Null: return "null";
+    case Json::Type::Bool: return "a boolean";
+    case Json::Type::Number: return "a number";
+    case Json::Type::String: return "a string";
+    case Json::Type::Array: return "an array";
+    case Json::Type::Object: return "an object";
+  }
+  return "an unknown value";
+}
+
+[[noreturn]] void config_error(const std::string& key_path,
+                               const std::string& what) {
+  throw DeviceError("device config: '" + key_path + "': " + what);
+}
+
+}  // namespace
+
+// Required fields (num_qubits, edge structure) throw DeviceError naming the
+// offending key path. Optional fields (name, native gates, durations,
+// control constraints, noise, coordinates) never fail the load: a malformed
+// value falls back to its documented default and the problem is recorded on
+// Device::load_warnings() so callers can surface it.
 Device device_from_json(const Json& config) {
-  const int n = config.at("num_qubits").as_int();
+  if (!config.is_object()) {
+    throw DeviceError(std::string("device config: expected a JSON object "
+                                  "at the top level, got ") +
+                      json_type_name(config));
+  }
+  const Json* nq = config.find("num_qubits");
+  if (nq == nullptr) {
+    throw DeviceError("device config: missing required key 'num_qubits'");
+  }
+  if (!nq->is_number()) {
+    config_error("num_qubits",
+                 std::string("expected a number, got ") + json_type_name(*nq));
+  }
+  const int n = nq->as_int();
+  if (n <= 0) {
+    config_error("num_qubits",
+                 "must be at least 1, got " + std::to_string(n));
+  }
+
   CouplingGraph coupling(n);
-  if (const Json* edges = config.find("edges")) {
-    for (const Json& edge : edges->as_array()) {
-      coupling.add_edge(edge.at(0).as_int(), edge.at(1).as_int(),
-                        /*directed=*/false);
+  const auto read_edges = [&](const char* key, bool directed) {
+    const Json* edges = config.find(key);
+    if (edges == nullptr) return;
+    if (!edges->is_array()) {
+      config_error(key, std::string("expected an array of [a, b] qubit "
+                                    "pairs, got ") +
+                            json_type_name(*edges));
     }
-  }
-  if (const Json* edges = config.find("directed_edges")) {
-    for (const Json& edge : edges->as_array()) {
-      coupling.add_edge(edge.at(0).as_int(), edge.at(1).as_int(),
-                        /*directed=*/true);
+    for (std::size_t i = 0; i < edges->size(); ++i) {
+      const std::string path = std::string(key) + "[" + std::to_string(i) +
+                               "]";
+      const Json& edge = edges->at(i);
+      if (!edge.is_array() || edge.size() != 2 || !edge.at(0).is_number() ||
+          !edge.at(1).is_number()) {
+        config_error(path, "expected an [a, b] qubit pair");
+      }
+      try {
+        coupling.add_edge(edge.at(0).as_int(), edge.at(1).as_int(), directed);
+      } catch (const Error& e) {
+        config_error(path, e.what());
+      }
     }
-  }
+  };
+  read_edges("edges", /*directed=*/false);
+  read_edges("directed_edges", /*directed=*/true);
+
+  std::vector<std::string> warnings;
+  const auto warn = [&warnings](const std::string& key_path,
+                                const std::string& why,
+                                const std::string& fallback) {
+    warnings.push_back("'" + key_path + "': " + why + "; " + fallback);
+  };
+
   std::string name = "device";
-  if (const Json* j = config.find("name")) name = j->as_string();
+  if (const Json* j = config.find("name")) {
+    if (j->is_string()) {
+      name = j->as_string();
+    } else {
+      warn("name", std::string("expected a string, got ") + json_type_name(*j),
+           "using default name 'device'");
+    }
+  }
   Device device(name, std::move(coupling));
 
   if (const Json* j = config.find("native_two_qubit")) {
-    device.set_native_two_qubit(gate_kind_from_name(j->as_string()));
+    if (!j->is_string()) {
+      warn("native_two_qubit",
+           std::string("expected a gate name string, got ") +
+               json_type_name(*j),
+           "keeping default 'cz'");
+    } else {
+      try {
+        device.set_native_two_qubit(gate_kind_from_name(j->as_string()));
+      } catch (const Error& e) {
+        warn("native_two_qubit", e.what(), "keeping default 'cz'");
+      }
+    }
   }
   if (const Json* j = config.find("native_single_qubit")) {
-    std::vector<GateKind> kinds;
-    for (const Json& k : j->as_array()) {
-      kinds.push_back(gate_kind_from_name(k.as_string()));
+    if (!j->is_array()) {
+      warn("native_single_qubit",
+           std::string("expected an array of gate names, got ") +
+               json_type_name(*j),
+           "keeping default (unrestricted)");
+    } else {
+      std::vector<GateKind> kinds;
+      bool all_ok = true;
+      for (std::size_t i = 0; i < j->size(); ++i) {
+        const std::string path =
+            "native_single_qubit[" + std::to_string(i) + "]";
+        const Json& k = j->at(i);
+        if (!k.is_string()) {
+          warn(path, std::string("expected a gate name string, got ") +
+                         json_type_name(k),
+               "ignoring entry");
+          all_ok = false;
+          continue;
+        }
+        try {
+          kinds.push_back(gate_kind_from_name(k.as_string()));
+        } catch (const Error& e) {
+          warn(path, e.what(), "ignoring entry");
+          all_ok = false;
+        }
+      }
+      // An all-bad list would silently mean "unrestricted", the opposite of
+      // what the config asked for — only apply what parsed.
+      if (all_ok || !kinds.empty()) {
+        device.set_native_single_qubit(std::move(kinds));
+      }
     }
-    device.set_native_single_qubit(std::move(kinds));
   }
   if (const Json* j = config.find("durations")) {
-    Durations d;
-    if (const Json* v = j->find("cycle_ns")) d.cycle_ns = v->as_number();
-    if (const Json* v = j->find("single_qubit")) {
-      d.single_qubit_cycles = v->as_int();
+    Durations d;  // documented defaults from arch/device.hpp
+    if (!j->is_object()) {
+      warn("durations", std::string("expected an object, got ") +
+                            json_type_name(*j),
+           "using default durations");
+    } else {
+      const auto read_cycles = [&](const char* key, int& out) {
+        const Json* v = j->find(key);
+        if (v == nullptr) return;
+        if (!v->is_number() || v->as_int() < 0) {
+          warn(std::string("durations.") + key,
+               "expected a non-negative cycle count",
+               "using default " + std::to_string(out));
+          return;
+        }
+        out = v->as_int();
+      };
+      if (const Json* v = j->find("cycle_ns")) {
+        if (v->is_number() && v->as_number() > 0) {
+          d.cycle_ns = v->as_number();
+        } else {
+          warn("durations.cycle_ns", "expected a positive number",
+               "using default 20 ns");
+        }
+      }
+      read_cycles("single_qubit", d.single_qubit_cycles);
+      read_cycles("two_qubit", d.two_qubit_cycles);
+      read_cycles("measure", d.measure_cycles);
+      read_cycles("move", d.move_cycles);
     }
-    if (const Json* v = j->find("two_qubit")) d.two_qubit_cycles = v->as_int();
-    if (const Json* v = j->find("measure")) d.measure_cycles = v->as_int();
-    if (const Json* v = j->find("move")) d.move_cycles = v->as_int();
     device.set_durations(d);
   }
   if (const Json* j = config.find("supports_shuttling")) {
-    device.set_supports_shuttling(j->as_bool());
+    if (j->is_bool()) {
+      device.set_supports_shuttling(j->as_bool());
+    } else {
+      warn("supports_shuttling", std::string("expected a boolean, got ") +
+                                     json_type_name(*j),
+           "assuming no shuttling");
+    }
   }
   if (const Json* j = config.find("max_parallel_two_qubit")) {
-    device.set_max_parallel_two_qubit(j->as_int());
+    if (!j->is_number()) {
+      warn("max_parallel_two_qubit",
+           std::string("expected a number, got ") + json_type_name(*j),
+           "assuming unlimited");
+    } else {
+      try {
+        device.set_max_parallel_two_qubit(j->as_int());
+      } catch (const Error& e) {
+        warn("max_parallel_two_qubit", e.what(), "assuming unlimited");
+      }
+    }
   }
   if (const Json* j = config.find("measurable")) {
-    std::vector<bool> mask;
-    for (const Json& v : j->as_array()) mask.push_back(v.as_bool());
-    device.set_measurable(std::move(mask));
+    bool ok = j->is_array() && j->size() == static_cast<std::size_t>(n);
+    if (ok) {
+      for (std::size_t i = 0; i < j->size(); ++i) {
+        ok = ok && j->at(i).is_bool();
+      }
+    }
+    if (!ok) {
+      warn("measurable",
+           "expected an array of " + std::to_string(n) + " booleans",
+           "assuming every qubit is measurable");
+    } else {
+      std::vector<bool> mask;
+      for (const Json& v : j->as_array()) mask.push_back(v.as_bool());
+      device.set_measurable(std::move(mask));
+    }
   }
-  const auto read_int_vector = [](const Json& array) {
-    std::vector<int> out;
-    for (const Json& v : array.as_array()) out.push_back(v.as_int());
-    return out;
+  const auto read_constraint_groups = [&](const char* key,
+                                          const char* fallback,
+                                          auto&& setter) {
+    const Json* j = config.find(key);
+    if (j == nullptr) return;
+    bool ok = j->is_array() && j->size() == static_cast<std::size_t>(n);
+    if (ok) {
+      for (std::size_t i = 0; i < j->size(); ++i) {
+        ok = ok && j->at(i).is_number();
+      }
+    }
+    if (!ok) {
+      warn(key,
+           "expected an array of " + std::to_string(n) + " group indices",
+           fallback);
+      return;
+    }
+    std::vector<int> groups;
+    for (const Json& v : j->as_array()) groups.push_back(v.as_int());
+    try {
+      setter(std::move(groups));
+    } catch (const Error& e) {
+      warn(key, e.what(), fallback);
+    }
   };
-  if (const Json* j = config.find("frequency_groups")) {
-    device.set_frequency_groups(read_int_vector(*j));
-  }
-  if (const Json* j = config.find("feedlines")) {
-    device.set_feedlines(read_int_vector(*j));
-  }
+  read_constraint_groups(
+      "frequency_groups", "assuming unconstrained microwave control",
+      [&device](std::vector<int> groups) {
+        device.set_frequency_groups(std::move(groups));
+      });
+  read_constraint_groups(
+      "feedlines", "assuming dedicated measurement lines",
+      [&device](std::vector<int> lines) {
+        device.set_feedlines(std::move(lines));
+      });
   if (const Json* j = config.find("noise")) {
-    device.set_noise(NoiseModel::from_json(*j));
+    try {
+      device.set_noise(NoiseModel::from_json(*j));
+    } catch (const Error& e) {
+      warn("noise", e.what(), "loading device without calibration data");
+    }
   }
   if (const Json* j = config.find("coordinates")) {
     std::vector<std::pair<double, double>> coords;
-    for (const Json& pair : j->as_array()) {
-      coords.emplace_back(pair.at(0).as_number(), pair.at(1).as_number());
+    bool ok = j->is_array() && j->size() == static_cast<std::size_t>(n);
+    if (ok) {
+      for (std::size_t i = 0; ok && i < j->size(); ++i) {
+        const Json& pair = j->at(i);
+        ok = pair.is_array() && pair.size() == 2 &&
+             pair.at(0).is_number() && pair.at(1).is_number();
+        if (ok) {
+          coords.emplace_back(pair.at(0).as_number(), pair.at(1).as_number());
+        }
+      }
     }
-    if (coords.size() != static_cast<std::size_t>(n)) {
-      throw DeviceError("coordinates array size mismatch");
+    if (!ok) {
+      warn("coordinates",
+           "expected an array of " + std::to_string(n) +
+               " [row, column] pairs",
+           "drawing without layout coordinates");
+    } else {
+      device.set_coordinates(std::move(coords));
     }
-    device.set_coordinates(std::move(coords));
+  }
+  for (std::string& warning : warnings) {
+    device.add_load_warning(std::move(warning));
   }
   return device;
 }
@@ -94,7 +297,13 @@ Device load_device(const std::string& path) {
   if (!in) throw DeviceError("cannot open device config: " + path);
   std::stringstream buffer;
   buffer << in.rdbuf();
-  return device_from_json_text(buffer.str());
+  try {
+    return device_from_json_text(buffer.str());
+  } catch (const Error& e) {
+    // Prefix the file so a config error in a multi-device load names its
+    // source; the inner message already names the key path.
+    throw DeviceError(path + ": " + e.what());
+  }
 }
 
 Json device_to_json(const Device& device) {

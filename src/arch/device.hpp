@@ -165,6 +165,19 @@ class Device {
     return coordinates_;
   }
 
+  // --- Load diagnostics ---
+
+  /// Non-fatal problems recorded while constructing this device, e.g. a
+  /// mistyped optional field in a JSON config that fell back to its
+  /// documented default (arch/config.cpp). Empty for built-in devices and
+  /// for cleanly loaded configs.
+  [[nodiscard]] const std::vector<std::string>& load_warnings() const {
+    return load_warnings_;
+  }
+  void add_load_warning(std::string warning) {
+    load_warnings_.push_back(std::move(warning));
+  }
+
   /// Multi-line summary (qubit count, edges, native set, constraints).
   [[nodiscard]] std::string summary() const;
 
@@ -181,6 +194,7 @@ class Device {
   std::vector<int> feedline_;
   std::optional<NoiseModel> noise_;
   std::vector<std::pair<double, double>> coordinates_;
+  std::vector<std::string> load_warnings_;
 };
 
 }  // namespace qmap

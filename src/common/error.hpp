@@ -3,17 +3,52 @@
 // All qmap subsystems report unrecoverable misuse or malformed input by
 // throwing an exception derived from qmap::Error. Each subsystem has its
 // own subclass so callers can discriminate without string matching.
+//
+// Every error additionally carries an ErrorClass, the recovery taxonomy the
+// resilience pipeline (src/resilience/) acts on: transient failures are
+// worth retrying with backoff, resource-exhausted failures call for a
+// cheaper strategy, and permanent failures mean the same attempt can only
+// fail again.
 #pragma once
 
+#include <new>
 #include <stdexcept>
 #include <string>
 
 namespace qmap {
 
+/// Recovery classification of a failure (see src/resilience/).
+enum class ErrorClass {
+  /// Timing- or scheduling-dependent: a deadline slice expired, a shared
+  /// resource was briefly unavailable. Retrying the same work can succeed.
+  Transient,
+  /// Deterministic for this input: malformed circuit, impossible mapping,
+  /// logic error. Retrying the identical attempt is pointless.
+  Permanent,
+  /// The attempt outgrew its budget (memory, search-space work limit).
+  /// Retry only with a cheaper strategy, never the same one.
+  ResourceExhausted,
+};
+
+[[nodiscard]] inline std::string error_class_name(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::Transient: return "transient";
+    case ErrorClass::Permanent: return "permanent";
+    case ErrorClass::ResourceExhausted: return "resource-exhausted";
+  }
+  return "permanent";
+}
+
 /// Base class of all exceptions thrown by qmaplib.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+
+  /// Recovery classification; Permanent unless a subclass knows better
+  /// (CancelledError is Transient, ResourceError is ResourceExhausted).
+  [[nodiscard]] virtual ErrorClass error_class() const noexcept {
+    return ErrorClass::Permanent;
+  }
 };
 
 /// Malformed textual input (QASM, cQASM, JSON device configs).
@@ -61,5 +96,40 @@ class SimulationError : public Error {
  public:
   using Error::Error;
 };
+
+/// A pass exceeded a resource budget (memory estimate, search-space work
+/// limit). Classified ResourceExhausted: callers should fall back to a
+/// cheaper strategy instead of retrying the same one.
+class ResourceError : public Error {
+ public:
+  using Error::Error;
+  [[nodiscard]] ErrorClass error_class() const noexcept override {
+    return ErrorClass::ResourceExhausted;
+  }
+};
+
+/// A failure known to be timing-dependent (and therefore retryable), e.g.
+/// an injected transient fault in tests. Deadline expiry throws the more
+/// specific CancelledError (engine/cancel.hpp), which is also Transient.
+class TransientError : public Error {
+ public:
+  using Error::Error;
+  [[nodiscard]] ErrorClass error_class() const noexcept override {
+    return ErrorClass::Transient;
+  }
+};
+
+/// Classifies an arbitrary in-flight exception for a crash boundary:
+/// qmap::Error subclasses self-classify, std::bad_alloc is resource
+/// exhaustion, anything else is permanent.
+[[nodiscard]] inline ErrorClass classify_exception(const std::exception& e) {
+  if (const auto* error = dynamic_cast<const Error*>(&e)) {
+    return error->error_class();
+  }
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) {
+    return ErrorClass::ResourceExhausted;
+  }
+  return ErrorClass::Permanent;
+}
 
 }  // namespace qmap

@@ -72,6 +72,9 @@ CompilationResult Compiler::compile(const Circuit& circuit) const {
   const auto checkpoint = [this] {
     if (options_.cancel) options_.cancel->check();
   };
+  const auto stage = [this](const char* name) {
+    if (options_.stage_hook) options_.stage_hook(name);
+  };
   CompilationResult result;
   result.original = circuit;
   result.original_metrics = compute_metrics(circuit);
@@ -92,18 +95,22 @@ CompilationResult Compiler::compile(const Circuit& circuit) const {
         schedule_asap(baseline, device_).total_cycles();
   }
 
-  // 2. Initial placement.
+  // 2. Initial placement (cooperatively cancellable inside the placer
+  //    search loops).
   checkpoint();
-  const Placement initial =
-      make_placer(options_.placer, options_.seed)->place(result.lowered,
-                                                         device_);
+  stage("placer");
+  std::unique_ptr<Placer> placer = make_placer(options_.placer, options_.seed);
+  placer->set_cancel_token(options_.cancel);
+  const Placement initial = placer->place(result.lowered, device_);
 
   // 3. Routing (cooperatively cancellable inside the router main loop).
   checkpoint();
+  stage("router");
   std::unique_ptr<Router> router = make_router(options_.router);
   router->set_cancel_token(options_.cancel);
   result.routing = router->route(result.lowered, device_, initial);
   checkpoint();
+  stage("postroute");
 
   // 4. Measurement relocation (devices where not every qubit is
   //    measurable, Sec. VI-A), SWAP expansion, direction repair, final
@@ -124,6 +131,8 @@ CompilationResult Compiler::compile(const Circuit& circuit) const {
 
   // 5. Scheduling.
   if (options_.run_scheduler) {
+    checkpoint();
+    stage("schedule");
     result.schedule =
         options_.use_control_constraints
             ? schedule_for_device(result.final_circuit, device_)

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,8 +41,16 @@ struct CompilerOptions {
   /// a distinct stream per strategy so parallel runs stay reproducible.
   std::uint64_t seed = 0xC0FFEE;
   /// Cooperative cancellation (engine/cancel.hpp): checked between pipeline
-  /// stages and inside the router main loops. Not owned; may be null.
+  /// stages and inside the placer/router main loops. Not owned; may be null.
   const CancelToken* cancel = nullptr;
+  /// Instrumentation/fault-injection hook called at pipeline stage
+  /// boundaries with "placer", "router", "postroute", "schedule" — in that
+  /// order, before the named stage runs. An exception thrown from the hook
+  /// aborts the compile exactly like a crash inside the stage would, which
+  /// is how the resilience fault injector (src/resilience/) plants
+  /// deterministic placer/router crashes without patching any pass. Empty
+  /// by default and never on any hot path.
+  std::function<void(const char* stage)> stage_hook;
 };
 
 struct CompilationResult {

@@ -80,6 +80,7 @@ Json BatchResult::to_json() const {
       entry["result"] = item.result.to_json();
     } else {
       entry["error"] = Json(item.error);
+      entry["error_class"] = Json(error_class_name(item.error_class));
     }
     array.push_back(std::move(entry));
   }
@@ -138,9 +139,18 @@ BatchResult BatchCompiler::compile_all(
                               compiler_options.router;
         }
         item.ok = true;
-      } catch (const Error& e) {
+      } catch (const std::exception& e) {
+        // Per-item crash boundary: catches every exception type, not just
+        // qmap::Error — a stage hook throwing std::bad_alloc (or any
+        // third-party exception from a custom cost function) must poison
+        // only its own item, never the batch.
         item.ok = false;
         item.error = e.what();
+        item.error_class = classify_exception(e);
+      } catch (...) {
+        item.ok = false;
+        item.error = "unknown exception";
+        item.error_class = ErrorClass::Permanent;
       }
       item.wall_ms = ms_since(start);
     }));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arch/device.hpp"
+#include "common/error.hpp"
 #include "core/compiler.hpp"
 #include "engine/portfolio.hpp"
 
@@ -37,12 +38,16 @@ struct BatchOptions {
   std::uint64_t base_seed = 0xC0FFEE;
 };
 
-/// Outcome of one batch entry, in submission order.
+/// Outcome of one batch entry, in submission order. A poisoned item — a
+/// throwing strategy, an invalid circuit, even a non-qmap exception from a
+/// stage hook — is isolated here and never sinks its siblings.
 struct BatchItem {
   bool ok = false;
   CompilationResult result;      // valid when ok
   std::string winner_label;      // portfolio mode: winning strategy
   std::string error;             // failure message when !ok
+  /// Recovery taxonomy of the failure (meaningful when !ok).
+  ErrorClass error_class = ErrorClass::Permanent;
   double wall_ms = 0.0;
 };
 

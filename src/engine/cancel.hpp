@@ -22,10 +22,15 @@ namespace qmap {
 
 /// Thrown by a cancellation checkpoint once its token fires. Derived from
 /// qmap::Error so generic error handling still works, but distinct so the
-/// engine can tell "gave up on request" from "genuinely failed".
+/// engine can tell "gave up on request" from "genuinely failed". Classified
+/// Transient: a deadline slice expiring is exactly the failure the
+/// resilience pipeline retries when wall-clock budget remains.
 class CancelledError : public Error {
  public:
   using Error::Error;
+  [[nodiscard]] ErrorClass error_class() const noexcept override {
+    return ErrorClass::Transient;
+  }
 };
 
 /// Cooperative cancellation token: a manual flag plus an optional

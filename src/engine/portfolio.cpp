@@ -84,6 +84,9 @@ Json StrategyTelemetry::to_json() const {
     out["peak_layer_ops"] = Json(peak_layer_ops);
     out["added_swaps"] = Json(added_swaps);
   }
+  if (status == Status::Cancelled || status == Status::Failed) {
+    out["error_class"] = Json(error_class_name(error_class));
+  }
   if (!error.empty()) out["error"] = Json(error);
   return out;
 }
@@ -234,6 +237,21 @@ PortfolioResult PortfolioCompiler::compile(const Circuit& circuit) const {
 
 PortfolioResult PortfolioCompiler::compile(const Circuit& circuit,
                                            ThreadPool& pool) const {
+  PortfolioResult result = try_compile(circuit, pool);
+  if (result.winner_index < 0) {
+    std::string detail;
+    for (const StrategyTelemetry& t : result.telemetry) {
+      detail += "\n  " + t.spec.label() + ": " + t.status_name() +
+                (t.error.empty() ? "" : " (" + t.error + ")");
+    }
+    throw MappingError("portfolio: no strategy completed for circuit '" +
+                       circuit.name() + "'" + detail);
+  }
+  return result;
+}
+
+PortfolioResult PortfolioCompiler::try_compile(const Circuit& circuit,
+                                               ThreadPool& pool) const {
   const auto portfolio_start = Clock::now();
   const std::size_t n = options_.strategies.size();
   if (n == 0) throw MappingError("portfolio: no strategies configured");
@@ -292,7 +310,15 @@ PortfolioResult PortfolioCompiler::compile(const Circuit& circuit,
       compiler_options.router = spec.router;
       compiler_options.seed = Rng::derive_stream(options_.base_seed, i);
       compiler_options.cancel = &token;
+      if (options_.stage_hook) {
+        compiler_options.stage_hook = [this, i](const char* stage) {
+          options_.stage_hook(stage, static_cast<int>(i));
+        };
+      }
 
+      // Crash boundary: nothing a strategy throws may escape its worker —
+      // a crashing placer/router (or injected fault) becomes Failed
+      // telemetry with an error class, and its siblings race on.
       try {
         const Compiler compiler(device_, compiler_options);
         CompilationResult result = compiler.compile(circuit);
@@ -306,10 +332,17 @@ PortfolioResult PortfolioCompiler::compile(const Circuit& circuit,
         telemetry.wall_ms = ms_since(start);
         telemetry.status = StrategyTelemetry::Status::Cancelled;
         telemetry.error = e.what();
-      } catch (const Error& e) {
+        telemetry.error_class = ErrorClass::Transient;
+      } catch (const std::exception& e) {
         telemetry.wall_ms = ms_since(start);
         telemetry.status = StrategyTelemetry::Status::Failed;
         telemetry.error = e.what();
+        telemetry.error_class = classify_exception(e);
+      } catch (...) {
+        telemetry.wall_ms = ms_since(start);
+        telemetry.status = StrategyTelemetry::Status::Failed;
+        telemetry.error = "unknown exception";
+        telemetry.error_class = ErrorClass::Permanent;
       }
     }));
   }
@@ -333,35 +366,27 @@ PortfolioResult PortfolioCompiler::compile(const Circuit& circuit,
       runner_up_cost = t.cost;
     }
   }
-  if (winner < 0) {
-    std::string detail;
-    for (const StrategyRun& run : runs) {
-      detail += "\n  " + run.telemetry.spec.label() + ": " +
-                run.telemetry.status_name() +
-                (run.telemetry.error.empty() ? "" : " (" +
-                 run.telemetry.error + ")");
-    }
-    throw MappingError("portfolio: no strategy completed for circuit '" +
-                       circuit.name() + "'" + detail);
-  }
-
+  // winner < 0 (no strategy completed) is a valid try_compile outcome: the
+  // telemetry below is the caller's evidence for retry-vs-fallback.
   PortfolioResult result;
   result.telemetry.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     StrategyTelemetry t = std::move(runs[i].telemetry);
-    if (t.status == StrategyTelemetry::Status::Completed) {
+    if (winner >= 0 && t.status == StrategyTelemetry::Status::Completed) {
       t.margin = t.cost - winner_cost;
     }
-    t.winner = static_cast<int>(i) == winner;
+    t.winner = winner >= 0 && static_cast<int>(i) == winner;
     result.telemetry.push_back(std::move(t));
   }
-  result.best = std::move(*runs[static_cast<std::size_t>(winner)].result);
-  result.winner_index = winner;
-  result.winner_label =
-      options_.strategies[static_cast<std::size_t>(winner)].label();
-  result.winning_margin = std::isfinite(runner_up_cost)
-                              ? runner_up_cost - winner_cost
-                              : 0.0;
+  if (winner >= 0) {
+    result.best = std::move(*runs[static_cast<std::size_t>(winner)].result);
+    result.winner_index = winner;
+    result.winner_label =
+        options_.strategies[static_cast<std::size_t>(winner)].label();
+    result.winning_margin = std::isfinite(runner_up_cost)
+                                ? runner_up_cost - winner_cost
+                                : 0.0;
+  }
   result.wall_ms = ms_since(portfolio_start);
   result.num_threads = pool.size();
   return result;

@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "arch/device.hpp"
+#include "common/error.hpp"
 #include "core/compiler.hpp"
 #include "engine/cost.hpp"
 #include "engine/thread_pool.hpp"
@@ -48,6 +50,11 @@ struct StrategyTelemetry {
   int strategy_index = -1;
   StrategySpec spec;
   Status status = Status::Skipped;
+  /// Recovery taxonomy of the failure (meaningful for Cancelled/Failed):
+  /// Cancelled is always Transient; Failed carries the thrown error's own
+  /// class (common/error.hpp). The resilience pipeline reads this to
+  /// decide between retrying the rung and falling back.
+  ErrorClass error_class = ErrorClass::Permanent;
   double wall_ms = 0.0;
   /// Selection cost (only meaningful when status == Completed).
   double cost = std::numeric_limits<double>::infinity();
@@ -84,8 +91,17 @@ struct PortfolioOptions {
   /// Winner-selection cost; unset falls back to make_cost_function(cost_name).
   CostFunction cost;
   std::string cost_name = "balanced";
+  /// Per-strategy stage hook: called as (stage, strategy_index) at the
+  /// compiler's stage boundaries ("placer"/"router"/"postroute"/
+  /// "schedule") of every racing strategy. The engine wraps it into each
+  /// strategy's CompilerOptions::stage_hook; exceptions it throws are
+  /// caught by the same crash boundary that contains placer/router
+  /// crashes, which is how the resilience fault injector plants
+  /// deterministic per-strategy faults. Empty by default.
+  std::function<void(const char* stage, int strategy_index)> stage_hook;
   /// Pipeline toggles shared by every strategy (placer/router/seed/cancel
-  /// fields are overwritten per strategy).
+  /// fields are overwritten per strategy; stage_hook is overwritten when
+  /// the portfolio-level stage_hook above is set).
   CompilerOptions base;
 };
 
@@ -136,6 +152,15 @@ class PortfolioCompiler {
   /// one pool across many circuits).
   [[nodiscard]] PortfolioResult compile(const Circuit& circuit,
                                         ThreadPool& pool) const;
+
+  /// Non-throwing variant for supervisors (src/resilience/): when no
+  /// strategy completes, returns winner_index == -1 with the full
+  /// per-strategy telemetry (status + error_class per failure) instead of
+  /// throwing away the evidence — the caller decides between retry and
+  /// fallback from the telemetry. compile() is try_compile() plus a throw
+  /// on the empty outcome.
+  [[nodiscard]] PortfolioResult try_compile(const Circuit& circuit,
+                                            ThreadPool& pool) const;
 
   /// The built-in strategy set: every heuristic placer x router pairing
   /// worth racing, exact/exhaustive entries gated to small widths, and a

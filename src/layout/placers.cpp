@@ -94,6 +94,7 @@ Placement GreedyPlacer::place(const Circuit& circuit, const Device& device) {
   std::vector<bool> used(static_cast<std::size_t>(m), false);
 
   for (const int k : order) {
+    check_cancelled();  // O(n*m) per qubit: one poll per placement decision
     int best_phys = -1;
     long best_score = std::numeric_limits<long>::max();
     for (int phys = 0; phys < m; ++phys) {
@@ -132,6 +133,9 @@ Placement GreedyPlacer::place(const Circuit& circuit, const Device& device) {
 Placement ExhaustivePlacer::place(const Circuit& circuit,
                                   const Device& device) {
   check_fits(circuit, device);
+  // Entry checkpoint: small searches can finish in fewer than one polling
+  // interval, but an already-fired token must still interrupt them.
+  check_cancelled();
   const InteractionGraph interactions(circuit);
   const int n = circuit.num_qubits();
   const int m = device.num_qubits();
@@ -140,9 +144,9 @@ Placement ExhaustivePlacer::place(const Circuit& circuit,
   double assignments = 1.0;
   for (int i = 0; i < n; ++i) assignments *= static_cast<double>(m - i);
   if (assignments > static_cast<double>(max_assignments_)) {
-    throw MappingError("exhaustive placement too large (" +
-                       std::to_string(static_cast<long>(assignments)) +
-                       " assignments); use AnnealingPlacer");
+    throw ResourceError("exhaustive placement too large (" +
+                        std::to_string(static_cast<long>(assignments)) +
+                        " assignments); use AnnealingPlacer");
   }
 
   std::vector<int> program_to_phys(static_cast<std::size_t>(n), -1);
@@ -151,7 +155,12 @@ Placement ExhaustivePlacer::place(const Circuit& circuit,
   long best_cost = std::numeric_limits<long>::max();
 
   // Depth-first over assignments with incremental cost and pruning.
+  // Cancellation is polled every 1024 visited nodes: frequent enough that
+  // a 1 ms deadline interrupts the search promptly, rare enough that the
+  // steady-clock read never shows up in profiles.
+  long visited = 0;
   const auto recurse = [&](const auto& self, int k, long partial) -> void {
+    if ((++visited & 1023) == 0) check_cancelled();
     if (partial >= best_cost) return;
     if (k == n) {
       best_cost = partial;
@@ -203,6 +212,9 @@ Placement AnnealingPlacer::place(const Circuit& circuit,
   const double t_start = 4.0;
   const double t_end = 0.05;
   for (int it = 0; it < iterations_; ++it) {
+    // One poll per 256 sweeps: each iteration is O(edges), so a deadline
+    // interrupts within a fraction of a millisecond even on wide devices.
+    if ((it & 255) == 0) check_cancelled();
     const double fraction =
         static_cast<double>(it) / std::max(1, iterations_ - 1);
     const double temperature =

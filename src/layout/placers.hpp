@@ -11,6 +11,7 @@
 
 #include "arch/device.hpp"
 #include "common/rng.hpp"
+#include "engine/cancel.hpp"
 #include "ir/circuit.hpp"
 #include "layout/placement.hpp"
 
@@ -50,6 +51,24 @@ class Placer {
   /// Throws MappingError when the circuit does not fit.
   [[nodiscard]] virtual Placement place(const Circuit& circuit,
                                         const Device& device) = 0;
+
+  /// Attaches a cooperative cancellation token (engine/cancel.hpp, header
+  /// only — no dependency on the engine library), mirroring
+  /// Router::set_cancel_token so deadlines bound placement search loops
+  /// too, not just routing. Not owned; null detaches.
+  void set_cancel_token(const CancelToken* token) noexcept { cancel_ = token; }
+
+ protected:
+  /// Cancellation checkpoint for placer search loops. Implementations with
+  /// superlinear loops (exhaustive DFS, annealing sweeps) must poll this
+  /// often enough that a deadline interrupts them promptly; throws
+  /// CancelledError when the token fired.
+  void check_cancelled() const {
+    if (cancel_ != nullptr) cancel_->check();
+  }
+
+ private:
+  const CancelToken* cancel_ = nullptr;
 };
 
 /// Trivial placement: program qubit k -> physical qubit k.
@@ -71,8 +90,9 @@ class GreedyPlacer final : public Placer {
 };
 
 /// Exhaustive search over all placements (optimal for the
-/// placement_cost objective). Guarded by a work limit; throws MappingError
-/// when the instance is too large (use the annealing placer instead).
+/// placement_cost objective). Guarded by a work limit; throws ResourceError
+/// (ErrorClass::ResourceExhausted — fall back to a cheaper placer, do not
+/// retry) when the instance is too large (use the annealing placer instead).
 class ExhaustivePlacer final : public Placer {
  public:
   explicit ExhaustivePlacer(long max_assignments = 5'000'000)

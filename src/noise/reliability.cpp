@@ -76,6 +76,7 @@ Placement ReliabilityPlacer::place(const Circuit& circuit,
   std::vector<int> program_to_phys(static_cast<std::size_t>(n), -1);
   std::vector<bool> used(static_cast<std::size_t>(m), false);
   for (const int k : order) {
+    check_cancelled();  // one poll per O(n*m) placement decision
     int best_phys = -1;
     double best_score = std::numeric_limits<double>::infinity();
     for (int phys = 0; phys < m; ++phys) {

@@ -1,0 +1,125 @@
+#include "resilience/fault_injector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace qmap::resilience {
+
+const std::vector<std::string>& known_fault_points() {
+  static const std::vector<std::string> names = {
+      "throw-in-placer", "throw-in-router", "stall-ms", "corrupt-result",
+      "oom-simulate"};
+  return names;
+}
+
+std::string FaultSpec::label() const {
+  std::string out = point;
+  out += rung < 0 ? "@all" : "@rung" + std::to_string(rung);
+  if (probability < 1.0) out += " p=" + std::to_string(probability);
+  return out;
+}
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> specs, std::uint64_t seed)
+    : seed_(seed) {
+  for (FaultSpec& spec : specs) add(std::move(spec));
+}
+
+void FaultInjector::add(FaultSpec spec) {
+  const auto& names = known_fault_points();
+  if (std::find(names.begin(), names.end(), spec.point) == names.end()) {
+    throw MappingError("unknown fault point: '" + spec.point +
+                       "' (valid: " + join(names, ", ") + ")");
+  }
+  specs_.push_back(std::move(spec));
+}
+
+bool FaultInjector::fires_(std::size_t spec_index, const FaultSpec& spec,
+                           int rung, int strategy, int attempt) const {
+  if (spec.rung >= 0 && spec.rung != rung) return false;
+  if (spec.probability >= 1.0) return true;
+  if (spec.probability <= 0.0) return false;
+  // Pure function of (seed, spec, rung, strategy, attempt): chain the
+  // splitmix64 finalizer so the decision is identical for every thread
+  // count and replayable from the outcome's seed.
+  std::uint64_t h = Rng::derive_stream(seed_, spec_index);
+  h = Rng::derive_stream(h, static_cast<std::uint64_t>(rung + 1));
+  h = Rng::derive_stream(h, static_cast<std::uint64_t>(strategy + 1));
+  h = Rng::derive_stream(h, static_cast<std::uint64_t>(attempt + 1));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+  return u < spec.probability;
+}
+
+void FaultInjector::record_(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  fired_.push_back(name);
+}
+
+void FaultInjector::at_stage(const char* stage, int rung, int strategy,
+                             int attempt) const {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& spec = specs_[i];
+    const bool placer_stage = std::strcmp(stage, "placer") == 0;
+    const bool router_stage = std::strcmp(stage, "router") == 0;
+    if (spec.point == "throw-in-placer" && placer_stage) {
+      if (!fires_(i, spec, rung, strategy, attempt)) continue;
+      record_(spec.point);
+      throw MappingError("fault-injected: throw-in-placer");
+    }
+    if (spec.point == "throw-in-router" && router_stage) {
+      if (!fires_(i, spec, rung, strategy, attempt)) continue;
+      record_(spec.point);
+      throw TransientError("fault-injected: throw-in-router");
+    }
+    if (spec.point == "oom-simulate" && placer_stage) {
+      if (!fires_(i, spec, rung, strategy, attempt)) continue;
+      record_(spec.point);
+      throw ResourceError("fault-injected: oom-simulate");
+    }
+    if (spec.point == "stall-ms" && router_stage) {
+      if (!fires_(i, spec, rung, strategy, attempt)) continue;
+      record_(spec.point);
+      // Not a throw: the stall makes the rung's deadline slice expire, so
+      // the failure surfaces through the *real* cancellation path
+      // (CancelledError from the next token poll), which is the scenario
+      // this fault exists to rehearse.
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          spec.stall_ms));
+    }
+  }
+}
+
+bool FaultInjector::corrupt(CompilationResult& result, const Device& device,
+                            int rung, int strategy, int attempt) const {
+  bool altered = false;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& spec = specs_[i];
+    if (spec.point != "corrupt-result") continue;
+    if (!fires_(i, spec, rung, strategy, attempt)) continue;
+    if (verify::inject_fault(result, device, spec.corruption)) {
+      record_(spec.point);
+      altered = true;
+    }
+  }
+  return altered;
+}
+
+std::vector<std::string> FaultInjector::drain_fired() const {
+  std::vector<std::string> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.swap(fired_);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace qmap::resilience

@@ -19,6 +19,9 @@ Placement BidirectionalPlacer::place(const Circuit& circuit,
   Placement placement = GreedyPlacer().place(circuit, device);
   SabreRouter router;
   for (int pass = 0; pass < passes_; ++pass) {
+    // Each refinement pass is a full SABRE run; poll between them so a
+    // deadline bounds the multi-pass search as a whole.
+    check_cancelled();
     placement = router.route(forward, device, placement).final;
     placement = router.route(backward, device, placement).final;
   }

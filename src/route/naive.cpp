@@ -12,6 +12,7 @@ RoutingResult NaiveRouter::route(const Circuit& circuit, const Device& device,
   check_routable(circuit, device);
   RoutingEmitter emitter(device, initial, circuit.name() + "@" + device.name());
   for (const Gate& gate : circuit) {
+    check_cancelled();
     if (gate.is_two_qubit()) {
       const int pa = emitter.placement().phys_of_program(gate.qubits[0]);
       const int pb = emitter.placement().phys_of_program(gate.qubits[1]);

@@ -3,6 +3,18 @@
 // operand along a shortest path until the pair is connected, then execute
 // the gate. No lookahead, no placement reuse — the overhead baseline every
 // smarter mapper is measured against.
+//
+// Termination guarantee (audited for the resilience pipeline, which uses
+// identity+naive as the last fallback rung that must never fail): the
+// router makes exactly one pass over the gate list, and per two-qubit gate
+// emits at most (shortest-path length - 2) <= num_qubits SWAPs — no search,
+// no retry loop, no data-dependent iteration beyond the fixed path walk. On
+// a connected device with a routable circuit (arity <= 2, width <= device;
+// both pre-checked by check_routable) every shortest_path() call is
+// non-empty, so the total work is O(gates * num_qubits): the router always
+// terminates, and cannot fail after check_routable passes. It still polls
+// its CancelToken between gates like every other router; the resilience
+// pipeline simply does not arm one on the last rung.
 #pragma once
 
 #include "route/router.hpp"

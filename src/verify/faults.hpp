@@ -1,0 +1,48 @@
+// Result-corruption fault primitives.
+//
+// Extracted from the differential fuzzer so every harness that needs a
+// planted bug shares one implementation: the fuzzer's oracle self-tests
+// (verify/fuzzer.hpp), reproducer replay, and the resilience pipeline's
+// "corrupt-result" fault point (src/resilience/fault_injector.hpp). Each
+// primitive sabotages a *finished* CompilationResult exactly the way a
+// buggy router would — the reported placements stay untouched while the
+// final circuit silently stops matching them — so downstream validity/
+// equivalence checking is what must catch it.
+#pragma once
+
+#include <string>
+
+#include "arch/device.hpp"
+#include "core/compiler.hpp"
+
+namespace qmap::verify {
+
+/// Post-routing sabotage for harness self-tests: prove the oracle catches
+/// a planted bug before trusting it on real ones.
+enum class FaultInjection {
+  None,
+  /// Remove the last routing SWAP and rebuild the final circuit: the
+  /// mapped circuit stays coupling-legal but no longer matches the
+  /// reported final placement — an equivalence failure.
+  DropLastSwap,
+  /// Flip the operands of the last CX of the final circuit: a direction
+  /// violation on directed devices (validity), an equivalence failure on
+  /// symmetric ones.
+  FlipLastCx,
+};
+
+[[nodiscard]] std::string fault_name(FaultInjection fault);
+[[nodiscard]] FaultInjection fault_from_name(const std::string& name);
+
+/// Applies the planted bug to a finished compilation. DropLastSwap redoes
+/// the post-routing passes from a sabotaged routed circuit; FlipLastCx
+/// edits the final circuit directly. Both leave the *reported* placements
+/// untouched — exactly what a buggy router would do. The stale schedule is
+/// dropped so the failure surfaces as the intended oracle, not as a
+/// schedule/circuit disagreement. Returns true when the result was
+/// actually altered (false for None, or when the circuit has no gate of
+/// the targeted kind).
+bool inject_fault(CompilationResult& result, const Device& device,
+                  FaultInjection fault);
+
+}  // namespace qmap::verify

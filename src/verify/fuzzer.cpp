@@ -16,23 +16,6 @@
 
 namespace qmap::verify {
 
-std::string fault_name(FaultInjection fault) {
-  switch (fault) {
-    case FaultInjection::None: return "none";
-    case FaultInjection::DropLastSwap: return "drop-last-swap";
-    case FaultInjection::FlipLastCx: return "flip-last-cx";
-  }
-  return "none";
-}
-
-FaultInjection fault_from_name(const std::string& name) {
-  if (name == "none") return FaultInjection::None;
-  if (name == "drop-last-swap") return FaultInjection::DropLastSwap;
-  if (name == "flip-last-cx") return FaultInjection::FlipLastCx;
-  throw MappingError("unknown fault injection: '" + name +
-                     "' (valid: none, drop-last-swap, flip-last-cx)");
-}
-
 std::string failure_kind_name(FailureKind kind) {
   switch (kind) {
     case FailureKind::None: return "none";
@@ -42,59 +25,6 @@ std::string failure_kind_name(FailureKind kind) {
   }
   return "none";
 }
-
-namespace {
-
-/// Applies the planted bug to a finished compilation. DropLastSwap redoes
-/// the post-routing passes from a sabotaged routed circuit; FlipLastCx
-/// edits the final circuit directly. Both leave the *reported* placements
-/// untouched — exactly what a buggy router would do. The stale schedule
-/// is dropped so the failure surfaces as the intended oracle, not as a
-/// schedule/circuit disagreement.
-void inject_fault(CompilationResult& result, const Device& device,
-                  FaultInjection fault) {
-  if (fault == FaultInjection::None) return;
-  if (fault == FaultInjection::DropLastSwap) {
-    const Circuit& routed = result.routing.circuit;
-    std::size_t last_swap = routed.size();
-    for (std::size_t i = routed.size(); i-- > 0;) {
-      if (routed.gate(i).kind == GateKind::SWAP) {
-        last_swap = i;
-        break;
-      }
-    }
-    if (last_swap == routed.size()) return;  // no SWAP to drop
-    Circuit sabotaged = remove_gates(routed, {last_swap});
-    sabotaged = expand_swaps(sabotaged, device);
-    sabotaged = fix_cx_directions(sabotaged, device);
-    sabotaged = fuse_single_qubit(sabotaged);
-    sabotaged = lower_single_qubit(sabotaged, device);
-    sabotaged.set_name(result.final_circuit.name());
-    result.final_circuit = std::move(sabotaged);
-  } else if (fault == FaultInjection::FlipLastCx) {
-    Circuit flipped(result.final_circuit.num_qubits(),
-                    result.final_circuit.name());
-    flipped.declare_cbits(result.final_circuit.num_cbits());
-    std::size_t last_cx = result.final_circuit.size();
-    for (std::size_t i = result.final_circuit.size(); i-- > 0;) {
-      if (result.final_circuit.gate(i).kind == GateKind::CX) {
-        last_cx = i;
-        break;
-      }
-    }
-    if (last_cx == result.final_circuit.size()) return;  // no CX to flip
-    for (std::size_t i = 0; i < result.final_circuit.size(); ++i) {
-      Gate gate = result.final_circuit.gate(i);
-      if (i == last_cx) std::swap(gate.qubits[0], gate.qubits[1]);
-      flipped.add(std::move(gate));
-    }
-    result.final_circuit = std::move(flipped);
-  }
-  result.schedule = Schedule();
-  result.scheduled_cycles = 0;
-}
-
-}  // namespace
 
 RunOutcome run_strategy(const Circuit& circuit, const Device& device,
                         const FuzzStrategy& strategy, std::uint64_t seed,

@@ -35,27 +35,15 @@
 #include "common/json.hpp"
 #include "core/compiler.hpp"
 #include "engine/thread_pool.hpp"
+#include "verify/faults.hpp"
 #include "verify/shrink.hpp"
 #include "verify/validity.hpp"
 
 namespace qmap::verify {
 
-/// Post-routing sabotage for harness self-tests: prove the oracle catches
-/// a planted bug before trusting it on real ones.
-enum class FaultInjection {
-  None,
-  /// Remove the last routing SWAP and rebuild the final circuit: the
-  /// mapped circuit stays coupling-legal but no longer matches the
-  /// reported final placement — an equivalence failure.
-  DropLastSwap,
-  /// Flip the operands of the last CX of the final circuit: a direction
-  /// violation on directed devices (validity), an equivalence failure on
-  /// symmetric ones.
-  FlipLastCx,
-};
-
-[[nodiscard]] std::string fault_name(FaultInjection fault);
-[[nodiscard]] FaultInjection fault_from_name(const std::string& name);
+// FaultInjection + fault_name/fault_from_name/inject_fault moved to
+// verify/faults.hpp (shared with the resilience fault injector); included
+// above so existing users keep compiling unchanged.
 
 enum class FailureKind { None, Validity, Equivalence, Exception };
 

@@ -52,6 +52,9 @@ Shrinker::Result Shrinker::shrink(const Circuit& failing,
     return options_.max_tests == 0 || result.tests < options_.max_tests;
   };
   const auto test = [&](const Circuit& candidate) {
+    // Every evaluation typically re-runs a full compile, so polling here
+    // bounds the whole ddmin loop by the token's deadline.
+    if (options_.cancel != nullptr) options_.cancel->check();
     ++result.tests;
     return still_fails(candidate);
   };

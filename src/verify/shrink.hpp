@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "engine/cancel.hpp"
 #include "ir/circuit.hpp"
 
 namespace qmap::verify {
@@ -23,6 +24,11 @@ struct ShrinkOptions {
   std::size_t max_tests = 2000;
   /// Also drop qubits no remaining gate touches and relabel the rest.
   bool drop_idle_qubits = true;
+  /// Cooperative cancellation (engine/cancel.hpp), polled before every
+  /// predicate evaluation: a deadline bounds ddmin like every other
+  /// long-running pass. Throws CancelledError mid-shrink (the partially
+  /// minimized circuit is discarded). Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 class Shrinker {

@@ -255,11 +255,78 @@ TEST(DeviceConfig, ParsesMinimalConfig) {
 }
 
 TEST(DeviceConfig, RejectsMalformedConfigs) {
-  EXPECT_THROW((void)device_from_json_text("{}"), ParseError);
+  EXPECT_THROW((void)device_from_json_text("{}"), DeviceError);
   EXPECT_THROW((void)device_from_json_text(
                    R"({"num_qubits": 2, "edges": [[0, 5]]})"),
                DeviceError);
   EXPECT_THROW((void)load_device("/nonexistent/path.json"), DeviceError);
+}
+
+// Hard errors carry the offending key path so a bad config is fixable
+// from the message alone.
+TEST(DeviceConfig, ErrorsNameTheOffendingKeyPath) {
+  const auto message_of = [](const std::string& text) {
+    try {
+      (void)device_from_json_text(text);
+    } catch (const DeviceError& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_NE(message_of("{}").find("num_qubits"), std::string::npos);
+  EXPECT_NE(message_of(R"({"num_qubits": "three"})").find("'num_qubits'"),
+            std::string::npos);
+  EXPECT_NE(message_of(R"({"num_qubits": 0})").find("at least 1"),
+            std::string::npos);
+  const std::string bad_edge =
+      message_of(R"({"num_qubits": 2, "edges": [[0, 1], [0, 5]]})");
+  EXPECT_NE(bad_edge.find("edges[1]"), std::string::npos);
+  EXPECT_NE(message_of(R"({"num_qubits": 2, "edges": [[0], [0, 1]]})")
+                .find("edges[0]"),
+            std::string::npos);
+  EXPECT_NE(message_of("[1, 2]").find("top level"), std::string::npos);
+}
+
+// Malformed *optional* fields degrade to documented defaults with a
+// warning recorded on the device instead of failing the load.
+TEST(DeviceConfig, OptionalFieldsFallBackWithWarnings) {
+  const Device device = device_from_json_text(R"({
+    "num_qubits": 3,
+    "edges": [[0, 1], [1, 2]],
+    "native_two_qubit": "not-a-gate",
+    "durations": {"cycle_ns": -5, "two_qubit": 3},
+    "frequency_groups": [0, 1],
+    "supports_shuttling": "yes"
+  })");
+  // Defaults held where values were bad...
+  EXPECT_EQ(device.native_two_qubit(), GateKind::CZ);
+  EXPECT_DOUBLE_EQ(device.durations().cycle_ns, 20.0);
+  EXPECT_TRUE(device.frequency_groups().empty());
+  EXPECT_FALSE(device.supports_shuttling());
+  // ...good values inside a partly bad section still applied...
+  EXPECT_EQ(device.durations().two_qubit_cycles, 3);
+  // ...and every fallback left a named warning.
+  ASSERT_EQ(device.load_warnings().size(), 4u);
+  const auto warned = [&device](const std::string& key) {
+    for (const std::string& w : device.load_warnings()) {
+      if (w.find(key) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(warned("native_two_qubit"));
+  EXPECT_TRUE(warned("durations.cycle_ns"));
+  EXPECT_TRUE(warned("frequency_groups"));
+  EXPECT_TRUE(warned("supports_shuttling"));
+}
+
+TEST(DeviceConfig, CleanConfigLoadsWithoutWarnings) {
+  const Device device = device_from_json_text(R"({
+    "num_qubits": 2,
+    "edges": [[0, 1]],
+    "durations": {"cycle_ns": 10, "two_qubit": 2}
+  })");
+  EXPECT_TRUE(device.load_warnings().empty());
+  EXPECT_DOUBLE_EQ(device.durations().cycle_ns, 10.0);
 }
 
 TEST(DeviceMisc, FrequencyGroupValidation) {

@@ -384,6 +384,33 @@ TEST(Batch, MatchesSerialCompilationBitForBit) {
   }
 }
 
+TEST(Batch, NonQmapExceptionFromStageHookIsIsolatedPerItem) {
+  // Regression: a stage hook throwing a foreign exception type (not
+  // derived from qmap::Error) used to escape the per-item boundary. The
+  // hook fires for every circuit here, so without isolation the whole
+  // batch would sink instead of recording three failures.
+  const Device device = devices::ibm_qx4();
+  std::vector<Circuit> circuits = {workloads::ghz(3), workloads::ghz(4),
+                                   workloads::fig1_example()};
+  BatchOptions options;
+  options.compiler.stage_hook = [](const char* stage) {
+    if (std::string(stage) == "router") {
+      throw std::runtime_error("planted foreign fault");
+    }
+  };
+  const BatchCompiler batch(device, options);
+  BatchResult result;
+  EXPECT_NO_THROW(result = batch.compile_all(circuits));
+  ASSERT_EQ(result.items.size(), 3u);
+  for (const BatchItem& item : result.items) {
+    EXPECT_FALSE(item.ok);
+    EXPECT_NE(item.error.find("planted foreign fault"), std::string::npos);
+    EXPECT_EQ(item.error_class, ErrorClass::Permanent);
+  }
+  // JSON report survives the failure classes.
+  EXPECT_NO_THROW((void)Json::parse(result.to_json().dump()));
+}
+
 TEST(Batch, PortfolioModeReturnsWinnersPerCircuit) {
   const Device device = devices::ibm_qx4();
   std::vector<Circuit> circuits = {workloads::fig1_example(),

@@ -146,7 +146,14 @@ TEST(Placers, ExhaustiveThrowsWhenTooLarge) {
   const Device grid = devices::grid(4, 4);
   Rng rng(1);
   const Circuit circuit = workloads::random_circuit(8, 20, rng);
-  EXPECT_THROW((void)placer.place(circuit, grid), MappingError);
+  // Exceeding the work limit is resource exhaustion, not a mapping bug:
+  // the resilience pipeline reacts by falling back, never by retrying.
+  try {
+    (void)placer.place(circuit, grid);
+    FAIL() << "expected ResourceError";
+  } catch (const ResourceError& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::ResourceExhausted);
+  }
 }
 
 TEST(Placers, AnnealingNeverWorseThanGreedySeed) {
