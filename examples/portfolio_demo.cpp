@@ -1,13 +1,16 @@
 // Portfolio engine walkthrough: compile one workload-suite circuit on
 // Surface-17 with the full default strategy portfolio, print the
-// per-strategy telemetry table and the JSON blob a service would log,
-// then show the BatchCompiler throughput path over several circuits.
-// Exits non-zero if any result fails simulation-based verification.
+// per-strategy telemetry table, the observability span tree of the race,
+// and the JSON blob a service would log, then show the BatchCompiler
+// throughput path over several circuits. Exits non-zero if any result
+// fails simulation-based verification.
 #include <iostream>
 
 #include "arch/builtin.hpp"
 #include "engine/batch.hpp"
 #include "engine/portfolio.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "workloads/workloads.hpp"
 
 int main() {
@@ -17,9 +20,11 @@ int main() {
   const Circuit circuit = workloads::qft(5);
 
   // --- One circuit, the whole portfolio -----------------------------------
+  obs::Observer observer;
   PortfolioOptions options;
   options.cost_name = "gates";          // select by routed 2q-gate count
   options.strategy_deadline_ms = 2000;  // soft cap per strategy
+  options.obs = &observer;              // record spans + metrics
   const PortfolioCompiler portfolio(device, options);
 
   std::cout << "racing " << portfolio.strategies().size()
@@ -33,6 +38,11 @@ int main() {
     return 1;
   }
   std::cout << "winner verified by state-vector equivalence\n\n";
+
+  std::cout << "span tree of the race (obs::ascii_span_tree; export the "
+               "same observer\nwith obs::export_chrome_trace to load it in "
+               "Perfetto):\n"
+            << obs::ascii_span_tree(observer) << "\n";
 
   std::cout << "telemetry JSON (winner + per-strategy records):\n"
             << result.to_json().dump(2) << "\n\n";

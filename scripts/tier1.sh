@@ -25,16 +25,23 @@ echo "== tier 1: resilience label =="
 # here, attributably, instead of inside the main suite.
 (cd build && ctest --output-on-failure -L resilience)
 
-echo "== tier 1: test_engine + test_verify + test_resilience under ThreadSanitizer =="
+echo "== tier 1: observability label =="
+# The obs determinism/golden suite (tests/test_obs.cpp) as its own leg so
+# a metrics fingerprint drift or golden-trace mismatch is attributable.
+(cd build && ctest --output-on-failure -L obs)
+
+echo "== tier 1: test_engine + test_verify + test_resilience + test_obs under ThreadSanitizer =="
 cmake -B build-tsan -S . -DQMAP_SANITIZE=thread
-cmake --build build-tsan -j "${JOBS}" --target test_engine test_verify test_resilience
+cmake --build build-tsan -j "${JOBS}" --target test_engine test_verify test_resilience test_obs
 # TSAN_OPTIONS makes the run fail loudly on the first race report.
 # test_verify's fuzzer tests fan compiles across the engine ThreadPool, so
 # they double as a race check of the whole compile pipeline;
 # test_resilience adds the fault injector's concurrent fired-fault
-# recording and the supervisor/portfolio interplay.
+# recording and the supervisor/portfolio interplay; test_obs hammers the
+# sharded trace buffer and metrics registry from concurrent strategies.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_engine
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_verify
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_resilience
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
 
 echo "tier 1 OK"

@@ -26,4 +26,13 @@ namespace qmap {
 /// Format a double compactly: no trailing zeros, "pi"-free plain decimal.
 [[nodiscard]] std::string format_double(double value);
 
+/// Escape `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes): '"', '\\', and the short escapes \b \f \n \r \t, with every
+/// other control character < 0x20 as \u00XX. The single escaper shared by
+/// the Json dumper and the hand-built exporters in obs/.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// json_escape(s) wrapped in double quotes — a complete JSON string token.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
 }  // namespace qmap

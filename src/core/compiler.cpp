@@ -75,6 +75,22 @@ CompilationResult Compiler::compile(const Circuit& circuit) const {
   const auto stage = [this](const char* name) {
     if (options_.stage_hook) options_.stage_hook(name);
   };
+  obs::Span compile_span(options_.obs, "compile", "core",
+                         options_.obs_parent_span);
+  if (compile_span.active()) {
+    compile_span.arg("circuit", circuit.name());
+    compile_span.arg("placer", options_.placer);
+    compile_span.arg("router", options_.router);
+  }
+  obs::add(options_.obs, "compile.runs");
+  // Per-stage spans auto-parent under compile_span (same thread). End the
+  // previous stage before opening the next — otherwise the new span would
+  // nest under the still-open old one instead of under compile_span.
+  obs::Span stage_span;
+  const auto obs_stage = [&](const char* name) {
+    stage_span.end();
+    stage_span = obs::Span(options_.obs, name, "stage");
+  };
   CompilationResult result;
   result.original = circuit;
   result.original_metrics = compute_metrics(circuit);
@@ -99,6 +115,7 @@ CompilationResult Compiler::compile(const Circuit& circuit) const {
   //    search loops).
   checkpoint();
   stage("placer");
+  obs_stage("placer");
   std::unique_ptr<Placer> placer = make_placer(options_.placer, options_.seed);
   placer->set_cancel_token(options_.cancel);
   const Placement initial = placer->place(result.lowered, device_);
@@ -106,11 +123,14 @@ CompilationResult Compiler::compile(const Circuit& circuit) const {
   // 3. Routing (cooperatively cancellable inside the router main loop).
   checkpoint();
   stage("router");
+  obs_stage("router");
   std::unique_ptr<Router> router = make_router(options_.router);
   router->set_cancel_token(options_.cancel);
+  router->set_observer(options_.obs);
   result.routing = router->route(result.lowered, device_, initial);
   checkpoint();
   stage("postroute");
+  obs_stage("postroute");
 
   // 4. Measurement relocation (devices where not every qubit is
   //    measurable, Sec. VI-A), SWAP expansion, direction repair, final
@@ -133,12 +153,16 @@ CompilationResult Compiler::compile(const Circuit& circuit) const {
   if (options_.run_scheduler) {
     checkpoint();
     stage("schedule");
+    obs_stage("schedule");
     result.schedule =
         options_.use_control_constraints
-            ? schedule_for_device(result.final_circuit, device_)
+            ? schedule_for_device(result.final_circuit, device_, options_.obs)
             : schedule_asap(result.final_circuit, device_);
     result.scheduled_cycles = result.schedule.total_cycles();
   }
+  stage_span.end();
+  obs::observe(options_.obs, "compile.final_two_qubit_gates",
+               static_cast<double>(result.final_metrics.two_qubit_gates));
   return result;
 }
 

@@ -23,6 +23,7 @@
 #include "ir/circuit.hpp"
 #include "ir/metrics.hpp"
 #include "layout/placers.hpp"
+#include "obs/obs.hpp"
 #include "route/router.hpp"
 #include "schedule/schedule.hpp"
 
@@ -51,6 +52,14 @@ struct CompilerOptions {
   /// deterministic placer/router crashes without patching any pass. Empty
   /// by default and never on any hot path.
   std::function<void(const char* stage)> stage_hook;
+  /// Observability sink (obs/): a compile span with one child span per
+  /// pipeline stage, plus router/scheduler counters. Not owned; null (the
+  /// default) disables all recording at the cost of one pointer compare.
+  obs::Observer* obs = nullptr;
+  /// Explicit parent for the compile span — used when compile() runs on a
+  /// pool worker but belongs under a span opened on another thread (the
+  /// portfolio race root). 0 = the calling thread's innermost open span.
+  std::uint64_t obs_parent_span = 0;
 };
 
 struct CompilationResult {

@@ -256,6 +256,15 @@ PortfolioResult PortfolioCompiler::try_compile(const Circuit& circuit,
   const std::size_t n = options_.strategies.size();
   if (n == 0) throw MappingError("portfolio: no strategies configured");
 
+  obs::Observer* const obs =
+      options_.obs != nullptr ? options_.obs : options_.base.obs;
+  obs::Span race_span(obs, "portfolio", "engine");
+  if (race_span.active()) {
+    race_span.arg("circuit", circuit.name());
+    race_span.arg("strategies", std::to_string(n));
+  }
+  const std::uint64_t race_seq = race_span.seq();
+
   std::optional<Clock::time_point> portfolio_deadline;
   if (options_.portfolio_deadline_ms > 0.0) {
     portfolio_deadline =
@@ -275,17 +284,25 @@ PortfolioResult PortfolioCompiler::try_compile(const Circuit& circuit,
 
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(pool.async([this, &circuit, &runs, &tokens, i,
-                                  portfolio_deadline] {
+                                  portfolio_deadline, obs, race_seq] {
       const StrategySpec& spec = options_.strategies[i];
       StrategyRun& run = runs[i];
       StrategyTelemetry& telemetry = run.telemetry;
       telemetry.strategy_index = static_cast<int>(i);
       telemetry.spec = spec;
 
+      // Explicitly parented under the race root: this worker's thread-local
+      // span stack is empty, so auto-parenting would orphan the span.
+      obs::Span strategy_span(obs, spec.label(), "strategy", race_seq);
+      if (strategy_span.active()) {
+        strategy_span.arg("index", std::to_string(i));
+      }
+
       if (spec.max_qubits > 0 && circuit.num_qubits() > spec.max_qubits) {
         telemetry.status = StrategyTelemetry::Status::Skipped;
         telemetry.error = "circuit wider than the strategy's max_qubits (" +
                           std::to_string(spec.max_qubits) + ")";
+        strategy_span.arg("status", telemetry.status_name());
         return;
       }
 
@@ -310,6 +327,8 @@ PortfolioResult PortfolioCompiler::try_compile(const Circuit& circuit,
       compiler_options.router = spec.router;
       compiler_options.seed = Rng::derive_stream(options_.base_seed, i);
       compiler_options.cancel = &token;
+      compiler_options.obs = obs;
+      compiler_options.obs_parent_span = strategy_span.seq();
       if (options_.stage_hook) {
         compiler_options.stage_hook = [this, i](const char* stage) {
           options_.stage_hook(stage, static_cast<int>(i));
@@ -344,6 +363,7 @@ PortfolioResult PortfolioCompiler::try_compile(const Circuit& circuit,
         telemetry.error = "unknown exception";
         telemetry.error_class = ErrorClass::Permanent;
       }
+      strategy_span.arg("status", telemetry.status_name());
     }));
   }
   for (std::future<void>& future : futures) future.get();
@@ -389,6 +409,21 @@ PortfolioResult PortfolioCompiler::try_compile(const Circuit& circuit,
   }
   result.wall_ms = ms_since(portfolio_start);
   result.num_threads = pool.size();
+
+  // Aggregated on the calling thread after the join, so counter values are
+  // identical for every pool size (the adds themselves are commutative, but
+  // doing them here also keeps win attribution in one place).
+  obs::add(obs, "portfolio.races");
+  for (const StrategyTelemetry& t : result.telemetry) {
+    obs::add(obs, std::string("portfolio.strategies_") + t.status_name());
+  }
+  if (winner >= 0) {
+    obs::add(obs, "portfolio.wins");
+    obs::add(obs, "portfolio.win." + result.winner_label);
+  } else {
+    obs::add(obs, "portfolio.empty_races");
+  }
+  obs::set_gauge(obs, "portfolio.last_wall_ms", result.wall_ms);
   return result;
 }
 

@@ -103,6 +103,12 @@ struct PortfolioOptions {
   /// fields are overwritten per strategy; stage_hook is overwritten when
   /// the portfolio-level stage_hook above is set).
   CompilerOptions base;
+  /// Observability sink (obs/): a race-root span, one strategy span per
+  /// entrant (explicitly parented under the root across threads), and
+  /// post-join win/cancellation counters aggregated deterministically on
+  /// the calling thread. Not owned; null disables recording. Overrides
+  /// base.obs for every strategy.
+  obs::Observer* obs = nullptr;
 };
 
 /// Outcome of a portfolio run: the winning compilation plus per-strategy

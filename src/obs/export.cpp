@@ -1,0 +1,295 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "common/strings.hpp"
+
+namespace qmap::obs {
+
+namespace {
+
+void append_event_prefix(std::string& out, const SpanRecord& span,
+                         const char* phase, std::int64_t ts) {
+  out += "{\"name\":";
+  out += json_quote(span.name);
+  out += ",\"cat\":";
+  out += json_quote(span.category.empty() ? "span" : span.category);
+  out += ",\"ph\":\"";
+  out += phase;
+  out += "\",\"ts\":";
+  out += std::to_string(ts);
+  out += ",\"pid\":0,\"tid\":";
+  out += std::to_string(span.tid);
+}
+
+void append_begin(std::string& out, const SpanRecord& span) {
+  append_event_prefix(out, span, "B", span.start_us);
+  if (!span.args.empty()) {
+    out += ",\"args\":{";
+    bool first = true;
+    for (const auto& [key, value] : span.args) {
+      if (!first) out += ',';
+      first = false;
+      out += json_quote(key);
+      out += ':';
+      out += json_quote(value);
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+void append_end(std::string& out, const SpanRecord& span) {
+  append_event_prefix(out, span, "E",
+                      std::max(span.end_us, span.start_us));
+  out += '}';
+}
+
+/// True when `ancestor_seq` appears on `span`'s parent chain. The chain
+/// walk is bounded: a dropped intermediate span simply ends the walk.
+bool has_ancestor(
+    const SpanRecord& span, std::uint64_t ancestor_seq,
+    const std::unordered_map<std::uint64_t, std::uint64_t>& parent_of) {
+  std::uint64_t cursor = span.parent_seq;
+  for (int depth = 0; depth < 256 && cursor != 0; ++depth) {
+    if (cursor == ancestor_seq) return true;
+    const auto it = parent_of.find(cursor);
+    if (it == parent_of.end()) return false;
+    cursor = it->second;
+  }
+  return false;
+}
+
+std::string chrome_trace_events(const std::vector<SpanRecord>& spans) {
+  // seq -> parent_seq over the whole snapshot (parents may live on another
+  // thread than their children).
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_of;
+  parent_of.reserve(spans.size());
+  for (const SpanRecord& span : spans) {
+    parent_of.emplace(span.seq, span.parent_seq);
+  }
+
+  std::string out = "[";
+  bool first_event = true;
+  const auto emit = [&](const SpanRecord& span, bool begin) {
+    if (!first_event) out += ",\n";
+    first_event = false;
+    begin ? append_begin(out, span) : append_end(out, span);
+  };
+
+  // Spans arrive sorted by (tid, seq) — per thread, that is begin order,
+  // and RAII makes per-thread spans properly nested. Walk each thread's
+  // spans with a stack: before opening the next span, close every open
+  // span that is not one of its ancestors.
+  std::size_t i = 0;
+  while (i < spans.size()) {
+    const int tid = spans[i].tid;
+    std::vector<const SpanRecord*> stack;
+    for (; i < spans.size() && spans[i].tid == tid; ++i) {
+      const SpanRecord& span = spans[i];
+      while (!stack.empty() &&
+             !has_ancestor(span, stack.back()->seq, parent_of)) {
+        emit(*stack.back(), /*begin=*/false);
+        stack.pop_back();
+      }
+      emit(span, /*begin=*/true);
+      stack.push_back(&span);
+    }
+    while (!stack.empty()) {
+      emit(*stack.back(), /*begin=*/false);
+      stack.pop_back();
+    }
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string export_chrome_trace(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":";
+  out += chrome_trace_events(spans);
+  out += "}";
+  return out;
+}
+
+std::string export_chrome_trace(const Observer& observer) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":";
+  out += chrome_trace_events(observer.trace().snapshot());
+  out += ",\"metrics\":";
+  out += observer.metrics().to_json().dump();
+  out += "}";
+  return out;
+}
+
+std::string export_metrics_json(const MetricsRegistry& metrics,
+                                bool include_timing) {
+  return metrics.to_json(include_timing).dump(2);
+}
+
+namespace {
+
+void append_tree_node(std::string& out,
+                      const std::vector<SpanRecord>& spans,
+                      const std::multimap<std::uint64_t, std::size_t>& children,
+                      std::size_t index, int depth) {
+  const SpanRecord& span = spans[index];
+  out.append(static_cast<std::size_t>(2 * depth), ' ');
+  out += "- ";
+  out += span.name;
+  if (!span.category.empty()) {
+    out += " [" + span.category + "]";
+  }
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), " %.3f ms", span.duration_ms());
+  out += buffer;
+  if (!span.args.empty()) {
+    out += " {";
+    bool first = true;
+    for (const auto& [key, value] : span.args) {
+      if (!first) out += ", ";
+      first = false;
+      out += key + "=" + value;
+    }
+    out += "}";
+  }
+  out += "\n";
+  const auto [begin, end] = children.equal_range(span.seq);
+  for (auto it = begin; it != end; ++it) {
+    append_tree_node(out, spans, children, it->second, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string ascii_span_tree(const std::vector<SpanRecord>& spans) {
+  // Sort indices by seq so siblings print in begin order regardless of the
+  // snapshot's (tid, seq) ordering.
+  std::vector<std::size_t> order(spans.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return spans[a].seq < spans[b].seq;
+  });
+
+  std::unordered_map<std::uint64_t, std::size_t> by_seq;
+  by_seq.reserve(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    by_seq.emplace(spans[i].seq, i);
+  }
+  std::multimap<std::uint64_t, std::size_t> children;  // parent_seq -> index
+  std::vector<std::size_t> roots;
+  for (const std::size_t i : order) {
+    const SpanRecord& span = spans[i];
+    if (span.parent_seq != 0 && by_seq.count(span.parent_seq) != 0) {
+      children.emplace(span.parent_seq, i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::string out;
+  for (const std::size_t root : roots) {
+    append_tree_node(out, spans, children, root, 0);
+  }
+  return out;
+}
+
+std::string ascii_span_tree(const Observer& observer) {
+  return ascii_span_tree(observer.trace().snapshot());
+}
+
+std::string TraceValidation::to_string() const {
+  std::string out = ok ? "trace OK" : "trace INVALID";
+  out += " (" + std::to_string(events) + " events, " +
+         std::to_string(begin_events) + " B, " +
+         std::to_string(end_events) + " E)";
+  for (const std::string& error : errors) {
+    out += "\n  " + error;
+  }
+  return out;
+}
+
+TraceValidation validate_chrome_trace(std::string_view trace_json) {
+  TraceValidation validation;
+  Json document;
+  try {
+    document = Json::parse(trace_json);
+  } catch (const std::exception& e) {
+    validation.errors.push_back(std::string("not valid JSON: ") + e.what());
+    return validation;
+  }
+  const Json* events = document.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    validation.errors.push_back("missing traceEvents array");
+    return validation;
+  }
+
+  struct OpenEvent {
+    std::string name;
+    double ts = 0.0;
+  };
+  std::map<std::pair<double, double>, std::vector<OpenEvent>> open;  // (pid,tid)
+
+  std::size_t index = 0;
+  for (const Json& event : events->as_array()) {
+    const std::string where = "event #" + std::to_string(index++);
+    if (!event.is_object()) {
+      validation.errors.push_back(where + ": not an object");
+      continue;
+    }
+    const Json* name = event.find("name");
+    const Json* ph = event.find("ph");
+    const Json* ts = event.find("ts");
+    const Json* pid = event.find("pid");
+    const Json* tid = event.find("tid");
+    if (name == nullptr || !name->is_string() || ph == nullptr ||
+        !ph->is_string() || ts == nullptr || !ts->is_number() ||
+        pid == nullptr || !pid->is_number() || tid == nullptr ||
+        !tid->is_number()) {
+      validation.errors.push_back(where +
+                                  ": missing name/ph/ts/pid/tid field");
+      continue;
+    }
+    ++validation.events;
+    const auto key = std::make_pair(pid->as_number(), tid->as_number());
+    const std::string& phase = ph->as_string();
+    if (phase == "B") {
+      ++validation.begin_events;
+      open[key].push_back(OpenEvent{name->as_string(), ts->as_number()});
+    } else if (phase == "E") {
+      ++validation.end_events;
+      auto& stack = open[key];
+      if (stack.empty()) {
+        validation.errors.push_back(where + ": E \"" + name->as_string() +
+                                    "\" with no open B on its thread");
+        continue;
+      }
+      const OpenEvent begin = stack.back();
+      stack.pop_back();
+      if (begin.name != name->as_string()) {
+        validation.errors.push_back(where + ": E \"" + name->as_string() +
+                                    "\" closes B \"" + begin.name + "\"");
+      }
+      if (ts->as_number() < begin.ts) {
+        validation.errors.push_back(where + ": negative duration for \"" +
+                                    name->as_string() + "\"");
+      }
+    } else {
+      validation.errors.push_back(where + ": unexpected ph \"" + phase +
+                                  "\"");
+    }
+  }
+  for (const auto& [key, stack] : open) {
+    for (const OpenEvent& event : stack) {
+      validation.errors.push_back("unclosed B \"" + event.name +
+                                  "\" on tid " +
+                                  std::to_string(key.second));
+    }
+  }
+  validation.ok = validation.errors.empty();
+  return validation;
+}
+
+}  // namespace qmap::obs

@@ -1,0 +1,67 @@
+// Exporters for the observability layer (obs/obs.hpp):
+//
+//   export_chrome_trace — the Trace Event Format JSON that
+//                         chrome://tracing and Perfetto load directly:
+//                         one "B"/"E" duration pair per recorded span
+//                         (instants are zero-duration pairs), per-span
+//                         args, plus the metrics dump under a top-level
+//                         "metrics" key (ignored by the viewers).
+//   export_metrics_json — the flat metrics dump on its own.
+//   ascii_span_tree     — human-readable nested span summary for CLI
+//                         examples and failure logs.
+//   validate_chrome_trace — structural audit used by tests and CI: valid
+//                         JSON, every "B" closed by a matching "E" on the
+//                         same (pid, tid) with a non-negative duration.
+//
+// Export ordering is deterministic for a deterministic workload: spans are
+// taken in (tid, seq) snapshot order and begin/end events are emitted in
+// per-thread nesting order, so a fixed-seed single-threaded trace with a
+// fake clock is byte-stable (the golden test pins it).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace qmap::obs {
+
+/// Chrome-trace JSON for an explicit span list (no metrics attached).
+[[nodiscard]] std::string export_chrome_trace(
+    const std::vector<SpanRecord>& spans);
+
+/// Chrome-trace JSON for everything the observer holds: its trace
+/// snapshot plus its metrics under "metrics".
+[[nodiscard]] std::string export_chrome_trace(const Observer& observer);
+
+/// Flat metrics JSON (pretty-printed). `include_timing` = false drops the
+/// "_ms" metrics, leaving the byte-deterministic subset.
+[[nodiscard]] std::string export_metrics_json(const MetricsRegistry& metrics,
+                                              bool include_timing = true);
+
+/// Indented span tree: name, category, duration, args, children nested by
+/// parent_seq (cross-thread edges included).
+[[nodiscard]] std::string ascii_span_tree(
+    const std::vector<SpanRecord>& spans);
+[[nodiscard]] std::string ascii_span_tree(const Observer& observer);
+
+/// Result of a structural chrome-trace audit.
+struct TraceValidation {
+  bool ok = false;
+  std::vector<std::string> errors;
+  std::size_t events = 0;
+  std::size_t begin_events = 0;
+  std::size_t end_events = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses `trace_json` and checks the B/E discipline: every event carries
+/// name/ph/ts/pid/tid, every "B" is closed by an "E" with the same name on
+/// the same (pid, tid), ends never precede their begins, and no "E" lacks
+/// an open "B". Reports every violation, not just the first.
+[[nodiscard]] TraceValidation validate_chrome_trace(
+    std::string_view trace_json);
+
+}  // namespace qmap::obs

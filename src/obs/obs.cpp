@@ -1,0 +1,333 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+
+namespace qmap::obs {
+
+namespace {
+
+/// One open span, as seen by the calling thread's nesting stack.
+struct ActiveSpan {
+  const Observer* observer;
+  std::uint64_t seq;
+};
+
+/// Innermost-open-span stack of the calling thread. Entries for different
+/// observers interleave without interfering: parent lookup scans for the
+/// matching observer.
+thread_local std::vector<ActiveSpan> t_open_spans;
+
+std::uint64_t current_parent(const Observer* observer) {
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->observer == observer) return it->seq;
+  }
+  return 0;
+}
+
+void push_open(const Observer* observer, std::uint64_t seq) {
+  t_open_spans.push_back(ActiveSpan{observer, seq});
+}
+
+void pop_open(const Observer* observer, std::uint64_t seq) {
+  // RAII makes this the top entry in the overwhelming case; the backward
+  // scan only matters for spans ended out of order via end().
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->observer == observer && it->seq == seq) {
+      t_open_spans.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<double>& default_histogram_boundaries() {
+  // Powers of two cover everything the pipeline observes (SWAP counts,
+  // iteration totals, cycle counts) with stable, seed-independent edges.
+  static const std::vector<double> boundaries = {1,  2,  4,   8,   16,
+                                                 32, 64, 128, 256, 512};
+  return boundaries;
+}
+
+Json HistogramSnapshot::to_json() const {
+  Json out;
+  JsonArray edges;
+  for (const double b : boundaries) edges.push_back(Json(b));
+  out["boundaries"] = Json(std::move(edges));
+  JsonArray bucket_counts;
+  for (const std::uint64_t c : counts) {
+    bucket_counts.push_back(Json(static_cast<std::size_t>(c)));
+  }
+  out["counts"] = Json(std::move(bucket_counts));
+  out["count"] = Json(static_cast<std::size_t>(count));
+  out["sum"] = Json(sum);
+  return out;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  observe(name, value, default_histogram_boundaries());
+}
+
+void MetricsRegistry::observe(std::string_view name, double value,
+                              const std::vector<double>& boundaries) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    Histogram fresh;
+    fresh.boundaries = boundaries;
+    fresh.counts.assign(boundaries.size() + 1, 0);
+    it = histograms_.emplace(std::string(name), std::move(fresh)).first;
+  }
+  Histogram& histogram = it->second;
+  std::size_t bucket = histogram.boundaries.size();  // overflow by default
+  for (std::size_t i = 0; i < histogram.boundaries.size(); ++i) {
+    if (value <= histogram.boundaries[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++histogram.counts[bucket];
+  ++histogram.count;
+  histogram.sum += value;
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramSnapshot MetricsRegistry::histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot snapshot;
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) return snapshot;
+  snapshot.boundaries = it->second.boundaries;
+  snapshot.counts = it->second.counts;
+  snapshot.count = it->second.count;
+  snapshot.sum = it->second.sum;
+  return snapshot;
+}
+
+namespace {
+
+bool is_timing_name(std::string_view name) {
+  return name.size() >= 3 && name.substr(name.size() - 3) == "_ms";
+}
+
+}  // namespace
+
+Json MetricsRegistry::to_json(bool include_timing) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Json counters;
+  counters = JsonObject{};
+  for (const auto& [name, value] : counters_) {
+    if (!include_timing && is_timing_name(name)) continue;
+    counters[name] = Json(static_cast<std::size_t>(value));
+  }
+  Json gauges;
+  gauges = JsonObject{};
+  for (const auto& [name, value] : gauges_) {
+    if (!include_timing && is_timing_name(name)) continue;
+    gauges[name] = Json(value);
+  }
+  Json histograms;
+  histograms = JsonObject{};
+  for (const auto& [name, histogram] : histograms_) {
+    if (!include_timing && is_timing_name(name)) continue;
+    HistogramSnapshot snapshot;
+    snapshot.boundaries = histogram.boundaries;
+    snapshot.counts = histogram.counts;
+    snapshot.count = histogram.count;
+    snapshot.sum = histogram.sum;
+    histograms[name] = snapshot.to_json();
+  }
+  Json out;
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+std::string MetricsRegistry::fingerprint() const {
+  return to_json(/*include_timing=*/false).dump();
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity, int shards)
+    : capacity_(capacity) {
+  const int n = std::max(1, shards);
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool TraceBuffer::record(SpanRecord record) {
+  // Admission by global ticket: the first `capacity_` tickets store, every
+  // later one drops. fetch_add hands out each ticket exactly once, which
+  // is what makes the drop counter exact under concurrency.
+  const std::uint64_t ticket =
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (ticket >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = *shards_[static_cast<std::size_t>(record.tid) %
+                          shards_.size()];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.records.push_back(std::move(record));
+  return true;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->records.size();
+  }
+  return total;
+}
+
+std::vector<SpanRecord> TraceBuffer::snapshot() const {
+  std::vector<SpanRecord> merged;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    merged.insert(merged.end(), shard->records.begin(),
+                  shard->records.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.tid != b.tid ? a.tid < b.tid : a.seq < b.seq;
+            });
+  return merged;
+}
+
+void TraceBuffer::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->records.clear();
+  }
+  accepted_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+Observer::Observer(ObsConfig config)
+    : config_(config),
+      trace_(config.trace_capacity, config.trace_shards) {}
+
+std::int64_t Observer::now_us() const {
+  {
+    const std::lock_guard<std::mutex> lock(clock_mutex_);
+    if (now_us_) return now_us_();
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Observer::set_clock(std::function<std::int64_t()> now_us) {
+  const std::lock_guard<std::mutex> lock(clock_mutex_);
+  now_us_ = std::move(now_us);
+}
+
+int Observer::thread_ordinal() {
+  const std::lock_guard<std::mutex> lock(tid_mutex_);
+  const auto [it, inserted] =
+      tids_.emplace(std::this_thread::get_id(), static_cast<int>(tids_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+void Observer::instant(std::string name, std::string category,
+                       std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  SpanRecord record;
+  record.seq = next_seq();
+  record.parent_seq = current_parent(this);
+  record.tid = thread_ordinal();
+  record.start_us = now_us();
+  record.end_us = record.start_us;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.args = std::move(args);
+  trace_.record(std::move(record));
+}
+
+Span::Span(Observer* observer, std::string name, std::string category,
+           std::uint64_t parent_seq) {
+  if (observer == nullptr || !observer->enabled()) return;
+  observer_ = observer;
+  record_.seq = observer->next_seq();
+  record_.parent_seq =
+      parent_seq != 0 ? parent_seq : current_parent(observer);
+  record_.tid = observer->thread_ordinal();
+  record_.start_us = observer->now_us();
+  record_.name = std::move(name);
+  record_.category = std::move(category);
+  push_open(observer, record_.seq);
+}
+
+Span::Span(Span&& other) noexcept
+    : observer_(other.observer_), record_(std::move(other.record_)) {
+  other.observer_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    observer_ = other.observer_;
+    record_ = std::move(other.record_);
+    other.observer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::arg(std::string key, std::string value) {
+  if (observer_ == nullptr) return;
+  record_.args.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::end() {
+  if (observer_ == nullptr) return;
+  Observer* observer = observer_;
+  observer_ = nullptr;
+  record_.end_us = observer->now_us();
+  if (record_.end_us < record_.start_us) record_.end_us = record_.start_us;
+  pop_open(observer, record_.seq);
+  observer->trace().record(std::move(record_));
+}
+
+}  // namespace qmap::obs

@@ -235,6 +235,12 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
   const Clock::time_point start = Clock::now();
   CompileOutcome outcome;
 
+  obs::Observer* const obs =
+      policy_.obs != nullptr ? policy_.obs : policy_.base.obs;
+  obs::Span root_span(obs, "resilient_compile", "resilience");
+  if (root_span.active()) root_span.arg("circuit", circuit.name());
+  obs::add(obs, "resilience.compiles");
+
   const std::size_t num_strategies =
       policy_.portfolio.empty()
           ? PortfolioCompiler::default_portfolio(device_).size()
@@ -246,6 +252,7 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
     outcome.error =
         "rejected at admission: " + join(outcome.admission.reasons, "; ");
     outcome.wall_ms = ms_since(start);
+    obs::add(obs, "resilience.admission_rejections");
     return outcome;
   }
   const int first_rung =
@@ -276,10 +283,18 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
       continue;
     }
 
+    obs::Span rung_span(obs, "rung" + std::to_string(rung), "resilience");
+    if (rung_span.active()) rung_span.arg("label", rr.label);
+
     for (int attempt = 0; attempt <= policy_.max_retries_per_rung;
          ++attempt) {
       AttemptReport ar;
       ar.attempt = attempt;
+      obs::Span attempt_span(obs, "attempt", "resilience");
+      if (attempt_span.active()) {
+        attempt_span.arg("rung", std::to_string(rung));
+        attempt_span.arg("attempt", std::to_string(attempt));
+      }
       if (attempt > 0) {
         double delay = backoff.next_ms();
         if (has_deadline) delay = std::min(delay, std::max(0.0, remaining_ms()));
@@ -333,6 +348,7 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
           popt.base_seed = Rng::derive_stream(
               seed, kRungStream + static_cast<std::uint64_t>(attempt));
           popt.base = policy_.base;
+          popt.obs = obs;
           if (has_deadline) {
             popt.portfolio_deadline_ms =
                 std::min(policy_.deadline_ms * policy_.rung0_deadline_fraction,
@@ -390,6 +406,7 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
           CancelToken token;
           copt.cancel = nullptr;
           copt.stage_hook = nullptr;
+          copt.obs = obs;
           if (rung == 1 && has_deadline) {
             token.set_deadline_after_ms(std::max(0.0, remaining_ms()) *
                                         policy_.rung1_deadline_fraction);
@@ -423,6 +440,14 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
       ar.injected_faults = injector.drain_fired();
       for (const std::string& f : ar.injected_faults) {
         outcome.injected_faults.push_back(f);
+        // Marker events nest under the still-open attempt span.
+        obs::instant(obs, "fault:" + f, "fault");
+        obs::add(obs, "resilience.faults_fired");
+      }
+      obs::add(obs, "resilience.attempts");
+      if (attempt > 0) obs::add(obs, "resilience.retries");
+      if (attempt_span.active()) {
+        attempt_span.arg("ok", ar.ok ? "true" : "false");
       }
       const bool succeeded = ar.ok;
       const bool transient = ar.error_class == ErrorClass::Transient;
@@ -448,6 +473,13 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
         "every rung exhausted (shield_last_rung off or device unroutable)";
   }
   outcome.wall_ms = ms_since(start);
+  if (outcome.ok) {
+    obs::add(obs, "resilience.ok");
+    obs::add(obs, "resilience.rung_used." + std::to_string(outcome.rung));
+    if (outcome.degraded()) obs::add(obs, "resilience.degraded");
+  } else {
+    obs::add(obs, "resilience.exhausted");
+  }
   return outcome;
 }
 

@@ -89,6 +89,10 @@ struct Policy {
   /// Pipeline toggles shared by every rung (placer/router/seed/cancel/
   /// stage_hook fields are overwritten per rung).
   CompilerOptions base;
+  /// Observability sink (obs/): a root span per compile, one span per rung
+  /// and per attempt, instant events for fired faults, and ladder counters.
+  /// Not owned; null disables recording. Overrides base.obs on every rung.
+  obs::Observer* obs = nullptr;
 };
 
 /// One compile attempt inside one rung.

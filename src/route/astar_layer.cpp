@@ -84,6 +84,9 @@ RoutingResult AStarLayerRouter::route(const Circuit& circuit,
         return sum;
       };
 
+  std::uint64_t total_expansions = 0;
+  std::uint64_t fallback_layers = 0;
+
   for (std::size_t layer_index = 0; layer_index < layers.size();
        ++layer_index) {
     const std::vector<std::pair<int, int>> pairs = layer_pairs(layer_index);
@@ -137,6 +140,7 @@ RoutingResult AStarLayerRouter::route(const Circuit& circuit,
           break;
         }
         if (++expansions > options_.max_expansions) break;
+        ++total_expansions;
         for (const auto& edge : coupling.edges()) {
           std::vector<int> next = node.program_to_phys;
           for (int& phys : next) {
@@ -164,6 +168,7 @@ RoutingResult AStarLayerRouter::route(const Circuit& circuit,
         std::reverse(swaps.begin(), swaps.end());
         for (const auto& [a, b] : swaps) emitter.emit_swap(a, b);
       } else {
+        ++fallback_layers;
         // Budget exhausted: fall back to shortest-path walking per pair.
         for (const auto& [qa, qb] : pairs) {
           const int pa = emitter.placement().phys_of_program(qa);
@@ -185,7 +190,13 @@ RoutingResult AStarLayerRouter::route(const Circuit& circuit,
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start_time)
           .count();
-  return std::move(emitter).finish(initial, runtime_ms);
+  RoutingResult result = std::move(emitter).finish(initial, runtime_ms);
+  obs::add(observer(), "astar.routes");
+  obs::add(observer(), "astar.expansions", total_expansions);
+  obs::add(observer(), "astar.fallback_layers", fallback_layers);
+  obs::observe(observer(), "route.swaps_inserted",
+               static_cast<double>(result.added_swaps));
+  return result;
 }
 
 }  // namespace qmap

@@ -75,8 +75,11 @@ RoutingResult QmapRouter::route(const Circuit& circuit, const Device& device,
 
   int stall_guard = 0;
   const int stall_limit = 10 * std::max(1, device.num_qubits());
+  std::uint64_t iterations = 0;
+  std::uint64_t rescues = 0;
   while (!dag.all_scheduled()) {
     check_cancelled();
+    ++iterations;
     if (flush_executable()) {
       stall_guard = 0;
       continue;
@@ -152,6 +155,7 @@ RoutingResult QmapRouter::route(const Circuit& circuit, const Device& device,
         emitter.emit_swap(path[i], path[i + 1]);
         occupy({path[i], path[i + 1]}, swap_cycles);
       }
+      ++rescues;
       stall_guard = 0;
       continue;
     }
@@ -164,7 +168,13 @@ RoutingResult QmapRouter::route(const Circuit& circuit, const Device& device,
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start_time)
           .count();
-  return std::move(emitter).finish(initial, runtime_ms);
+  RoutingResult result = std::move(emitter).finish(initial, runtime_ms);
+  obs::add(observer(), "qmap_router.routes");
+  obs::add(observer(), "qmap_router.iterations", iterations);
+  obs::add(observer(), "qmap_router.rescues", rescues);
+  obs::observe(observer(), "route.swaps_inserted",
+               static_cast<double>(result.added_swaps));
+  return result;
 }
 
 }  // namespace qmap

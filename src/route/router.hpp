@@ -15,6 +15,7 @@
 #include "engine/cancel.hpp"
 #include "ir/circuit.hpp"
 #include "layout/placement.hpp"
+#include "obs/obs.hpp"
 
 namespace qmap {
 
@@ -44,6 +45,10 @@ class Router {
   /// abort by letting CancelledError propagate.
   void set_cancel_token(const CancelToken* token) noexcept { cancel_ = token; }
 
+  /// Attaches an observer for per-route counters and histograms (obs/).
+  /// Not owned; null (the default) detaches and makes recording free.
+  void set_observer(obs::Observer* observer) noexcept { observer_ = observer; }
+
  protected:
   /// Cancellation checkpoint for router main loops; cheap enough to call
   /// once per routing decision. Throws CancelledError when the token fired.
@@ -51,8 +56,12 @@ class Router {
     if (cancel_ != nullptr) cancel_->check();
   }
 
+  /// Maybe-null observability sink for implementations.
+  [[nodiscard]] obs::Observer* observer() const noexcept { return observer_; }
+
  private:
   const CancelToken* cancel_ = nullptr;
+  obs::Observer* observer_ = nullptr;
 };
 
 /// Helper used by all router implementations: appends gates to the output

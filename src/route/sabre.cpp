@@ -59,8 +59,12 @@ RoutingResult SabreRouter::route(const Circuit& circuit, const Device& device,
                              placement.phys_of_program(gate.qubits[1]));
   };
 
+  std::uint64_t iterations = 0;
+  std::uint64_t rescues = 0;
+
   while (!dag.all_scheduled()) {
     check_cancelled();
+    ++iterations;
     if (flush_executable()) {
       swaps_since_progress = 0;
       continue;
@@ -143,6 +147,7 @@ RoutingResult SabreRouter::route(const Circuit& circuit, const Device& device,
       for (std::size_t i = 0; i + 2 < path.size(); ++i) {
         emitter.emit_swap(path[i], path[i + 1]);
       }
+      ++rescues;
       swaps_since_progress = 0;
       continue;
     }
@@ -160,7 +165,14 @@ RoutingResult SabreRouter::route(const Circuit& circuit, const Device& device,
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start_time)
           .count();
-  return std::move(emitter).finish(initial, runtime_ms);
+  RoutingResult result = std::move(emitter).finish(initial, runtime_ms);
+  // One flush per route() keeps the loop body free of locking.
+  obs::add(observer(), "sabre.routes");
+  obs::add(observer(), "sabre.iterations", iterations);
+  obs::add(observer(), "sabre.rescues", rescues);
+  obs::observe(observer(), "route.swaps_inserted",
+               static_cast<double>(result.added_swaps));
+  return result;
 }
 
 }  // namespace qmap

@@ -60,7 +60,8 @@ Schedule schedule_alap(const Circuit& circuit, const Device& device) {
 
 Schedule schedule_constrained(
     const Circuit& circuit, const Device& device,
-    const std::vector<std::unique_ptr<ResourceConstraint>>& constraints) {
+    const std::vector<std::unique_ptr<ResourceConstraint>>& constraints,
+    obs::Observer* obs) {
   DependencyDag dag(circuit);
   const std::size_t num_nodes = dag.num_nodes();
   Schedule schedule(circuit.num_qubits());
@@ -82,6 +83,8 @@ Schedule schedule_constrained(
 
   int cycle = 0;
   std::size_t scheduled = 0;
+  std::uint64_t cycle_advances = 0;
+  std::uint64_t constraint_deferrals = 0;
   while (scheduled < num_nodes) {
     // Ready nodes, highest priority first (stable on node index).
     std::vector<int> ready = dag.ready();
@@ -118,7 +121,10 @@ Schedule schedule_constrained(
           break;
         }
       }
-      if (!allowed) continue;
+      if (!allowed) {
+        ++constraint_deferrals;
+        continue;
+      }
       // Admit.
       admitted.push_back(candidate);
       schedule.add(candidate);
@@ -145,16 +151,27 @@ Schedule schedule_constrained(
       }
     }
     cycle = next;
+    ++cycle_advances;
   }
+  obs::add(obs, "schedule.constrained_runs");
+  obs::add(obs, "schedule.cycle_advances", cycle_advances);
+  obs::add(obs, "schedule.constraint_deferrals", constraint_deferrals);
+  obs::observe(obs, "schedule.depth",
+               static_cast<double>(schedule.total_cycles()));
   return schedule;
 }
 
-Schedule schedule_for_device(const Circuit& circuit, const Device& device) {
+Schedule schedule_for_device(const Circuit& circuit, const Device& device,
+                             obs::Observer* obs) {
   if (!device.has_control_constraints()) {
-    return schedule_asap(circuit, device);
+    obs::add(obs, "schedule.asap_runs");
+    Schedule schedule = schedule_asap(circuit, device);
+    obs::observe(obs, "schedule.depth",
+                 static_cast<double>(schedule.total_cycles()));
+    return schedule;
   }
-  return schedule_constrained(circuit, device,
-                              constraints_for_device(device));
+  return schedule_constrained(circuit, device, constraints_for_device(device),
+                              obs);
 }
 
 }  // namespace qmap

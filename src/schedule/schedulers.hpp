@@ -12,6 +12,7 @@
 
 #include "arch/device.hpp"
 #include "ir/circuit.hpp"
+#include "obs/obs.hpp"
 #include "schedule/constraints.hpp"
 #include "schedule/schedule.hpp"
 
@@ -27,14 +28,17 @@ namespace qmap {
 
 /// Cycle-driven list scheduler honouring `constraints`. Gates are
 /// prioritized by downstream critical-path length. With an empty constraint
-/// stack this degrades to an ASAP schedule.
+/// stack this degrades to an ASAP schedule. `obs` (maybe null) receives
+/// cycle-advance / constraint-deferral counters and a depth histogram.
 [[nodiscard]] Schedule schedule_constrained(
     const Circuit& circuit, const Device& device,
-    const std::vector<std::unique_ptr<ResourceConstraint>>& constraints);
+    const std::vector<std::unique_ptr<ResourceConstraint>>& constraints,
+    obs::Observer* obs = nullptr);
 
 /// Convenience: constrained schedule with the full Surface control stack
 /// when the device declares control resources, plain ASAP otherwise.
 [[nodiscard]] Schedule schedule_for_device(const Circuit& circuit,
-                                           const Device& device);
+                                           const Device& device,
+                                           obs::Observer* obs = nullptr);
 
 }  // namespace qmap

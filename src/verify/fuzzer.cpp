@@ -155,6 +155,12 @@ FuzzReport DifferentialFuzzer::run() const {
 
 FuzzReport DifferentialFuzzer::run(ThreadPool& pool) const {
   const auto t0 = std::chrono::steady_clock::now();
+  obs::Observer* const obs = options_.obs;
+  obs::Span campaign_span(obs, "fuzz_campaign", "verify");
+  if (campaign_span.active()) {
+    campaign_span.arg("circuits", std::to_string(options_.num_circuits));
+  }
+  const std::uint64_t campaign_seq = campaign_span.seq();
   // Strategy sets are device-dependent but circuit-independent; compute
   // once so every worker agrees on the run enumeration (and the derived
   // seeds) without re-deriving it.
@@ -169,7 +175,13 @@ FuzzReport DifferentialFuzzer::run(ThreadPool& pool) const {
   std::vector<std::future<void>> pending;
   pending.reserve(records.size());
   for (int k = 0; k < options_.num_circuits; ++k) {
-    pending.push_back(pool.async([this, &per_device, &records, k] {
+    pending.push_back(pool.async([this, &per_device, &records, k, obs,
+                                  campaign_seq] {
+      // Explicit parent: this pool worker's span stack does not contain
+      // the campaign span.
+      obs::Span case_span(obs, "fuzz_case", "verify", campaign_seq);
+      if (case_span.active()) case_span.arg("index", std::to_string(k));
+      const auto case_start = std::chrono::steady_clock::now();
       CircuitRecord& record = records[static_cast<std::size_t>(k)];
       const std::uint64_t circuit_seed =
           Rng::derive_stream(options_.base_seed, static_cast<std::uint64_t>(k));
@@ -199,6 +211,12 @@ FuzzReport DifferentialFuzzer::run(ThreadPool& pool) const {
           record.runs.push_back(std::move(run));
         }
       }
+      // Timing histogram: "_ms" names are excluded from fingerprints, so
+      // wall-clock jitter here never breaks metrics determinism.
+      obs::observe(obs, "fuzz.case_ms",
+                   std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - case_start)
+                       .count());
     }));
   }
   for (std::future<void>& future : pending) future.get();
@@ -283,6 +301,12 @@ FuzzReport DifferentialFuzzer::run(ThreadPool& pool) const {
   report.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
+  // Deterministic post-join aggregation (same totals for any pool size).
+  obs::add(obs, "fuzz.campaigns");
+  obs::add(obs, "fuzz.circuits", static_cast<std::uint64_t>(report.circuits));
+  obs::add(obs, "fuzz.runs", report.runs);
+  obs::add(obs, "fuzz.failures", report.failures.size());
+  obs::set_gauge(obs, "fuzz.last_wall_ms", report.wall_ms);
   return report;
 }
 

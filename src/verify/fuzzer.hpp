@@ -104,6 +104,11 @@ struct FuzzOptions {
   /// When non-empty, dump each shrunk failure as a QASM + JSON reproducer
   /// into this directory (created if missing).
   std::string reproducer_dir;
+  /// Observability sink (obs/): a campaign root span, one per-case span
+  /// per generated circuit (explicitly parented across threads), a
+  /// "fuzz.case_ms" timing histogram, and post-join run/failure counters.
+  /// Not owned; null disables recording.
+  obs::Observer* obs = nullptr;
 };
 
 /// One confirmed failure, fully replayable from (seed, device, strategy).

@@ -47,6 +47,30 @@ TEST(Strings, Join) {
   EXPECT_EQ(join({}, ","), "");
 }
 
+TEST(Strings, JsonEscapeQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_quote("x"), "\"x\"");
+  EXPECT_EQ(json_quote("\"\\"), "\"\\\"\\\\\"");
+}
+
+TEST(Strings, JsonEscapeControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape("\b\f\r"), "\\b\\f\\r");
+  EXPECT_EQ(json_escape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(Strings, JsonEscapeAgreesWithJsonDumper) {
+  // The Json dumper must produce exactly json_quote for strings, because
+  // it delegates to the same escaper (hoisted from json.cpp).
+  const std::string nasty = "q\"u\\o\nt\te\x02";
+  EXPECT_EQ(Json(nasty).dump(), json_quote(nasty));
+  // And the escaped form must survive a parse round-trip.
+  EXPECT_EQ(Json::parse(json_quote(nasty)).as_string(), nasty);
+}
+
 TEST(Json, ParsesScalars) {
   EXPECT_TRUE(Json::parse("null").is_null());
   EXPECT_EQ(Json::parse("true").as_bool(), true);
