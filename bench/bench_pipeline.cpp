@@ -1,0 +1,187 @@
+// Pass-pipeline setup economics: what the shared immutable ArchArtifacts
+// bundle buys the portfolio engine.
+//
+// Before the pass layer, every racing strategy copied the Device (and with
+// it the all-pairs distance matrix) into its worker; per-strategy setup
+// therefore scaled linearly with the strategy count. Now the
+// PortfolioCompiler builds one ArchArtifacts bundle at construction and
+// every PipelineRuntime carries a shared_ptr to it, so setup is one BFS
+// sweep total regardless of how many strategies race. The figure prints
+// both curves; the bench exits non-zero if the shared-setup curve grows
+// with the strategy count (the regression this file exists to catch).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "engine/portfolio.hpp"
+#include "pass/manager.hpp"
+
+namespace {
+
+using namespace qmap;
+using namespace qmap::bench;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// A 16-entry portfolio: every heuristic placer x router pairing worth
+// racing on a noiseless 17-qubit device, padded with seed-sensitive
+// annealing entries so the race genuinely saturates 16 slots.
+std::vector<StrategySpec> sixteen_strategies() {
+  std::vector<StrategySpec> specs;
+  for (const char* placer : {"greedy", "identity", "bidirectional"}) {
+    for (const char* router : {"sabre", "sabre+commute", "astar", "qmap"}) {
+      specs.push_back({placer, router});
+    }
+  }
+  for (const char* router : {"sabre", "sabre+commute", "astar", "qmap"}) {
+    specs.push_back({"annealing", router});
+  }
+  return specs;  // 3*4 + 4 = 16
+}
+
+// Setup cost only: what it takes to hand `count` strategies their device
+// artifacts, old way vs new way. Compile time is excluded on purpose.
+double setup_per_strategy_ms(const Device& device, int count) {
+  const auto start = Clock::now();
+  for (int i = 0; i < count; ++i) {
+    benchmark::DoNotOptimize(ArchArtifacts::build(device));
+  }
+  return ms_since(start);
+}
+
+double setup_shared_ms(const Device& device, int count) {
+  const auto start = Clock::now();
+  const auto artifacts = ArchArtifacts::shared(device);
+  for (int i = 0; i < count; ++i) {
+    PipelineRuntime runtime;
+    runtime.artifacts = artifacts;
+    benchmark::DoNotOptimize(runtime);
+  }
+  return ms_since(start);
+}
+
+void print_figure() {
+  paper_note(
+      "The pass layer's CompileContext reads one immutable ArchArtifacts "
+      "bundle (all-pairs distances, BFS next-hops, sorted neighbor lists, "
+      "native-gate lookup) computed once per device — racing strategies "
+      "share it instead of each rebuilding device caches.");
+
+  const Device device = devices::surface17();
+
+  section("Setup cost vs strategy count on " + device.name() +
+          " (artifacts only, no compiles)");
+  TextTable table({"strategies", "per-strategy build (ms)",
+                   "shared bundle (ms)", "ratio"});
+  double shared_1 = 0.0;
+  double shared_16 = 0.0;
+  for (const int count : {1, 2, 4, 8, 16}) {
+    // Median-of-3 to keep one scheduler hiccup from deciding the table.
+    double per = setup_per_strategy_ms(device, count);
+    double shared = setup_shared_ms(device, count);
+    for (int rep = 0; rep < 2; ++rep) {
+      per = std::min(per, setup_per_strategy_ms(device, count));
+      shared = std::min(shared, setup_shared_ms(device, count));
+    }
+    if (count == 1) shared_1 = shared;
+    if (count == 16) shared_16 = shared;
+    table.add_row({TextTable::num(count), TextTable::num(per, 3),
+                   TextTable::num(shared, 3),
+                   TextTable::num(per / std::max(shared, 1e-6), 1) + "x"});
+  }
+  std::cout << table.str();
+  // The acceptance gate: shared setup must not scale with the strategy
+  // count. Allow generous noise (10x over the single-strategy cost covers
+  // timer jitter on loaded CI hosts; linear scaling would show ~16x over a
+  // much larger base).
+  if (shared_16 > std::max(10.0 * shared_1, 0.5)) {
+    std::cerr << "FATAL: shared-artifacts setup grew with strategy count ("
+              << shared_1 << " ms for 1 vs " << shared_16
+              << " ms for 16)\n";
+    std::exit(1);
+  }
+
+  section("16-strategy race on " + device.name() + " (shared bundle)");
+  PortfolioOptions options;
+  options.strategies = sixteen_strategies();
+  options.base_seed = 0xC0FFEE;
+  const PortfolioCompiler racer(device, options);
+  Rng rng(99);
+  const Circuit circuit = workloads::random_circuit(10, 80, rng, 0.45);
+  const PortfolioResult result = racer.compile(circuit);
+  if (!Compiler::verify(result.best)) {
+    std::cerr << "FATAL: 16-strategy race produced an unverifiable result\n";
+    std::exit(1);
+  }
+  std::printf(
+      "winner %s, %zu/%zu completed, wall %.1f ms on %d thread(s)\n",
+      result.winner_label.c_str(), result.completed_count(),
+      result.telemetry.size(), result.wall_ms, result.num_threads);
+}
+
+void BM_ArtifactsBuild(benchmark::State& state) {
+  const Device device = devices::surface17();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ArchArtifacts::build(device));
+  }
+  state.SetLabel("surface17 all-pairs BFS + lookups");
+}
+BENCHMARK(BM_ArtifactsBuild);
+
+void BM_SetupPerStrategyArtifacts(benchmark::State& state) {
+  const Device device = devices::surface17();
+  const int count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < count; ++i) {
+      benchmark::DoNotOptimize(ArchArtifacts::build(device));
+    }
+  }
+  state.SetLabel(std::to_string(count) + " strategies, rebuild each");
+}
+BENCHMARK(BM_SetupPerStrategyArtifacts)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_SetupSharedArtifacts(benchmark::State& state) {
+  const Device device = devices::surface17();
+  const int count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto artifacts = ArchArtifacts::shared(device);
+    for (int i = 0; i < count; ++i) {
+      PipelineRuntime runtime;
+      runtime.artifacts = artifacts;
+      benchmark::DoNotOptimize(runtime);
+    }
+  }
+  state.SetLabel(std::to_string(count) + " strategies, one shared bundle");
+}
+BENCHMARK(BM_SetupSharedArtifacts)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_SixteenStrategyRace(benchmark::State& state) {
+  const Device device = devices::surface17();
+  PortfolioOptions options;
+  options.strategies = sixteen_strategies();
+  options.num_threads = static_cast<int>(state.range(0));
+  const PortfolioCompiler racer(device, options);
+  Rng rng(99);
+  const Circuit circuit = workloads::random_circuit(10, 80, rng, 0.45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(racer.compile(circuit));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " threads, 16 strategies");
+}
+BENCHMARK(BM_SixteenStrategyRace)->Arg(1)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Lint: every pass name registered in src/pass/registry.cpp
+# (known_passes()) must appear in DESIGN.md's "Pass architecture" pass
+# table, so the registry and the documentation cannot drift apart.
+#
+# Usage: scripts/check_pass_registry.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REGISTRY=src/pass/registry.cpp
+DESIGN=DESIGN.md
+
+# Pull the quoted names out of the known_passes() initializer: everything
+# between `known_passes() {` and the closing `}` of its static vector.
+names=$(awk '/known_passes\(\)/,/^}/' "${REGISTRY}" \
+  | grep -o '"[a-z-]*"' | tr -d '"')
+
+if [ -z "${names}" ]; then
+  echo "check_pass_registry: failed to extract pass names from ${REGISTRY}" >&2
+  exit 1
+fi
+
+# The documented table rows look like `| \`placer\` | ... |`.
+missing=0
+for name in ${names}; do
+  if ! grep -Eq "^\|\s*\`${name}\`" "${DESIGN}"; then
+    echo "check_pass_registry: pass '${name}' is registered in ${REGISTRY}" \
+         "but missing from the pass table in ${DESIGN}" >&2
+    missing=1
+  fi
+done
+
+if [ "${missing}" -ne 0 ]; then
+  exit 1
+fi
+echo "check_pass_registry: ${REGISTRY} and ${DESIGN} agree ($(echo "${names}" | wc -w) passes)"

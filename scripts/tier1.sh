@@ -30,9 +30,19 @@ echo "== tier 1: observability label =="
 # a metrics fingerprint drift or golden-trace mismatch is attributable.
 (cd build && ctest --output-on-failure -L obs)
 
-echo "== tier 1: test_engine + test_verify + test_resilience + test_obs under ThreadSanitizer =="
+echo "== tier 1: pass-pipeline label =="
+# The pass suite (tests/test_pass.cpp) pins facade-vs-PassManager byte
+# parity and ArchArtifacts equivalence; a drift here means Compiler no
+# longer compiles what its declared pipeline says it does.
+(cd build && ctest --output-on-failure -L pass)
+
+echo "== tier 1: pass registry lint =="
+# Every registered pass name must be documented in DESIGN.md's pass table.
+scripts/check_pass_registry.sh
+
+echo "== tier 1: test_engine + test_verify + test_resilience + test_obs + test_pass under ThreadSanitizer =="
 cmake -B build-tsan -S . -DQMAP_SANITIZE=thread
-cmake --build build-tsan -j "${JOBS}" --target test_engine test_verify test_resilience test_obs
+cmake --build build-tsan -j "${JOBS}" --target test_engine test_verify test_resilience test_obs test_pass
 # TSAN_OPTIONS makes the run fail loudly on the first race report.
 # test_verify's fuzzer tests fan compiles across the engine ThreadPool, so
 # they double as a race check of the whole compile pipeline;
@@ -43,5 +53,8 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_engine
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_verify
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_resilience
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
+# test_pass adds the shared-ArchArtifacts concurrent reads and the lazy
+# CouplingGraph distance-cache first-use race.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_pass
 
 echo "tier 1 OK"

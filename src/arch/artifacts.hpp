@@ -1,0 +1,90 @@
+// Immutable per-device derived data, computed once and shared read-only.
+//
+// Every mapping stage keeps re-deriving the same facts about a device: the
+// routers ask for all-pairs hop distances, the naive router re-runs a BFS
+// per gate for a shortest path, placement heuristics scan neighbour lists,
+// and the decomposer probes the native gate set kind-by-kind. When the
+// portfolio engine races N strategies, each used to copy the whole Device
+// (distance matrix included) just to get a private warm cache. ArchArtifacts
+// hoists all of it into one immutable bundle built once per Device and
+// handed to every pipeline (and every portfolio worker) as a
+// shared_ptr<const ArchArtifacts> — concurrent reads, zero recomputation.
+//
+// Fidelity contract: shortest_path() reconstructs *byte-identical* paths to
+// CouplingGraph::shortest_path for every pair, because the parent table is
+// filled by the same ascending-adjacency BFS with the same first-discovery
+// parent rule. Parity is pinned by tests/test_pass.cpp.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/device.hpp"
+
+namespace qmap {
+
+class ArchArtifacts {
+ public:
+  /// Derives the full bundle from `device`. O(V * (V + E)) BFS sweeps.
+  [[nodiscard]] static ArchArtifacts build(const Device& device);
+
+  /// build(), boxed for sharing across threads/pipelines.
+  [[nodiscard]] static std::shared_ptr<const ArchArtifacts> shared(
+      const Device& device);
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+
+  // --- All-pairs distances (flat row-major matrix) ---
+
+  /// Hop distance over the undirected coupling graph; -1 when disconnected.
+  [[nodiscard]] int distance(int a, int b) const;
+
+  /// Max pairwise distance; -1 when the graph is disconnected.
+  [[nodiscard]] int diameter() const noexcept { return diameter_; }
+
+  /// Sum of distances from q to all other qubits; -1 when disconnected.
+  /// (Placement heuristics use this to find the graph center.)
+  [[nodiscard]] long total_distance_from(int q) const;
+
+  // --- Shortest paths (per-source BFS parent forest) ---
+
+  /// Predecessor of `v` on the BFS tree rooted at `source` (-1 when
+  /// unreachable; `source` is its own parent). next_hop(source, v) is the
+  /// first step of the v -> source walk along that tree.
+  [[nodiscard]] int parent(int source, int v) const;
+
+  /// One shortest path from a to b, endpoints inclusive; empty when
+  /// disconnected. Identical to CouplingGraph::shortest_path(a, b).
+  [[nodiscard]] std::vector<int> shortest_path(int a, int b) const;
+
+  // --- Adjacency ---
+
+  /// Neighbours of q in ascending order (same storage layout the
+  /// CouplingGraph keeps; copied so the artifacts outlive the device).
+  [[nodiscard]] const std::vector<int>& neighbors(int q) const;
+
+  // --- Native gate set ---
+
+  /// O(1) lookup table over all GateKind values; equals
+  /// Device::is_native_kind for the source device.
+  [[nodiscard]] bool is_native_kind(GateKind kind) const;
+
+  [[nodiscard]] GateKind native_two_qubit() const noexcept {
+    return native_two_qubit_;
+  }
+
+ private:
+  ArchArtifacts() = default;
+  void check_qubit(int q) const;
+
+  int num_qubits_ = 0;
+  std::vector<int> dist_;    // num_qubits_^2, row-major: dist_[a * n + b]
+  std::vector<int> parent_;  // num_qubits_^2: parent_[source * n + v]
+  std::vector<std::vector<int>> neighbors_;
+  std::vector<long> total_distance_;
+  std::vector<bool> native_kind_;  // indexed by GateKind value
+  GateKind native_two_qubit_ = GateKind::CZ;
+  int diameter_ = 0;
+};
+
+}  // namespace qmap

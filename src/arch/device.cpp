@@ -7,7 +7,12 @@
 namespace qmap {
 
 Device::Device(std::string name, CouplingGraph coupling)
-    : name_(std::move(name)), coupling_(std::move(coupling)) {}
+    : name_(std::move(name)), coupling_(std::move(coupling)) {
+  // Warm the all-pairs distance matrix eagerly: every constructed device
+  // hands pool workers a pure-read coupling().distance() with no lazy
+  // first-call fill to contend on.
+  coupling_.precompute_distances();
+}
 
 void Device::set_native_two_qubit(GateKind kind) {
   if (gate_info(kind).arity != 2) {

@@ -12,6 +12,37 @@ CouplingGraph::CouplingGraph(int num_qubits) : num_qubits_(num_qubits) {
   adjacency_.resize(static_cast<std::size_t>(num_qubits));
 }
 
+CouplingGraph::CouplingGraph(const CouplingGraph& other) { *this = other; }
+
+CouplingGraph::CouplingGraph(CouplingGraph&& other) noexcept {
+  *this = std::move(other);
+}
+
+CouplingGraph& CouplingGraph::operator=(const CouplingGraph& other) {
+  if (this == &other) return *this;
+  const std::lock_guard<std::mutex> lock(other.distance_mutex_);
+  num_qubits_ = other.num_qubits_;
+  adjacency_ = other.adjacency_;
+  edges_ = other.edges_;
+  distances_ = other.distances_;
+  distances_valid_.store(other.distances_valid_.load(std::memory_order_acquire),
+                         std::memory_order_release);
+  return *this;
+}
+
+CouplingGraph& CouplingGraph::operator=(CouplingGraph&& other) noexcept {
+  if (this == &other) return *this;
+  const std::lock_guard<std::mutex> lock(other.distance_mutex_);
+  num_qubits_ = other.num_qubits_;
+  adjacency_ = std::move(other.adjacency_);
+  edges_ = std::move(other.edges_);
+  distances_ = std::move(other.distances_);
+  distances_valid_.store(other.distances_valid_.load(std::memory_order_acquire),
+                         std::memory_order_release);
+  other.distances_valid_.store(false, std::memory_order_release);
+  return *this;
+}
+
 void CouplingGraph::check_qubit(int q) const {
   if (q < 0 || q >= num_qubits_) {
     throw DeviceError("physical qubit Q" + std::to_string(q) +
@@ -56,7 +87,7 @@ void CouplingGraph::add_edge(int a, int b, bool directed) {
             adjacency_[static_cast<std::size_t>(lo)].end());
   std::sort(adjacency_[static_cast<std::size_t>(hi)].begin(),
             adjacency_[static_cast<std::size_t>(hi)].end());
-  distances_valid_ = false;
+  distances_valid_.store(false, std::memory_order_release);
 }
 
 bool CouplingGraph::connected(int a, int b) const {
@@ -103,13 +134,21 @@ void CouplingGraph::compute_distances() const {
       }
     }
   }
-  distances_valid_ = true;
+  distances_valid_.store(true, std::memory_order_release);
 }
+
+void CouplingGraph::ensure_distances() const {
+  if (distances_valid_.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(distance_mutex_);
+  if (!distances_valid_.load(std::memory_order_relaxed)) compute_distances();
+}
+
+void CouplingGraph::precompute_distances() const { ensure_distances(); }
 
 int CouplingGraph::distance(int a, int b) const {
   check_qubit(a);
   check_qubit(b);
-  if (!distances_valid_) compute_distances();
+  ensure_distances();
   return distances_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
 }
 

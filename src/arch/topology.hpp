@@ -8,7 +8,9 @@
 // which orientations are permitted.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +21,15 @@ class CouplingGraph {
  public:
   CouplingGraph() = default;
   explicit CouplingGraph(int num_qubits);
+
+  // The mutex guarding the lazy distance cache is not copyable, so copies
+  // are spelled out: they take the source's lock and carry the cache over,
+  // making "copy a warmed Device" keep the warmed matrix.
+  CouplingGraph(const CouplingGraph& other);
+  CouplingGraph(CouplingGraph&& other) noexcept;
+  CouplingGraph& operator=(const CouplingGraph& other);
+  CouplingGraph& operator=(CouplingGraph&& other) noexcept;
+  ~CouplingGraph() = default;
 
   [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
   [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
@@ -52,13 +63,11 @@ class CouplingGraph {
   [[nodiscard]] int distance(int a, int b) const;
 
   /// Fills the lazy all-pairs distance matrix now. The first distance()
-  /// call otherwise computes it on demand — a logically-const mutation
-  /// that is a data race under concurrent first calls. The portfolio
-  /// engine warms the cache once before sharing a device across workers,
-  /// after which distance() is a pure read.
-  void precompute_distances() const {
-    if (!distances_valid_) compute_distances();
-  }
+  /// call otherwise computes it on demand under a mutex (double-checked
+  /// against an atomic flag), so concurrent first calls are safe; warming
+  /// the cache up front merely keeps the lock off hot paths. `Device`
+  /// construction precomputes eagerly, so device users never pay lazily.
+  void precompute_distances() const;
 
   /// One shortest undirected path from a to b (inclusive of endpoints).
   /// Empty when disconnected.
@@ -73,14 +82,20 @@ class CouplingGraph {
 
  private:
   void check_qubit(int q) const;
+  // Call with distance_mutex_ held; publishes distances_valid_ last.
   void compute_distances() const;
+  // Double-checked fill of the cache; cheap acquire-load once warm.
+  void ensure_distances() const;
 
   int num_qubits_ = 0;
   std::vector<std::vector<int>> adjacency_;
   std::vector<Edge> edges_;
-  // Distance matrix, computed lazily and invalidated by add_edge.
+  // Distance matrix, computed lazily and invalidated by add_edge. Writes
+  // happen under distance_mutex_; readers check the atomic flag first, so
+  // a shared graph can take concurrent first distance() calls safely.
+  mutable std::mutex distance_mutex_;
   mutable std::vector<std::vector<int>> distances_;
-  mutable bool distances_valid_ = false;
+  mutable std::atomic<bool> distances_valid_{false};
 };
 
 }  // namespace qmap

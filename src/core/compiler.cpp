@@ -1,169 +1,40 @@
 #include "core/compiler.hpp"
 
-#include <cstdio>
-
-#include "common/error.hpp"
-#include "common/strings.hpp"
-#include "decompose/decomposer.hpp"
-#include "engine/cancel.hpp"
-#include "decompose/peephole.hpp"
-#include "noise/reliability.hpp"
-#include "route/astar_layer.hpp"
-#include "route/bidirectional_placer.hpp"
-#include "route/exact.hpp"
-#include "route/measure_relocation.hpp"
-#include "route/naive.hpp"
-#include "route/qmap_router.hpp"
-#include "route/sabre.hpp"
-#include "route/shuttle.hpp"
-#include "schedule/schedulers.hpp"
+#include "common/rng.hpp"
+#include "pass/manager.hpp"
 #include "sim/equivalence.hpp"
 #include "sim/stabilizer.hpp"
 
 namespace qmap {
 
-const std::vector<std::string>& known_placers() {
-  static const std::vector<std::string> names = {
-      "identity",    "greedy",      "exhaustive",
-      "annealing",   "reliability", "bidirectional"};
-  return names;
-}
-
-const std::vector<std::string>& known_routers() {
-  static const std::vector<std::string> names = {
-      "naive", "sabre", "sabre+commute", "astar",
-      "exact", "qmap",  "reliability",   "shuttle"};
-  return names;
-}
-
-std::unique_ptr<Placer> make_placer(const std::string& name,
-                                    std::uint64_t seed) {
-  if (name == "identity") return std::make_unique<IdentityPlacer>();
-  if (name == "greedy") return std::make_unique<GreedyPlacer>();
-  if (name == "exhaustive") return std::make_unique<ExhaustivePlacer>();
-  if (name == "annealing") return std::make_unique<AnnealingPlacer>(seed);
-  if (name == "reliability") return std::make_unique<ReliabilityPlacer>();
-  if (name == "bidirectional") return std::make_unique<BidirectionalPlacer>();
-  throw MappingError("unknown placer: '" + name + "' (valid: " +
-                     join(known_placers(), ", ") + ")");
-}
-
-std::unique_ptr<Router> make_router(const std::string& name) {
-  if (name == "naive") return std::make_unique<NaiveRouter>();
-  if (name == "sabre") return std::make_unique<SabreRouter>();
-  if (name == "sabre+commute") {
-    SabreRouter::Options options;
-    options.use_commutation = true;
-    return std::make_unique<SabreRouter>(options);
-  }
-  if (name == "astar") return std::make_unique<AStarLayerRouter>();
-  if (name == "exact") return std::make_unique<ExactRouter>();
-  if (name == "qmap") return std::make_unique<QmapRouter>();
-  if (name == "reliability") return std::make_unique<ReliabilityRouter>();
-  if (name == "shuttle") return std::make_unique<ShuttleRouter>();
-  throw MappingError("unknown router: '" + name + "' (valid: " +
-                     join(known_routers(), ", ") + ")");
-}
-
 Compiler::Compiler(Device device, CompilerOptions options)
-    : device_(std::move(device)), options_(std::move(options)) {}
+    : device_(std::move(device)), options_(std::move(options)) {
+  artifacts_ = options_.artifacts ? options_.artifacts
+                                  : ArchArtifacts::shared(device_);
+}
+
+PipelineSpec Compiler::pipeline() const {
+  return PipelineSpec::standard(options_.placer, options_.router,
+                                options_.lower_to_native, options_.peephole,
+                                options_.run_scheduler,
+                                options_.use_control_constraints);
+}
 
 CompilationResult Compiler::compile(const Circuit& circuit) const {
-  const auto checkpoint = [this] {
-    if (options_.cancel) options_.cancel->check();
-  };
-  const auto stage = [this](const char* name) {
-    if (options_.stage_hook) options_.stage_hook(name);
-  };
-  obs::Span compile_span(options_.obs, "compile", "core",
-                         options_.obs_parent_span);
-  if (compile_span.active()) {
-    compile_span.arg("circuit", circuit.name());
-    compile_span.arg("placer", options_.placer);
-    compile_span.arg("router", options_.router);
-  }
-  obs::add(options_.obs, "compile.runs");
-  // Per-stage spans auto-parent under compile_span (same thread). End the
-  // previous stage before opening the next — otherwise the new span would
-  // nest under the still-open old one instead of under compile_span.
-  obs::Span stage_span;
-  const auto obs_stage = [&](const char* name) {
-    stage_span.end();
-    stage_span = obs::Span(options_.obs, name, "stage");
-  };
-  CompilationResult result;
-  result.original = circuit;
-  result.original_metrics = compute_metrics(circuit);
+  return compile(circuit, pipeline());
+}
 
-  // 1. Gate decomposition (SWAPs kept as routing placeholders).
-  result.lowered =
-      options_.lower_to_native
-          ? lower_to_device(circuit, device_, /*keep_swaps=*/true)
-          : circuit;
-
-  // Baseline latency: decomposed, dependency-only schedule (Sec. V).
-  {
-    const Circuit baseline =
-        options_.lower_to_native
-            ? lower_to_device(circuit, device_, /*keep_swaps=*/false)
-            : circuit;
-    result.baseline_cycles =
-        schedule_asap(baseline, device_).total_cycles();
-  }
-
-  // 2. Initial placement (cooperatively cancellable inside the placer
-  //    search loops).
-  checkpoint();
-  stage("placer");
-  obs_stage("placer");
-  std::unique_ptr<Placer> placer = make_placer(options_.placer, options_.seed);
-  placer->set_cancel_token(options_.cancel);
-  const Placement initial = placer->place(result.lowered, device_);
-
-  // 3. Routing (cooperatively cancellable inside the router main loop).
-  checkpoint();
-  stage("router");
-  obs_stage("router");
-  std::unique_ptr<Router> router = make_router(options_.router);
-  router->set_cancel_token(options_.cancel);
-  router->set_observer(options_.obs);
-  result.routing = router->route(result.lowered, device_, initial);
-  checkpoint();
-  stage("postroute");
-  obs_stage("postroute");
-
-  // 4. Measurement relocation (devices where not every qubit is
-  //    measurable, Sec. VI-A), SWAP expansion, direction repair, final
-  //    native lowering.
-  Circuit relocated = relocate_measurements(result.routing.circuit, device_,
-                                            result.routing.final);
-  if (options_.peephole) relocated = peephole_optimize(relocated);
-  Circuit final_circuit = expand_swaps(relocated, device_);
-  final_circuit = fix_cx_directions(final_circuit, device_);
-  if (options_.peephole) final_circuit = peephole_optimize(final_circuit);
-  if (options_.lower_to_native) {
-    final_circuit = fuse_single_qubit(final_circuit);
-    final_circuit = lower_single_qubit(final_circuit, device_);
-  }
-  final_circuit.set_name(circuit.name() + "@" + device_.name());
-  result.final_circuit = std::move(final_circuit);
-  result.final_metrics = compute_metrics(result.final_circuit);
-
-  // 5. Scheduling.
-  if (options_.run_scheduler) {
-    checkpoint();
-    stage("schedule");
-    obs_stage("schedule");
-    result.schedule =
-        options_.use_control_constraints
-            ? schedule_for_device(result.final_circuit, device_, options_.obs)
-            : schedule_asap(result.final_circuit, device_);
-    result.scheduled_cycles = result.schedule.total_cycles();
-  }
-  stage_span.end();
-  obs::observe(options_.obs, "compile.final_two_qubit_gates",
-               static_cast<double>(result.final_metrics.two_qubit_gates));
-  return result;
+CompilationResult Compiler::compile(const Circuit& circuit,
+                                    const PipelineSpec& spec) const {
+  const PassManager manager(spec);
+  PipelineRuntime runtime;
+  runtime.seed = options_.seed;
+  runtime.cancel = options_.cancel;
+  runtime.stage_hook = options_.stage_hook;
+  runtime.obs = options_.obs;
+  runtime.obs_parent_span = options_.obs_parent_span;
+  runtime.artifacts = artifacts_;
+  return manager.run(circuit, device_, runtime);
 }
 
 bool Compiler::verify(const CompilationResult& result, int trials,
@@ -181,65 +52,6 @@ bool Compiler::verify(const CompilationResult& result, int trials,
   return mapping_equivalent(result.original, result.final_circuit,
                             result.routing.initial.wire_to_phys(),
                             result.routing.final.wire_to_phys(), rng, trials);
-}
-
-namespace {
-
-Json metrics_to_json(const CircuitMetrics& m) {
-  Json out;
-  out["total_gates"] = Json(m.total_gates);
-  out["single_qubit_gates"] = Json(m.single_qubit_gates);
-  out["two_qubit_gates"] = Json(m.two_qubit_gates);
-  out["swap_gates"] = Json(m.swap_gates);
-  out["measurements"] = Json(m.measurements);
-  out["depth"] = Json(m.depth);
-  out["two_qubit_depth"] = Json(m.two_qubit_depth);
-  return out;
-}
-
-Json placement_to_json(const Placement& placement) {
-  JsonArray array;
-  for (const int p : placement.phys_to_program()) array.push_back(Json(p));
-  return Json(std::move(array));
-}
-
-}  // namespace
-
-Json CompilationResult::to_json() const {
-  Json out;
-  out["circuit"] = Json(original.name());
-  out["original"] = metrics_to_json(original_metrics);
-  out["mapped"] = metrics_to_json(final_metrics);
-  Json routing_json;
-  routing_json["added_swaps"] = Json(routing.added_swaps);
-  routing_json["added_moves"] = Json(routing.added_moves);
-  routing_json["direction_fixes"] = Json(routing.direction_fixes);
-  routing_json["runtime_ms"] = Json(routing.runtime_ms);
-  routing_json["initial_placement"] = placement_to_json(routing.initial);
-  routing_json["final_placement"] = placement_to_json(routing.final);
-  out["routing"] = std::move(routing_json);
-  out["baseline_cycles"] = Json(baseline_cycles);
-  out["scheduled_cycles"] = Json(scheduled_cycles);
-  if (baseline_cycles > 0 && scheduled_cycles > 0) {
-    out["latency_ratio"] = Json(latency_ratio());
-  }
-  return out;
-}
-
-std::string CompilationResult::report() const {
-  std::string out;
-  out += "circuit: " + original.name() + "\n";
-  out += "  original: " + original_metrics.to_string() + "\n";
-  out += "  mapped:   " + final_metrics.to_string() + "\n";
-  out += "  routing:  " + routing.to_string() + "\n";
-  char buffer[160];
-  if (scheduled_cycles > 0) {
-    std::snprintf(buffer, sizeof(buffer),
-                  "  latency: %d cycles (baseline %d, ratio %.2fx)\n",
-                  scheduled_cycles, baseline_cycles, latency_ratio());
-    out += buffer;
-  }
-  return out;
 }
 
 }  // namespace qmap

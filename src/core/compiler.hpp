@@ -1,4 +1,5 @@
-// Compiler facade: the full Fig. 2 pipeline.
+// Compiler facade: the full Fig. 2 pipeline as a thin preset over the
+// composable pass layer (src/pass/).
 //
 //   quantum circuit (program qubits)          device description
 //        |                                        |
@@ -10,6 +11,15 @@
 //        |
 //        v
 //   scheduled native circuit on physical qubits
+//
+// CompilerOptions describes the classic pipeline; Compiler::pipeline()
+// expands it into a PipelineSpec and compile() hands it to a PassManager.
+// Custom pipelines (reordered stages, dropped scheduler, ...) go through
+// compile(circuit, spec) with a spec built in code or parsed from JSON.
+//
+// CompilationResult and the make_placer/make_router factories live in the
+// pass layer now (pass/context.hpp, pass/registry.hpp); this header
+// re-exports them so existing includes keep working.
 #pragma once
 
 #include <cstdint>
@@ -18,12 +28,16 @@
 #include <string>
 #include <vector>
 
+#include "arch/artifacts.hpp"
 #include "arch/device.hpp"
 #include "common/json.hpp"
 #include "ir/circuit.hpp"
 #include "ir/metrics.hpp"
 #include "layout/placers.hpp"
 #include "obs/obs.hpp"
+#include "pass/context.hpp"
+#include "pass/registry.hpp"
+#include "pass/spec.hpp"
 #include "route/router.hpp"
 #include "schedule/schedule.hpp"
 
@@ -45,12 +59,15 @@ struct CompilerOptions {
   /// stages and inside the placer/router main loops. Not owned; may be null.
   const CancelToken* cancel = nullptr;
   /// Instrumentation/fault-injection hook called at pipeline stage
-  /// boundaries with "placer", "router", "postroute", "schedule" — in that
-  /// order, before the named stage runs. An exception thrown from the hook
-  /// aborts the compile exactly like a crash inside the stage would, which
-  /// is how the resilience fault injector (src/resilience/) plants
-  /// deterministic placer/router crashes without patching any pass. Empty
-  /// by default and never on any hot path.
+  /// boundaries with the pass's canonical name — "placer", "router",
+  /// "postroute", "schedule" in that order for the standard pipeline,
+  /// before the named stage runs (Pass::name() is the single source of
+  /// truth; see pass/registry.hpp for the accepted aliases in pipeline
+  /// JSON). An exception thrown from the hook aborts the compile exactly
+  /// like a crash inside the stage would, which is how the resilience
+  /// fault injector (src/resilience/) plants deterministic placer/router
+  /// crashes without patching any pass. Empty by default and never on any
+  /// hot path.
   std::function<void(const char* stage)> stage_hook;
   /// Observability sink (obs/): a compile span with one child span per
   /// pipeline stage, plus router/scheduler counters. Not owned; null (the
@@ -60,46 +77,11 @@ struct CompilerOptions {
   /// pool worker but belongs under a span opened on another thread (the
   /// portfolio race root). 0 = the calling thread's innermost open span.
   std::uint64_t obs_parent_span = 0;
+  /// Immutable shared device artifacts (arch/artifacts.hpp). Null = the
+  /// Compiler derives its own copy at construction; the portfolio/batch
+  /// engines pass one bundle so N strategies share a single matrix.
+  std::shared_ptr<const ArchArtifacts> artifacts;
 };
-
-struct CompilationResult {
-  Circuit original;        // input, program qubits
-  Circuit lowered;         // after decomposition (program qubits)
-  RoutingResult routing;   // physical qubits, SWAP placeholders
-  Circuit final_circuit;   // native gate set, coupling-legal
-  Schedule schedule;       // empty unless run_scheduler
-  CircuitMetrics original_metrics;
-  CircuitMetrics final_metrics;
-  /// Latency of the lowered-but-unrouted circuit, dependencies only —
-  /// the paper's "before mapping" baseline (Sec. V).
-  int baseline_cycles = 0;
-  /// Latency of the final scheduled circuit (0 unless run_scheduler).
-  int scheduled_cycles = 0;
-
-  [[nodiscard]] double latency_ratio() const {
-    return baseline_cycles > 0
-               ? static_cast<double>(scheduled_cycles) / baseline_cycles
-               : 0.0;
-  }
-  [[nodiscard]] std::string report() const;
-
-  /// Machine-readable report (for toolchain integration / CI dashboards):
-  /// metrics before/after, routing statistics, placements, latency.
-  [[nodiscard]] Json to_json() const;
-};
-
-/// Factory helpers shared by the compiler, engine, benches and tests.
-/// Unknown names throw a MappingError whose message lists every valid name.
-/// `seed` feeds stochastic placers (annealing); deterministic placers
-/// ignore it.
-[[nodiscard]] std::unique_ptr<Placer> make_placer(const std::string& name,
-                                                  std::uint64_t seed = 0xC0FFEE);
-[[nodiscard]] std::unique_ptr<Router> make_router(const std::string& name);
-
-/// Registered strategy names, in the factories' canonical order. The
-/// portfolio engine enumerates these to build/validate its strategy set.
-[[nodiscard]] const std::vector<std::string>& known_placers();
-[[nodiscard]] const std::vector<std::string>& known_routers();
 
 class Compiler {
  public:
@@ -109,8 +91,25 @@ class Compiler {
   [[nodiscard]] const CompilerOptions& options() const noexcept {
     return options_;
   }
+  /// The device artifacts this compiler shares with every compile() run.
+  [[nodiscard]] const std::shared_ptr<const ArchArtifacts>& artifacts()
+      const noexcept {
+    return artifacts_;
+  }
 
+  /// The options expanded into pipeline-as-data (decompose, placer,
+  /// router, postroute[, schedule]).
+  [[nodiscard]] PipelineSpec pipeline() const;
+
+  /// Compiles with the standard preset — equivalent to
+  /// compile(circuit, pipeline()).
   [[nodiscard]] CompilationResult compile(const Circuit& circuit) const;
+
+  /// Compiles with an explicit pipeline (built in code or parsed from
+  /// JSON via PipelineSpec::from_json). Seed/cancel/hook/obs still come
+  /// from this compiler's options.
+  [[nodiscard]] CompilationResult compile(const Circuit& circuit,
+                                          const PipelineSpec& spec) const;
 
   /// Randomized end-to-end correctness check of a compilation result
   /// (state-vector equivalence under the reported placements).
@@ -121,6 +120,7 @@ class Compiler {
  private:
   Device device_;
   CompilerOptions options_;
+  std::shared_ptr<const ArchArtifacts> artifacts_;
 };
 
 }  // namespace qmap

@@ -90,8 +90,10 @@ Json BatchResult::to_json() const {
 
 BatchCompiler::BatchCompiler(Device device, BatchOptions options)
     : device_(std::move(device)), options_(std::move(options)) {
-  // Same eager validation + cache warm-up as the portfolio: misconfigured
-  // batches fail at construction, and workers only ever read the device.
+  // Same eager validation + artifact build as the portfolio: misconfigured
+  // batches fail at construction, and workers only ever read shared
+  // immutable state. One bundle serves every item (and every strategy of
+  // every item, when racing portfolios).
   if (options_.use_portfolio) {
     if (options_.portfolio.strategies.empty()) {
       options_.portfolio.strategies =
@@ -101,7 +103,10 @@ BatchCompiler::BatchCompiler(Device device, BatchOptions options)
     (void)make_placer(options_.compiler.placer);
     (void)make_router(options_.compiler.router);
   }
-  device_.coupling().precompute_distances();
+  std::shared_ptr<const ArchArtifacts> artifacts =
+      ArchArtifacts::shared(device_);
+  options_.portfolio.artifacts = artifacts;
+  options_.compiler.artifacts = std::move(artifacts);
 }
 
 BatchResult BatchCompiler::compile_all(

@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "core/report.hpp"
 #include "engine/cancel.hpp"
+#include "pass/manager.hpp"
 #include "qasm/openqasm.hpp"
 
 namespace qmap {
@@ -58,6 +59,12 @@ std::string format_cost(double cost) {
 }
 
 }  // namespace
+
+PipelineSpec StrategySpec::pipeline(const CompilerOptions& base) const {
+  return PipelineSpec::standard(placer, router, base.lower_to_native,
+                                base.peephole, base.run_scheduler,
+                                base.use_control_constraints);
+}
 
 std::string StrategyTelemetry::status_name() const {
   switch (status) {
@@ -190,10 +197,12 @@ PortfolioCompiler::PortfolioCompiler(Device device, PortfolioOptions options)
     (void)make_placer(spec.placer);
     (void)make_router(spec.router);
   }
-  // Warm the lazy all-pairs distance cache once; workers then only read
-  // the shared device (and the per-strategy Compiler copies inherit the
-  // filled cache instead of each recomputing it).
-  device_.coupling().precompute_distances();
+  // One immutable artifacts bundle (distances, shortest-path forest,
+  // neighbour lists, native-gate lookup) shared read-only by every racing
+  // strategy — the per-strategy Device copies (and their per-copy matrix
+  // recomputation) are gone.
+  artifacts_ = options_.artifacts ? options_.artifacts
+                                  : ArchArtifacts::shared(device_);
 }
 
 std::vector<StrategySpec> PortfolioCompiler::default_portfolio(
@@ -322,25 +331,29 @@ PortfolioResult PortfolioCompiler::try_compile(const Circuit& circuit,
       }
       if (deadline) token.set_deadline(*deadline);
 
-      CompilerOptions compiler_options = options_.base;
-      compiler_options.placer = spec.placer;
-      compiler_options.router = spec.router;
-      compiler_options.seed = Rng::derive_stream(options_.base_seed, i);
-      compiler_options.cancel = &token;
-      compiler_options.obs = obs;
-      compiler_options.obs_parent_span = strategy_span.seq();
+      // The strategy as data: the standard pipeline with this spec's
+      // placer/router, executed directly against the shared device and the
+      // shared immutable artifacts — no per-strategy Device copy.
+      PipelineRuntime runtime;
+      runtime.seed = Rng::derive_stream(options_.base_seed, i);
+      runtime.cancel = &token;
+      runtime.obs = obs;
+      runtime.obs_parent_span = strategy_span.seq();
+      runtime.artifacts = artifacts_;
       if (options_.stage_hook) {
-        compiler_options.stage_hook = [this, i](const char* stage) {
+        runtime.stage_hook = [this, i](const char* stage) {
           options_.stage_hook(stage, static_cast<int>(i));
         };
+      } else {
+        runtime.stage_hook = options_.base.stage_hook;
       }
 
       // Crash boundary: nothing a strategy throws may escape its worker —
       // a crashing placer/router (or injected fault) becomes Failed
       // telemetry with an error class, and its siblings race on.
       try {
-        const Compiler compiler(device_, compiler_options);
-        CompilationResult result = compiler.compile(circuit);
+        const PassManager manager(spec.pipeline(options_.base));
+        CompilationResult result = manager.run(circuit, device_, runtime);
         telemetry.wall_ms = ms_since(start);
         telemetry.status = StrategyTelemetry::Status::Completed;
         telemetry.cost = options_.cost(result, device_);

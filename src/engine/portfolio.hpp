@@ -41,6 +41,12 @@ struct StrategySpec {
   double deadline_ms = 0.0;
 
   [[nodiscard]] std::string label() const { return placer + "+" + router; }
+
+  /// The strategy as pipeline data: the standard preset with this spec's
+  /// placer/router and the shared toggles (lower_to_native, peephole,
+  /// scheduler, control constraints) taken from `base`. Portfolio workers
+  /// execute exactly this spec, so a strategy *is* a PipelineSpec.
+  [[nodiscard]] PipelineSpec pipeline(const CompilerOptions& base) const;
 };
 
 /// Structured telemetry of one strategy run.
@@ -109,6 +115,11 @@ struct PortfolioOptions {
   /// the calling thread. Not owned; null disables recording. Overrides
   /// base.obs for every strategy.
   obs::Observer* obs = nullptr;
+  /// Immutable shared device artifacts. Null = the PortfolioCompiler
+  /// builds one bundle at construction; either way every racing strategy
+  /// reads the same matrix instead of copying the device per worker, so
+  /// setup work no longer scales with strategy count (bench_pipeline).
+  std::shared_ptr<const ArchArtifacts> artifacts;
 };
 
 /// Outcome of a portfolio run: the winning compilation plus per-strategy
@@ -143,13 +154,19 @@ struct PortfolioResult {
 class PortfolioCompiler {
  public:
   /// Validates every strategy name eagerly (throws MappingError listing
-  /// the valid names otherwise) and warms the device's distance cache so
-  /// workers only ever read shared state.
+  /// the valid names otherwise) and builds the shared ArchArtifacts bundle
+  /// (unless options.artifacts supplies one) so workers only ever read
+  /// immutable shared state.
   explicit PortfolioCompiler(Device device, PortfolioOptions options = {});
 
   [[nodiscard]] const Device& device() const noexcept { return device_; }
   [[nodiscard]] const std::vector<StrategySpec>& strategies() const noexcept {
     return options_.strategies;
+  }
+  /// The immutable artifacts bundle every strategy run shares.
+  [[nodiscard]] const std::shared_ptr<const ArchArtifacts>& artifacts()
+      const noexcept {
+    return artifacts_;
   }
 
   /// Races the portfolio on an internally owned pool.
@@ -179,6 +196,7 @@ class PortfolioCompiler {
  private:
   Device device_;
   PortfolioOptions options_;
+  std::shared_ptr<const ArchArtifacts> artifacts_;
 };
 
 }  // namespace qmap

@@ -1,0 +1,54 @@
+#include "pass/manager.hpp"
+
+#include <chrono>
+
+namespace qmap {
+
+PassManager::PassManager(const PipelineSpec& spec)
+    : spec_(spec),
+      passes_(spec.build()),
+      placer_label_(spec.placer_name()),
+      router_label_(spec.router_name()) {}
+
+void PassManager::run(CompileContext& ctx) const {
+  obs::Observer* obs = ctx.obs();
+  obs::Span compile_span(obs, "compile", "core",
+                         ctx.runtime().obs_parent_span);
+  if (compile_span.active()) {
+    compile_span.arg("circuit", ctx.input().name());
+    if (!placer_label_.empty()) compile_span.arg("placer", placer_label_);
+    if (!router_label_.empty()) compile_span.arg("router", router_label_);
+  }
+  obs::add(obs, "compile.runs");
+  // Per-stage spans auto-parent under compile_span (same thread). End the
+  // previous stage before opening the next — otherwise the new span would
+  // nest under the still-open old one instead of under compile_span.
+  obs::Span stage_span;
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    const std::string name = pass->name();
+    if (pass->is_stage_boundary()) {
+      ctx.checkpoint();
+      if (ctx.runtime().stage_hook) ctx.runtime().stage_hook(name.c_str());
+      stage_span.end();
+      stage_span = obs::Span(obs, name, "stage");
+    }
+    const auto start = std::chrono::steady_clock::now();
+    pass->run(ctx);
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+    ctx.timings.push_back({name, elapsed.count()});
+  }
+  stage_span.end();
+  obs::observe(obs, "compile.final_two_qubit_gates",
+               static_cast<double>(ctx.result.final_metrics.two_qubit_gates));
+}
+
+CompilationResult PassManager::run(const Circuit& circuit,
+                                   const Device& device,
+                                   const PipelineRuntime& runtime) const {
+  CompileContext ctx(circuit, device, runtime);
+  run(ctx);
+  return std::move(ctx.result);
+}
+
+}  // namespace qmap

@@ -1,0 +1,45 @@
+// PassManager: executes a declared pipeline over a CompileContext.
+//
+// All cross-cutting ceremony lives here, once, instead of being hand-rolled
+// per stage in the facade: cancellation checkpoints, the stage hook (the
+// resilience fault injector's seam), per-stage obs spans under one compile
+// span, per-pass wall-clock timings, and the final compile counters. A
+// PassManager is immutable after construction and safe to run concurrently
+// from multiple threads (each run gets its own CompileContext).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pass/context.hpp"
+#include "pass/spec.hpp"
+
+namespace qmap {
+
+class PassManager {
+ public:
+  /// Builds every pass up front; throws MappingError on unknown names or
+  /// options (see pass/registry.hpp).
+  explicit PassManager(const PipelineSpec& spec);
+
+  [[nodiscard]] const PipelineSpec& spec() const noexcept { return spec_; }
+
+  /// Runs the pipeline over an existing context (the caller reads
+  /// ctx.result / ctx.timings afterwards).
+  void run(CompileContext& ctx) const;
+
+  /// Convenience: build a context, run, return the result.
+  [[nodiscard]] CompilationResult run(const Circuit& circuit,
+                                      const Device& device,
+                                      const PipelineRuntime& runtime) const;
+
+ private:
+  PipelineSpec spec_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+  // Cached for the compile span's args; empty when the stage is absent.
+  std::string placer_label_;
+  std::string router_label_;
+};
+
+}  // namespace qmap

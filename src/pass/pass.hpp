@@ -1,0 +1,38 @@
+// The uniform pass interface: one mapping stage, run against a
+// CompileContext that carries the evolving circuit/placement/schedule state.
+//
+// The paper's Fig. 2 draws compilation as a pipeline of interchangeable
+// stages; this type is that picture as code. A Pass reads and writes the
+// CompileContext and nothing else — ordering, cancellation checkpoints,
+// stage hooks, obs spans, and timing all live in the PassManager, so a new
+// pass composes with every existing subsystem (portfolio engine, resilience
+// ladder, observability) for free.
+#pragma once
+
+#include <string>
+
+namespace qmap {
+
+class CompileContext;
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  /// Canonical stage name — the single source of truth for stage-hook
+  /// names, obs stage-span names, and pipeline JSON. The classic names are
+  /// "decompose", "placer", "router", "postroute", "schedule".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Stage boundaries get the full ceremony before running: a cancellation
+  /// checkpoint, the stage hook (fault-injection seam), and a fresh obs
+  /// stage span. Non-boundary passes (decompose, historically un-hooked)
+  /// run silently so hook sequences and golden traces stay stable.
+  [[nodiscard]] virtual bool is_stage_boundary() const { return true; }
+
+  /// Runs the stage. Must be safe to call concurrently on the same Pass
+  /// object: configuration lives in the pass, all mutable state in `ctx`.
+  virtual void run(CompileContext& ctx) = 0;
+};
+
+}  // namespace qmap

@@ -1,0 +1,98 @@
+#include "pass/passes.hpp"
+
+#include "decompose/decomposer.hpp"
+#include "decompose/peephole.hpp"
+#include "pass/context.hpp"
+#include "pass/registry.hpp"
+#include "route/measure_relocation.hpp"
+#include "schedule/schedulers.hpp"
+
+namespace qmap {
+
+void DecomposePass::run(CompileContext& ctx) {
+  const Circuit& circuit = ctx.input();
+  const Device& device = ctx.device();
+  // SWAPs stay as routing placeholders in the working copy.
+  ctx.result.lowered =
+      lower_to_native_ ? lower_to_device(circuit, device, /*keep_swaps=*/true)
+                       : circuit;
+  // Baseline latency: decomposed, dependency-only schedule (Sec. V).
+  const Circuit baseline =
+      lower_to_native_ ? lower_to_device(circuit, device, /*keep_swaps=*/false)
+                       : circuit;
+  ctx.result.baseline_cycles = schedule_asap(baseline, device).total_cycles();
+}
+
+PlacePass::PlacePass(std::string algorithm)
+    : algorithm_(std::move(algorithm)) {
+  // Validate eagerly so a bad pipeline spec fails at build time, not after
+  // earlier passes already ran.
+  (void)make_placer(algorithm_);
+}
+
+void PlacePass::run(CompileContext& ctx) {
+  std::unique_ptr<Placer> placer = make_placer(algorithm_, ctx.seed());
+  placer->set_cancel_token(ctx.cancel());
+  ctx.placement = placer->place(ctx.result.lowered, ctx.device());
+  ctx.placed = true;
+}
+
+RoutePass::RoutePass(std::string algorithm)
+    : algorithm_(std::move(algorithm)) {
+  (void)make_router(algorithm_);
+}
+
+void RoutePass::run(CompileContext& ctx) {
+  if (!ctx.placed) {
+    throw MappingError(
+        "pass 'router' needs an initial placement: add a 'placer' pass "
+        "earlier in the pipeline");
+  }
+  std::unique_ptr<Router> router = make_router(algorithm_);
+  router->set_cancel_token(ctx.cancel());
+  router->set_observer(ctx.obs());
+  router->set_artifacts(&ctx.artifacts());
+  ctx.result.routing =
+      router->route(ctx.result.lowered, ctx.device(), ctx.placement);
+  ctx.routed = true;
+}
+
+void PostRoutePass::run(CompileContext& ctx) {
+  if (!ctx.routed) {
+    throw MappingError(
+        "pass 'postroute' needs a routing result: add a 'router' pass "
+        "earlier in the pipeline");
+  }
+  const Device& device = ctx.device();
+  Circuit relocated =
+      relocate_measurements(ctx.result.routing.circuit, device,
+                            ctx.result.routing.final, &ctx.artifacts());
+  if (peephole_) relocated = peephole_optimize(relocated);
+  Circuit final_circuit = expand_swaps(relocated, device);
+  final_circuit = fix_cx_directions(final_circuit, device);
+  if (peephole_) final_circuit = peephole_optimize(final_circuit);
+  if (lower_to_native_) {
+    final_circuit = fuse_single_qubit(final_circuit);
+    final_circuit = lower_single_qubit(final_circuit, device);
+  }
+  final_circuit.set_name(ctx.input().name() + "@" + device.name());
+  ctx.result.final_circuit = std::move(final_circuit);
+  ctx.result.final_metrics = compute_metrics(ctx.result.final_circuit);
+  ctx.postrouted = true;
+}
+
+void SchedulePass::run(CompileContext& ctx) {
+  if (!ctx.postrouted) {
+    throw MappingError(
+        "pass 'schedule' needs a finalized circuit: add a 'postroute' pass "
+        "earlier in the pipeline");
+  }
+  ctx.result.schedule =
+      use_control_constraints_
+          ? schedule_for_device(ctx.result.final_circuit, ctx.device(),
+                                ctx.obs())
+          : schedule_asap(ctx.result.final_circuit, ctx.device());
+  ctx.result.scheduled_cycles = ctx.result.schedule.total_cycles();
+}
+
+}  // namespace qmap

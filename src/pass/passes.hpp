@@ -1,0 +1,96 @@
+// The five standard passes — Fig. 2's pipeline, one class per stage.
+//
+// Each pass replicates exactly what the pre-refactor Compiler::compile did
+// for its stage (pinned by the parity suite in tests/test_pass.cpp), with
+// prerequisites checked explicitly so a mis-ordered pipeline fails with a
+// message naming the missing stage instead of crashing downstream.
+#pragma once
+
+#include <string>
+
+#include "pass/pass.hpp"
+
+namespace qmap {
+
+/// Gate decomposition: lowers the input to the device's native set with
+/// SWAPs kept as routing placeholders, and records the paper's "before
+/// mapping" baseline latency (dependency-only ASAP schedule of the fully
+/// lowered circuit). With `lower_to_native == false` the input passes
+/// through verbatim but the baseline is still recorded. Not a stage
+/// boundary: the facade never hooked/spanned decomposition, and keeping it
+/// silent preserves hook sequences and golden traces.
+class DecomposePass final : public Pass {
+ public:
+  explicit DecomposePass(bool lower_to_native = true)
+      : lower_to_native_(lower_to_native) {}
+  [[nodiscard]] std::string name() const override { return "decompose"; }
+  [[nodiscard]] bool is_stage_boundary() const override { return false; }
+  void run(CompileContext& ctx) override;
+
+ private:
+  bool lower_to_native_;
+};
+
+/// Initial placement. `algorithm` is any known_placers() name; stochastic
+/// placers draw from the context's seed. Cooperatively cancellable inside
+/// the placer search loops.
+class PlacePass final : public Pass {
+ public:
+  explicit PlacePass(std::string algorithm = "greedy");
+  [[nodiscard]] std::string name() const override { return "placer"; }
+  [[nodiscard]] const std::string& algorithm() const noexcept {
+    return algorithm_;
+  }
+  void run(CompileContext& ctx) override;
+
+ private:
+  std::string algorithm_;
+};
+
+/// Routing (SWAP insertion). `algorithm` is any known_routers() name.
+/// Requires a placement from an earlier placer pass. The router receives
+/// the context's shared ArchArtifacts so distance/shortest-path queries
+/// never touch the device's lazy cache.
+class RoutePass final : public Pass {
+ public:
+  explicit RoutePass(std::string algorithm = "sabre");
+  [[nodiscard]] std::string name() const override { return "router"; }
+  [[nodiscard]] const std::string& algorithm() const noexcept {
+    return algorithm_;
+  }
+  void run(CompileContext& ctx) override;
+
+ private:
+  std::string algorithm_;
+};
+
+/// Post-routing clean-up: measurement relocation (Sec. VI-A), optional
+/// peephole, SWAP expansion, CX direction repair, final native lowering,
+/// and the final metrics. Requires a routing result.
+class PostRoutePass final : public Pass {
+ public:
+  PostRoutePass(bool peephole = true, bool lower_to_native = true)
+      : peephole_(peephole), lower_to_native_(lower_to_native) {}
+  [[nodiscard]] std::string name() const override { return "postroute"; }
+  void run(CompileContext& ctx) override;
+
+ private:
+  bool peephole_;
+  bool lower_to_native_;
+};
+
+/// Operation scheduling (control constraints included when the device
+/// declares them and `use_control_constraints` is set). Requires the
+/// postroute pass's final circuit.
+class SchedulePass final : public Pass {
+ public:
+  explicit SchedulePass(bool use_control_constraints = true)
+      : use_control_constraints_(use_control_constraints) {}
+  [[nodiscard]] std::string name() const override { return "schedule"; }
+  void run(CompileContext& ctx) override;
+
+ private:
+  bool use_control_constraints_;
+};
+
+}  // namespace qmap

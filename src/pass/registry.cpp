@@ -1,0 +1,174 @@
+#include "pass/registry.hpp"
+
+#include <initializer_list>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "noise/reliability.hpp"
+#include "pass/passes.hpp"
+#include "route/astar_layer.hpp"
+#include "route/bidirectional_placer.hpp"
+#include "route/exact.hpp"
+#include "route/naive.hpp"
+#include "route/qmap_router.hpp"
+#include "route/sabre.hpp"
+#include "route/shuttle.hpp"
+
+namespace qmap {
+
+const std::vector<std::string>& known_placers() {
+  static const std::vector<std::string> names = {
+      "identity",    "greedy",      "exhaustive",
+      "annealing",   "reliability", "bidirectional"};
+  return names;
+}
+
+const std::vector<std::string>& known_routers() {
+  static const std::vector<std::string> names = {
+      "naive", "sabre", "sabre+commute", "astar",
+      "exact", "qmap",  "reliability",   "shuttle"};
+  return names;
+}
+
+std::unique_ptr<Placer> make_placer(const std::string& name,
+                                    std::uint64_t seed) {
+  if (name == "identity") return std::make_unique<IdentityPlacer>();
+  if (name == "greedy") return std::make_unique<GreedyPlacer>();
+  if (name == "exhaustive") return std::make_unique<ExhaustivePlacer>();
+  if (name == "annealing") return std::make_unique<AnnealingPlacer>(seed);
+  if (name == "reliability") return std::make_unique<ReliabilityPlacer>();
+  if (name == "bidirectional") return std::make_unique<BidirectionalPlacer>();
+  throw MappingError("unknown placer: '" + name + "' (valid: " +
+                     join(known_placers(), ", ") + ")");
+}
+
+std::unique_ptr<Router> make_router(const std::string& name) {
+  if (name == "naive") return std::make_unique<NaiveRouter>();
+  if (name == "sabre") return std::make_unique<SabreRouter>();
+  if (name == "sabre+commute") {
+    SabreRouter::Options options;
+    options.use_commutation = true;
+    return std::make_unique<SabreRouter>(options);
+  }
+  if (name == "astar") return std::make_unique<AStarLayerRouter>();
+  if (name == "exact") return std::make_unique<ExactRouter>();
+  if (name == "qmap") return std::make_unique<QmapRouter>();
+  if (name == "reliability") return std::make_unique<ReliabilityRouter>();
+  if (name == "shuttle") return std::make_unique<ShuttleRouter>();
+  throw MappingError("unknown router: '" + name + "' (valid: " +
+                     join(known_routers(), ", ") + ")");
+}
+
+const std::vector<std::string>& known_passes() {
+  static const std::vector<std::string> names = {
+      "decompose", "placer", "router", "postroute", "schedule"};
+  return names;
+}
+
+namespace {
+
+// Aliases keep historical spellings (and the natural verb forms) working
+// in pipeline JSON; stage hooks always receive the canonical Pass::name().
+const std::vector<std::pair<std::string, std::string>>& pass_aliases() {
+  static const std::vector<std::pair<std::string, std::string>> aliases = {
+      {"lower", "decompose"},  {"place", "placer"},
+      {"route", "router"},     {"post-route", "postroute"},
+      {"scheduler", "schedule"}};
+  return aliases;
+}
+
+std::string pass_names_for_error() {
+  std::string out = join(known_passes(), ", ");
+  out += "; aliases:";
+  for (const auto& [alias, canonical] : pass_aliases()) {
+    out += " " + alias + "=" + canonical;
+  }
+  return out;
+}
+
+/// Rejects option keys outside `valid`, so a typo in pipeline JSON fails
+/// with the pass name and the accepted keys instead of being ignored.
+void check_option_keys(const Json& options, const std::string& pass,
+                       std::initializer_list<const char*> valid) {
+  if (options.is_null()) return;
+  if (!options.is_object()) {
+    throw MappingError("pass '" + pass + "': options must be a JSON object");
+  }
+  for (const auto& [key, value] : options.as_object()) {
+    bool known = false;
+    for (const char* name : valid) {
+      if (key == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string names;
+      for (const char* name : valid) {
+        if (!names.empty()) names += ", ";
+        names += name;
+      }
+      if (names.empty()) names = "none";
+      throw MappingError("pass '" + pass + "': unknown option '" + key +
+                         "' (valid: " + names + ")");
+    }
+  }
+}
+
+bool bool_option(const Json& options, const char* key, bool fallback) {
+  if (options.is_null()) return fallback;
+  const Json* value = options.find(key);
+  return value ? value->as_bool() : fallback;
+}
+
+std::string string_option(const Json& options, const char* key,
+                          const char* fallback) {
+  if (options.is_null()) return fallback;
+  const Json* value = options.find(key);
+  return value ? value->as_string() : fallback;
+}
+
+}  // namespace
+
+std::string canonical_pass_name(const std::string& name) {
+  for (const std::string& canonical : known_passes()) {
+    if (name == canonical) return canonical;
+  }
+  for (const auto& [alias, canonical] : pass_aliases()) {
+    if (name == alias) return canonical;
+  }
+  throw MappingError("unknown pass: '" + name +
+                     "' (valid: " + pass_names_for_error() + ")");
+}
+
+std::unique_ptr<Pass> make_pass(const std::string& name, const Json& options) {
+  const std::string canonical = canonical_pass_name(name);
+  if (canonical == "decompose") {
+    check_option_keys(options, canonical, {"lower_to_native"});
+    return std::make_unique<DecomposePass>(
+        bool_option(options, "lower_to_native", true));
+  }
+  if (canonical == "placer") {
+    check_option_keys(options, canonical, {"algorithm"});
+    return std::make_unique<PlacePass>(
+        string_option(options, "algorithm", "greedy"));
+  }
+  if (canonical == "router") {
+    check_option_keys(options, canonical, {"algorithm"});
+    return std::make_unique<RoutePass>(
+        string_option(options, "algorithm", "sabre"));
+  }
+  if (canonical == "postroute") {
+    check_option_keys(options, canonical, {"peephole", "lower_to_native"});
+    return std::make_unique<PostRoutePass>(
+        bool_option(options, "peephole", true),
+        bool_option(options, "lower_to_native", true));
+  }
+  // canonical_pass_name() already rejected everything else.
+  check_option_keys(options, canonical, {"use_control_constraints"});
+  return std::make_unique<SchedulePass>(
+      bool_option(options, "use_control_constraints", true));
+}
+
+}  // namespace qmap

@@ -1,0 +1,52 @@
+// Registries for the three extensible families: placers, routers, passes.
+//
+// The placer/router factories moved here from core/compiler.cpp so that
+// passes, the engine, benches, and tests all resolve strategy names through
+// one seam (core/compiler.hpp re-exports them; existing includes keep
+// working). The pass registry maps pipeline-spec names to Pass instances
+// and is the single list the DESIGN.md §9 table — and the
+// scripts/check_pass_registry.sh lint — must cover.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "layout/placers.hpp"
+#include "pass/pass.hpp"
+#include "route/router.hpp"
+
+namespace qmap {
+
+/// Factory helpers shared by the compiler, engine, benches and tests.
+/// Unknown names throw a MappingError whose message lists every valid name.
+/// `seed` feeds stochastic placers (annealing); deterministic placers
+/// ignore it.
+[[nodiscard]] std::unique_ptr<Placer> make_placer(const std::string& name,
+                                                  std::uint64_t seed = 0xC0FFEE);
+[[nodiscard]] std::unique_ptr<Router> make_router(const std::string& name);
+
+/// Registered strategy names, in the factories' canonical order. The
+/// portfolio engine enumerates these to build/validate its strategy set.
+[[nodiscard]] const std::vector<std::string>& known_placers();
+[[nodiscard]] const std::vector<std::string>& known_routers();
+
+/// Registered pass names, canonical order: the standard pipeline top to
+/// bottom ("decompose", "placer", "router", "postroute", "schedule").
+[[nodiscard]] const std::vector<std::string>& known_passes();
+
+/// Resolves a pass name or alias ("place" -> "placer", "route" ->
+/// "router", "lower" -> "decompose", "scheduler" -> "schedule") to its
+/// canonical name. Unknown names throw a MappingError listing every valid
+/// name and alias.
+[[nodiscard]] std::string canonical_pass_name(const std::string& name);
+
+/// Builds a pass from its (canonical or aliased) name and a JSON options
+/// object (null = defaults). Unknown option keys throw a MappingError
+/// naming the key and the valid keys for that pass.
+[[nodiscard]] std::unique_ptr<Pass> make_pass(const std::string& name,
+                                              const Json& options = Json());
+
+}  // namespace qmap

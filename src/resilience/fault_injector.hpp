@@ -18,7 +18,10 @@
 //                      validation can catch this one.
 //
 // Stage faults are delivered through CompilerOptions::stage_hook /
-// PortfolioOptions::stage_hook — the injector never patches a pass.
+// PortfolioOptions::stage_hook — the injector never patches a pass. The
+// stage names it matches against ("placer", "router", ...) are exactly the
+// Pass::name() values the PassManager hands to the hook (src/pass/), so
+// the matrix keeps working for any pipeline built from registered passes.
 // Decisions are pure functions of (seed, spec index, rung, strategy,
 // attempt): no global counters, no clocks, so a fixed seed fires the same
 // faults whether the portfolio runs on 1 thread or 16. Fired faults are

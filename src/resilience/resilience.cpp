@@ -180,6 +180,8 @@ ResilientCompiler::ResilientCompiler(Device device, Policy policy)
     (void)make_placer(spec.placer);
     (void)make_router(spec.router);
   }
+  if (policy_.rung1_pipeline) (void)policy_.rung1_pipeline->build();
+  if (policy_.rung2_pipeline) (void)policy_.rung2_pipeline->build();
   (void)FaultInjector(policy_.faults);  // validates fault-point names
   if (policy_.rung0_deadline_fraction <= 0.0 ||
       policy_.rung0_deadline_fraction > 1.0 ||
@@ -191,7 +193,7 @@ ResilientCompiler::ResilientCompiler(Device device, Policy policy)
   if (policy_.max_retries_per_rung < 0) {
     throw MappingError("resilience policy: max_retries_per_rung < 0");
   }
-  device_.coupling().precompute_distances();
+  artifacts_ = ArchArtifacts::shared(device_);
 }
 
 CompileOutcome ResilientCompiler::compile(const Circuit& circuit) const {
@@ -271,10 +273,14 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
   for (int rung = 0; rung < 3; ++rung) {
     RungReport rr;
     rr.rung = rung;
-    rr.label = rung == 0 ? "portfolio"
-               : rung == 1
-                   ? policy_.fallback_placer + "+" + policy_.fallback_router
-                   : "identity+naive";
+    rr.label =
+        rung == 0 ? "portfolio"
+        : rung == 1
+            ? (policy_.rung1_pipeline
+                   ? policy_.rung1_pipeline->label()
+                   : policy_.fallback_placer + "+" + policy_.fallback_router)
+            : (policy_.rung2_pipeline ? policy_.rung2_pipeline->label()
+                                      : "identity+naive");
     const bool shielded = rung == 2 && policy_.shield_last_rung;
     if (outcome.ok || rung < first_rung ||
         (rung < 2 && has_deadline && remaining_ms() <= 0.0)) {
@@ -349,6 +355,7 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
               seed, kRungStream + static_cast<std::uint64_t>(attempt));
           popt.base = policy_.base;
           popt.obs = obs;
+          popt.artifacts = artifacts_;
           if (has_deadline) {
             popt.portfolio_deadline_ms =
                 std::min(policy_.deadline_ms * policy_.rung0_deadline_fraction,
@@ -418,9 +425,17 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
               inj->at_stage(stage, rung, 0, attempt);
             };
           }
+          copt.artifacts = artifacts_;
+          // The rung is pipeline data: an explicit policy override or the
+          // standard preset derived from copt's placer/router/toggles.
+          // Either way the compile path below is the same PassManager run.
+          const std::optional<PipelineSpec>& pipeline_override =
+              rung == 1 ? policy_.rung1_pipeline : policy_.rung2_pipeline;
           const Compiler compiler(device_, copt);
-          accept(compiler.compile(circuit), 0,
-                 copt.placer + "+" + copt.router);
+          accept(compiler.compile(circuit, pipeline_override
+                                               ? *pipeline_override
+                                               : compiler.pipeline()),
+                 0, rr.label);
         }
       } catch (const CancelledError& e) {
         ar.ok = false;

@@ -41,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -80,10 +81,20 @@ struct Policy {
   /// campaign. Disable only to test the ladder's own failure path.
   bool shield_last_rung = true;
   /// Rung 0 strategy set; empty = PortfolioCompiler::default_portfolio.
+  /// Each StrategySpec expands to a PipelineSpec (StrategySpec::pipeline),
+  /// so all three rungs are pipeline data in the end.
   std::vector<StrategySpec> portfolio;
   /// Rung 1 strategy.
   std::string fallback_placer = "greedy";
   std::string fallback_router = "sabre";
+  /// Explicit pipelines for rungs 1/2 as declarative data (build with
+  /// PipelineSpec::standard or parse with PipelineSpec::from_json). Unset
+  /// (the default) derives rung 1 from fallback_placer/fallback_router and
+  /// rung 2 from identity+naive, each with `base`'s toggles — exactly the
+  /// historical ladder. The seed/deadline/fault wiring is identical either
+  /// way; the rung label becomes the pipeline's label().
+  std::optional<PipelineSpec> rung1_pipeline;
+  std::optional<PipelineSpec> rung2_pipeline;
   /// Armed faults (empty in production).
   std::vector<FaultSpec> faults;
   /// Pipeline toggles shared by every rung (placer/router/seed/cancel/
@@ -188,6 +199,9 @@ class ResilientCompiler {
 
   Device device_;
   Policy policy_;
+  /// One immutable artifacts bundle shared by every rung, attempt, and
+  /// portfolio strategy of every compile this supervisor runs.
+  std::shared_ptr<const ArchArtifacts> artifacts_;
 };
 
 /// Front door: one call, one hardened answer.

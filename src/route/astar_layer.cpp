@@ -77,8 +77,9 @@ RoutingResult AStarLayerRouter::route(const Circuit& circuit,
           const std::vector<int>& program_to_phys) {
         int sum = 0;
         for (const auto& [a, b] : pairs) {
-          sum += coupling.distance(program_to_phys[static_cast<std::size_t>(a)],
-                                   program_to_phys[static_cast<std::size_t>(b)]) -
+          sum += phys_distance(
+                     device, program_to_phys[static_cast<std::size_t>(a)],
+                     program_to_phys[static_cast<std::size_t>(b)]) -
                  1;
         }
         return sum;
@@ -173,7 +174,7 @@ RoutingResult AStarLayerRouter::route(const Circuit& circuit,
         for (const auto& [qa, qb] : pairs) {
           const int pa = emitter.placement().phys_of_program(qa);
           const int pb = emitter.placement().phys_of_program(qb);
-          const std::vector<int> path = coupling.shortest_path(pa, pb);
+          const std::vector<int> path = phys_shortest_path(device, pa, pb);
           for (std::size_t i = 0; i + 2 < path.size(); ++i) {
             emitter.emit_swap(path[i], path[i + 1]);
           }

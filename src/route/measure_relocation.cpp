@@ -7,7 +7,8 @@
 namespace qmap {
 
 Circuit relocate_measurements(const Circuit& circuit, const Device& device,
-                              Placement& placement_io) {
+                              Placement& placement_io,
+                              const ArchArtifacts* artifacts) {
   const int m = device.num_qubits();
   if (circuit.num_qubits() != m) {
     throw MappingError(
@@ -92,7 +93,9 @@ Circuit relocate_measurements(const Circuit& circuit, const Device& device,
           used[static_cast<std::size_t>(candidate)]) {
         continue;
       }
-      const int d = device.coupling().distance(location, candidate);
+      const int d = artifacts != nullptr
+                        ? artifacts->distance(location, candidate)
+                        : device.coupling().distance(location, candidate);
       if (d >= 0 && d < best_distance) {
         best_distance = d;
         best = candidate;
@@ -104,7 +107,8 @@ Circuit relocate_measurements(const Circuit& circuit, const Device& device,
           std::to_string(location));
     }
     const std::vector<int> path =
-        device.coupling().shortest_path(location, best);
+        artifacts != nullptr ? artifacts->shortest_path(location, best)
+                             : device.coupling().shortest_path(location, best);
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
       emit_swap(path[i], path[i + 1]);
     }

@@ -69,8 +69,8 @@ RoutingResult QmapRouter::route(const Circuit& circuit, const Device& device,
 
   const auto gate_distance = [&](int node, const Placement& placement) {
     const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
-    return coupling.distance(placement.phys_of_program(gate.qubits[0]),
-                             placement.phys_of_program(gate.qubits[1]));
+    return phys_distance(device, placement.phys_of_program(gate.qubits[0]),
+                         placement.phys_of_program(gate.qubits[1]));
   };
 
   int stall_guard = 0;
@@ -150,7 +150,7 @@ RoutingResult QmapRouter::route(const Circuit& circuit, const Device& device,
       const Gate& gate = circuit.gate(static_cast<std::size_t>(front.front()));
       const int pa = emitter.placement().phys_of_program(gate.qubits[0]);
       const int pb = emitter.placement().phys_of_program(gate.qubits[1]);
-      const std::vector<int> path = coupling.shortest_path(pa, pb);
+      const std::vector<int> path = phys_shortest_path(device, pa, pb);
       for (std::size_t i = 0; i + 2 < path.size(); ++i) {
         emitter.emit_swap(path[i], path[i + 1]);
         occupy({path[i], path[i + 1]}, swap_cycles);

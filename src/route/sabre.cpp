@@ -55,8 +55,8 @@ RoutingResult SabreRouter::route(const Circuit& circuit, const Device& device,
   // Distance of a (program-qubit) two-qubit gate under a placement.
   const auto gate_distance = [&](int node, const Placement& placement) {
     const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
-    return coupling.distance(placement.phys_of_program(gate.qubits[0]),
-                             placement.phys_of_program(gate.qubits[1]));
+    return phys_distance(device, placement.phys_of_program(gate.qubits[0]),
+                         placement.phys_of_program(gate.qubits[1]));
   };
 
   std::uint64_t iterations = 0;
@@ -143,7 +143,7 @@ RoutingResult SabreRouter::route(const Circuit& circuit, const Device& device,
           circuit.gate(static_cast<std::size_t>(front.front()));
       const int pa = emitter.placement().phys_of_program(gate.qubits[0]);
       const int pb = emitter.placement().phys_of_program(gate.qubits[1]);
-      const std::vector<int> path = coupling.shortest_path(pa, pb);
+      const std::vector<int> path = phys_shortest_path(device, pa, pb);
       for (std::size_t i = 0; i + 2 < path.size(); ++i) {
         emitter.emit_swap(path[i], path[i + 1]);
       }

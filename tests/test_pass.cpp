@@ -1,0 +1,442 @@
+// Pass-pipeline suite (ctest -L pass; rerun under TSan by tier1.sh):
+//   - facade-vs-PassManager parity: Compiler::compile must be byte-identical
+//     (CompilationResult::fingerprint) to running the same PipelineSpec —
+//     round-tripped through JSON text — directly on a PassManager, across
+//     every placer x router pairing, three devices, and three seeds;
+//   - ArchArtifacts equivalence with the lazy CouplingGraph caches;
+//   - PipelineSpec JSON round-trips, aliases, and descriptive errors;
+//   - custom pipelines (dropped/reordered stages), hook order, cancellation;
+//   - concurrent reads of one shared artifacts bundle and the lazy
+//     distance-matrix race the eager Device precompute is meant to close.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/builtin.hpp"
+#include "core/compiler.hpp"
+#include "engine/cancel.hpp"
+#include "engine/portfolio.hpp"
+#include "pass/manager.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap {
+namespace {
+
+Device parity_device(const std::string& name) {
+  if (name == "qx4") return devices::ibm_qx4();
+  if (name == "qx5") return devices::ibm_qx5();
+  if (name == "s17") return devices::surface17();
+  throw std::runtime_error("unknown device");
+}
+
+// Same strategy gates as the differential fuzzer (verify/fuzzer.cpp): the
+// exponential strategies only on small devices, calibration/shuttle
+// strategies only where the device supports them.
+bool strategy_applies(const Device& device, const std::string& placer,
+                      const std::string& router) {
+  if (placer == "reliability" && !device.has_noise()) return false;
+  if (placer == "exhaustive" && device.num_qubits() > 9) return false;
+  if (router == "reliability" && !device.has_noise()) return false;
+  if (router == "shuttle" && !device.supports_shuttling()) return false;
+  if (router == "exact" && device.num_qubits() > 6) return false;
+  return true;
+}
+
+struct ParityCase {
+  std::string device;
+  std::string placer;
+  std::string router;
+  std::uint64_t seed = 0;
+};
+
+std::string parity_name(const testing::TestParamInfo<ParityCase>& info) {
+  std::string router = info.param.router;
+  for (char& c : router) {
+    if (c == '+') c = '_';
+  }
+  return info.param.device + "_" + info.param.placer + "_" + router + "_s" +
+         std::to_string(info.param.seed);
+}
+
+std::vector<ParityCase> parity_cases() {
+  std::vector<ParityCase> cases;
+  for (const char* device_name : {"qx4", "qx5", "s17"}) {
+    const Device device = parity_device(device_name);
+    for (const std::string& placer : known_placers()) {
+      for (const std::string& router : known_routers()) {
+        if (!strategy_applies(device, placer, router)) continue;
+        for (const std::uint64_t seed : {std::uint64_t{0xC0FFEE},
+                                         std::uint64_t{1},
+                                         std::uint64_t{42}}) {
+          cases.push_back({device_name, placer, router, seed});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+class FacadeSpecParity : public testing::TestWithParam<ParityCase> {};
+
+// The tentpole's acceptance bar: the Compiler facade and an explicit
+// PassManager run of the JSON-round-tripped spec must agree byte for byte —
+// and when one path throws, the other must throw the same error.
+TEST_P(FacadeSpecParity, FingerprintsAreByteIdentical) {
+  const ParityCase& param = GetParam();
+  const Device device = parity_device(param.device);
+  const Circuit circuit = workloads::fig1_example();
+
+  CompilerOptions options;
+  options.placer = param.placer;
+  options.router = param.router;
+  options.seed = param.seed;
+  const Compiler compiler(device, options);
+
+  std::string facade_fingerprint;
+  std::string facade_error;
+  try {
+    facade_fingerprint = compiler.compile(circuit).fingerprint();
+  } catch (const std::exception& e) {
+    facade_error = e.what();
+  }
+
+  const PipelineSpec spec =
+      PipelineSpec::from_json_text(compiler.pipeline().to_json().dump());
+  ASSERT_EQ(spec, compiler.pipeline());
+  const PassManager manager(spec);
+  PipelineRuntime runtime;
+  runtime.seed = param.seed;
+  runtime.artifacts = compiler.artifacts();
+
+  std::string spec_fingerprint;
+  std::string spec_error;
+  try {
+    spec_fingerprint = manager.run(circuit, device, runtime).fingerprint();
+  } catch (const std::exception& e) {
+    spec_error = e.what();
+  }
+
+  EXPECT_EQ(facade_error, spec_error);
+  EXPECT_EQ(facade_fingerprint, spec_fingerprint);
+  if (facade_error.empty()) {
+    EXPECT_FALSE(facade_fingerprint.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, FacadeSpecParity,
+                         testing::ValuesIn(parity_cases()), parity_name);
+
+// --- ArchArtifacts equivalence ---------------------------------------------
+
+class ArtifactsEquivalence : public testing::TestWithParam<std::string> {};
+
+TEST_P(ArtifactsEquivalence, MatchesCouplingGraphCaches) {
+  const Device device = parity_device(GetParam());
+  const ArchArtifacts artifacts = ArchArtifacts::build(device);
+  const CouplingGraph& coupling = device.coupling();
+  const int n = device.num_qubits();
+  ASSERT_EQ(artifacts.num_qubits(), n);
+
+  int max_distance = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      EXPECT_EQ(artifacts.distance(a, b), coupling.distance(a, b))
+          << a << " -> " << b;
+      // Byte-identical paths, not merely equally long ones: routers pick
+      // rescue paths from these, so parity depends on it.
+      EXPECT_EQ(artifacts.shortest_path(a, b), coupling.shortest_path(a, b))
+          << a << " -> " << b;
+      max_distance = std::max(max_distance, artifacts.distance(a, b));
+    }
+  }
+  EXPECT_EQ(artifacts.diameter(), max_distance);
+
+  for (int q = 0; q < n; ++q) {
+    std::vector<int> expected = coupling.neighbors(q);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(artifacts.neighbors(q), expected);
+  }
+}
+
+TEST_P(ArtifactsEquivalence, NativeGateLookupMatchesDevice) {
+  const Device device = parity_device(GetParam());
+  const ArchArtifacts artifacts = ArchArtifacts::build(device);
+  for (int k = 0; k <= static_cast<int>(GateKind::Barrier); ++k) {
+    const auto kind = static_cast<GateKind>(k);
+    EXPECT_EQ(artifacts.is_native_kind(kind), device.is_native_kind(kind))
+        << "kind " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, ArtifactsEquivalence,
+                         testing::Values("qx4", "qx5", "s17"));
+
+TEST(ArchArtifacts, ShortestPathsAreValidWalks) {
+  const Device device = devices::surface17();
+  const auto artifacts = ArchArtifacts::shared(device);
+  for (int a = 0; a < device.num_qubits(); ++a) {
+    for (int b = 0; b < device.num_qubits(); ++b) {
+      const std::vector<int> path = artifacts->shortest_path(a, b);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      EXPECT_EQ(static_cast<int>(path.size()) - 1, artifacts->distance(a, b));
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(device.coupling().connected(path[i], path[i + 1]));
+      }
+    }
+  }
+}
+
+TEST(ArchArtifacts, RejectsOutOfRangeQubits) {
+  const Device device = devices::ibm_qx4();
+  const ArchArtifacts artifacts = ArchArtifacts::build(device);
+  EXPECT_THROW((void)artifacts.distance(-1, 0), DeviceError);
+  EXPECT_THROW((void)artifacts.distance(0, device.num_qubits()), DeviceError);
+  EXPECT_THROW((void)artifacts.shortest_path(0, 99), DeviceError);
+}
+
+// --- PipelineSpec as data ---------------------------------------------------
+
+TEST(PipelineSpec, StandardRoundTripsThroughJsonText) {
+  const PipelineSpec spec = PipelineSpec::standard("annealing", "astar",
+                                                   /*lower_to_native=*/false,
+                                                   /*peephole=*/false,
+                                                   /*run_scheduler=*/true,
+                                                   /*use_control=*/false);
+  const PipelineSpec reparsed =
+      PipelineSpec::from_json_text(spec.to_json().dump());
+  EXPECT_EQ(reparsed, spec);
+  EXPECT_EQ(spec.label(), "annealing+astar");
+  EXPECT_EQ(spec.placer_name(), "annealing");
+  EXPECT_EQ(spec.router_name(), "astar");
+  EXPECT_EQ(spec.size(), 5u);
+}
+
+TEST(PipelineSpec, AcceptsBareArrayStringsAndAliases) {
+  const PipelineSpec spec = PipelineSpec::from_json_text(
+      R"(["lower", {"pass": "place"}, "route", "post-route", "scheduler"])");
+  ASSERT_EQ(spec.size(), 5u);
+  EXPECT_EQ(spec.passes()[0].pass, "decompose");
+  EXPECT_EQ(spec.passes()[1].pass, "placer");
+  EXPECT_EQ(spec.passes()[2].pass, "router");
+  EXPECT_EQ(spec.passes()[3].pass, "postroute");
+  EXPECT_EQ(spec.passes()[4].pass, "schedule");
+  // Defaults applied: the spec labels itself like a strategy.
+  EXPECT_EQ(spec.label(), "greedy+sabre");
+}
+
+TEST(PipelineSpec, UnknownPassNameFailsWithTheValidNames) {
+  try {
+    (void)PipelineSpec::from_json_text(R"(["decompose", "optimize"])");
+    FAIL() << "expected MappingError";
+  } catch (const MappingError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown pass"), std::string::npos) << what;
+    EXPECT_NE(what.find("optimize"), std::string::npos) << what;
+    EXPECT_NE(what.find("decompose"), std::string::npos) << what;  // valid list
+  }
+}
+
+TEST(PipelineSpec, UnknownOptionKeyFailsWithTheValidKeys) {
+  try {
+    (void)PipelineSpec::from_json_text(
+        R"([{"pass": "router", "options": {"algorithm": "sabre", "depth": 3}}])");
+    FAIL() << "expected MappingError";
+  } catch (const MappingError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pass 'router'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'depth'"), std::string::npos) << what;
+    EXPECT_NE(what.find("algorithm"), std::string::npos) << what;
+  }
+}
+
+TEST(PipelineSpec, UnknownAlgorithmFailsAtParseTimeNotRunTime) {
+  EXPECT_THROW((void)PipelineSpec::from_json_text(
+                   R"([{"pass": "placer", "options": {"algorithm": "magic"}}])"),
+               MappingError);
+}
+
+TEST(PipelineSpec, StrategySpecExpandsToItsPipeline) {
+  StrategySpec strategy;
+  strategy.placer = "identity";
+  strategy.router = "naive";
+  CompilerOptions base;
+  base.run_scheduler = false;
+  const PipelineSpec spec = strategy.pipeline(base);
+  EXPECT_EQ(spec.label(), strategy.label());
+  EXPECT_EQ(spec.size(), 4u);  // no schedule pass
+  EXPECT_EQ(spec, PipelineSpec::standard("identity", "naive", true, true,
+                                         false, true));
+}
+
+// --- Custom pipelines -------------------------------------------------------
+
+TEST(PassManager, DroppingTheSchedulePassSkipsScheduling) {
+  const Device device = devices::ibm_qx4();
+  const PipelineSpec spec = PipelineSpec::from_json_text(
+      R"(["decompose", "placer", "router", "postroute"])");
+  const CompilationResult result =
+      PassManager(spec).run(workloads::ghz(4), device, PipelineRuntime{});
+  EXPECT_EQ(result.scheduled_cycles, 0);
+  EXPECT_EQ(result.schedule.size(), 0u);
+  EXPECT_GT(result.baseline_cycles, 0);
+  EXPECT_TRUE(respects_coupling(result.final_circuit, device));
+}
+
+TEST(PassManager, RouterWithoutPlacerFailsWithActionableError) {
+  const Device device = devices::ibm_qx4();
+  const PipelineSpec spec =
+      PipelineSpec::from_json_text(R"(["decompose", "router"])");
+  try {
+    (void)PassManager(spec).run(workloads::ghz(4), device, PipelineRuntime{});
+    FAIL() << "expected MappingError";
+  } catch (const MappingError& e) {
+    EXPECT_NE(std::string(e.what()).find("needs an initial placement"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PassManager, StageHookSeesCanonicalNamesInPipelineOrder) {
+  const Device device = devices::ibm_qx4();
+  std::vector<std::string> stages;
+  PipelineRuntime runtime;
+  runtime.stage_hook = [&stages](const char* stage) {
+    stages.emplace_back(stage);
+  };
+  const PassManager manager(PipelineSpec::standard());
+  (void)manager.run(workloads::fig1_example(), device, runtime);
+  // decompose is not a stage boundary (the pre-pass facade never announced
+  // it), so the hook sequence is exactly the historical one the resilience
+  // fault matrix matches against.
+  const std::vector<std::string> expected = {"placer", "router", "postroute",
+                                             "schedule"};
+  EXPECT_EQ(stages, expected);
+}
+
+TEST(PassManager, RecordsPerPassTimingsInPipelineOrder) {
+  const Device device = devices::ibm_qx4();
+  const Circuit circuit = workloads::fig1_example();
+  CompileContext ctx(circuit, device, PipelineRuntime{});
+  PassManager(PipelineSpec::standard()).run(ctx);
+  ASSERT_EQ(ctx.timings.size(), 5u);
+  const char* expected[] = {"decompose", "placer", "router", "postroute",
+                            "schedule"};
+  for (std::size_t i = 0; i < ctx.timings.size(); ++i) {
+    EXPECT_EQ(ctx.timings[i].pass, expected[i]);
+    EXPECT_GE(ctx.timings[i].ms, 0.0);
+  }
+  EXPECT_TRUE(ctx.placed);
+  EXPECT_TRUE(ctx.routed);
+  EXPECT_TRUE(ctx.postrouted);
+}
+
+TEST(PassManager, PreCancelledTokenAbortsAtTheFirstBoundary) {
+  const Device device = devices::ibm_qx4();
+  CancelToken token;
+  token.cancel();
+  PipelineRuntime runtime;
+  runtime.cancel = &token;
+  int hook_calls = 0;
+  runtime.stage_hook = [&hook_calls](const char*) { ++hook_calls; };
+  const PassManager manager(PipelineSpec::standard());
+  EXPECT_THROW(
+      (void)manager.run(workloads::fig1_example(), device, runtime),
+      CancelledError);
+  // The checkpoint fires before the hook announces the stage.
+  EXPECT_EQ(hook_calls, 0);
+}
+
+TEST(Compiler, ExplicitSpecOverloadMatchesTheFacadePreset) {
+  const Device device = devices::surface17();
+  const Compiler compiler(device);
+  const Circuit circuit = workloads::qft(4);
+  EXPECT_EQ(compiler.compile(circuit).fingerprint(),
+            compiler.compile(circuit, compiler.pipeline()).fingerprint());
+}
+
+// --- Shared-artifact concurrency (the TSan targets) -------------------------
+
+TEST(ArchArtifacts, ConcurrentRunsSharingOneBundleMatchSerial) {
+  const Device device = devices::surface17();
+  const auto artifacts = ArchArtifacts::shared(device);
+  const Circuit circuit = workloads::qft(4);
+  const PassManager manager(PipelineSpec::standard());
+
+  PipelineRuntime serial_runtime;
+  serial_runtime.artifacts = artifacts;
+  const std::string expected =
+      manager.run(circuit, device, serial_runtime).fingerprint();
+
+  constexpr int kThreads = 8;
+  std::vector<std::string> fingerprints(kThreads);
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        try {
+          PipelineRuntime runtime;
+          runtime.artifacts = artifacts;
+          fingerprints[static_cast<std::size_t>(t)] =
+              manager.run(circuit, device, runtime).fingerprint();
+        } catch (...) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  for (const std::string& fingerprint : fingerprints) {
+    EXPECT_EQ(fingerprint, expected);
+  }
+}
+
+TEST(CouplingGraph, LazyDistanceCacheIsSafeUnderConcurrentFirstUse) {
+  // A bare CouplingGraph (not yet wrapped in a Device, which precomputes
+  // eagerly) still fills its cache lazily; hammer the first use from many
+  // threads so TSan can see the double-checked publish.
+  CouplingGraph coupling(17);
+  const Device reference_device = devices::surface17();
+  const CouplingGraph& reference = reference_device.coupling();
+  for (const auto& edge : reference.edges()) {
+    if (edge.a_to_b && edge.b_to_a) {
+      coupling.add_edge(edge.a, edge.b, /*directed=*/false);
+    } else if (edge.a_to_b) {
+      coupling.add_edge(edge.a, edge.b, /*directed=*/true);
+    } else {
+      coupling.add_edge(edge.b, edge.a, /*directed=*/true);
+    }
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int a = 0; a < coupling.num_qubits(); ++a) {
+        for (int b = 0; b < coupling.num_qubits(); ++b) {
+          if (coupling.distance(a, b) != reference.distance(a, b)) {
+            mismatches.fetch_add(1);
+          }
+          if (coupling.shortest_path((a + t) % coupling.num_qubits(), b) !=
+              reference.shortest_path((a + t) % coupling.num_qubits(), b)) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace qmap

@@ -566,5 +566,62 @@ TEST(Resilience, ReportAndJsonNameRungsAndFaults) {
   EXPECT_EQ(json.at("admission").at("verdict").as_string(), "admit");
 }
 
+// ---------------------------------------------------------------------------
+// Rungs as pipeline data.
+// ---------------------------------------------------------------------------
+
+TEST(Resilience, Rung1PipelineOverrideIsHonoredAndLabelsTheRung) {
+  Policy policy = small_policy();
+  // Force rung 0 to fail permanently so the ladder lands on rung 1.
+  FaultSpec fault;
+  fault.point = "throw-in-placer";
+  fault.rung = 0;
+  policy.faults = {fault};
+  // Rung 1 as declarative JSON instead of fallback_placer/fallback_router:
+  // identity+naive without a schedule pass.
+  policy.rung1_pipeline = PipelineSpec::from_json_text(R"([
+    "decompose",
+    {"pass": "placer", "options": {"algorithm": "identity"}},
+    {"pass": "router", "options": {"algorithm": "naive"}},
+    "postroute"
+  ])");
+
+  const CompileOutcome outcome =
+      resilience::compile(workloads::ghz(4), devices::ibm_qx4(), policy);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.rung, 1);
+  EXPECT_EQ(outcome.winner_label, "identity+naive");
+  ASSERT_GE(outcome.rungs.size(), 2u);
+  EXPECT_EQ(outcome.rungs[1].label, "identity+naive");
+  // The override really ran: no schedule pass, so no scheduled cycles.
+  EXPECT_EQ(outcome.result.scheduled_cycles, 0);
+  EXPECT_TRUE(respects_coupling(outcome.result.final_circuit,
+                                devices::ibm_qx4()));
+}
+
+TEST(Resilience, DefaultRungsMatchTheirPipelineSpecForm) {
+  // Without overrides the ladder behaves exactly as before; the explicit
+  // PipelineSpec form of the same rung produces an identical result.
+  Policy policy = small_policy();
+  FaultSpec fault;
+  fault.point = "throw-in-placer";
+  fault.rung = 0;
+  policy.faults = {fault};
+
+  Policy spelled_out = policy;
+  spelled_out.rung1_pipeline = PipelineSpec::standard(
+      policy.fallback_placer, policy.fallback_router);
+
+  const Device device = devices::ibm_qx4();
+  const Circuit circuit = workloads::ghz(4);
+  const CompileOutcome implicit =
+      resilience::compile(circuit, device, policy);
+  const CompileOutcome explicit_spec =
+      resilience::compile(circuit, device, spelled_out);
+  ASSERT_TRUE(implicit.ok);
+  ASSERT_TRUE(explicit_spec.ok);
+  EXPECT_EQ(implicit.fingerprint(), explicit_spec.fingerprint());
+}
+
 }  // namespace
 }  // namespace qmap
