@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Bench snapshot: run the headline benchmark binaries and write one
+# BENCH_<name>.json per bench at the repo root in a stable schema, so
+# successive PRs can diff performance claims instead of re-deriving them
+# from logs.
+#
+# Schema (keys stable by contract; values change run to run):
+#   {
+#     "bench":      "<name>",
+#     "schema":     "qmap-bench-snapshot/v1",
+#     "benchmarks": [{"name": ..., "label": ..., "real_time_ms": ...,
+#                     "cpu_time_ms": ..., "iterations": ...}, ...],
+#     "derived":    {<bench-specific ratios>}
+#   }
+#
+# Usage: scripts/bench_snapshot.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+BENCHES="bench_router_comparison bench_pipeline bench_service"
+
+cmake --build "${BUILD}" -j "$(nproc)" --target ${BENCHES}
+
+for bench in ${BENCHES}; do
+  name="${bench#bench_}"
+  raw="${BUILD}/${bench}.raw.json"
+  out="BENCH_${name}.json"
+  # The binaries print their paper-figure prose to stdout, so take the
+  # JSON via --benchmark_out instead of mixing both streams.
+  "./${BUILD}/bench/${bench}" \
+    --benchmark_out="${raw}" --benchmark_out_format=json \
+    --benchmark_repetitions=1 >/dev/null
+  python3 - "${raw}" "${out}" "${name}" <<'PY'
+import json, sys
+
+raw_path, out_path, name = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+def to_ms(value, unit):
+    scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+    return value * scale
+
+benchmarks = []
+for bench in raw.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    benchmarks.append({
+        "name": bench["name"],
+        "label": bench.get("label", ""),
+        "real_time_ms": round(to_ms(bench["real_time"], bench["time_unit"]), 6),
+        "cpu_time_ms": round(to_ms(bench["cpu_time"], bench["time_unit"]), 6),
+        "iterations": bench["iterations"],
+    })
+
+by_name = {bench["name"]: bench for bench in benchmarks}
+derived = {}
+if name == "service":
+    cold = by_name.get("BM_ServiceColdCompile")
+    warm = by_name.get("BM_ServiceWarmHit")
+    if cold and warm and warm["real_time_ms"] > 0:
+        derived["warm_cold_ratio"] = round(
+            cold["real_time_ms"] / warm["real_time_ms"], 1)
+
+snapshot = {
+    "bench": name,
+    "schema": "qmap-bench-snapshot/v1",
+    "benchmarks": benchmarks,
+    "derived": derived,
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"bench_snapshot: wrote {out_path} ({len(benchmarks)} benchmarks)")
+PY
+done
+
+# The service snapshot carries the PR's headline claim: fail the snapshot
+# run outright if the warm/cold ratio regressed below the 100x gate.
+python3 - <<'PY'
+import json, sys
+with open("BENCH_service.json") as f:
+    snapshot = json.load(f)
+ratio = snapshot.get("derived", {}).get("warm_cold_ratio", 0)
+if ratio < 100:
+    sys.exit(f"bench_snapshot: warm/cold ratio {ratio} below the 100x gate")
+print(f"bench_snapshot: service warm/cold ratio {ratio}x (gate: >= 100x)")
+PY

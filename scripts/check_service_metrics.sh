@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Lint: every obs metric name recorded by the compile service
+# (src/service/, string literals starting with "service.") must appear in
+# DESIGN.md's service metrics table, so the instrumentation and the
+# documentation cannot drift apart.
+#
+# Usage: scripts/check_service_metrics.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DESIGN=DESIGN.md
+
+# Pull every "service.*" string literal out of the service sources. The
+# per-client histogram is recorded under a computed name, so its code
+# literal is the prefix "service.client." — the table documents it as
+# `service.client.<id>.latency_ms`, which contains that prefix.
+names=$(grep -rho '"service\.[a-z_.]*' src/service/*.cpp src/service/*.hpp \
+  | tr -d '"' | sort -u)
+
+if [ -z "${names}" ]; then
+  echo "check_service_metrics: no service.* metric literals found" >&2
+  exit 1
+fi
+
+missing=0
+for name in ${names}; do
+  if ! grep -Fq "${name}" "${DESIGN}"; then
+    echo "check_service_metrics: metric '${name}' is recorded in" \
+         "src/service/ but missing from ${DESIGN}" >&2
+    missing=1
+  fi
+done
+
+if [ "${missing}" -ne 0 ]; then
+  exit 1
+fi
+echo "check_service_metrics: src/service/ and ${DESIGN} agree" \
+     "($(echo "${names}" | wc -w) metric names)"

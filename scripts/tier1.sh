@@ -36,13 +36,25 @@ echo "== tier 1: pass-pipeline label =="
 # longer compiles what its declared pipeline says it does.
 (cd build && ctest --output-on-failure -L pass)
 
+echo "== tier 1: compile-service label =="
+# The service suite (tests/test_service.cpp) pins the cache semantics the
+# daemon's answers depend on: single-flight dedup, LRU/TTL behaviour,
+# canonical cache keys, and hit-replays-cold fingerprint identity across
+# 1/2/8 dispatcher threads.
+(cd build && ctest --output-on-failure -L service)
+
 echo "== tier 1: pass registry lint =="
 # Every registered pass name must be documented in DESIGN.md's pass table.
 scripts/check_pass_registry.sh
 
-echo "== tier 1: test_engine + test_verify + test_resilience + test_obs + test_pass under ThreadSanitizer =="
+echo "== tier 1: service metrics lint =="
+# Every service.* metric recorded in src/service/ must be documented in
+# DESIGN.md's §10 metrics table.
+scripts/check_service_metrics.sh
+
+echo "== tier 1: test_engine + test_verify + test_resilience + test_obs + test_pass + test_service under ThreadSanitizer =="
 cmake -B build-tsan -S . -DQMAP_SANITIZE=thread
-cmake --build build-tsan -j "${JOBS}" --target test_engine test_verify test_resilience test_obs test_pass
+cmake --build build-tsan -j "${JOBS}" --target test_engine test_verify test_resilience test_obs test_pass test_service
 # TSAN_OPTIONS makes the run fail loudly on the first race report.
 # test_verify's fuzzer tests fan compiles across the engine ThreadPool, so
 # they double as a race check of the whole compile pipeline;
@@ -56,5 +68,9 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
 # test_pass adds the shared-ArchArtifacts concurrent reads and the lazy
 # CouplingGraph distance-cache first-use race.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_pass
+# test_service hammers the sharded result cache (single-flight leaders,
+# blocking followers, LRU under byte pressure), the round-robin dispatch
+# queues, and disconnect-driven cancellation from concurrent clients.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_service
 
 echo "tier 1 OK"

@@ -1,0 +1,28 @@
+#include "common/digest.hpp"
+
+#include <cstdio>
+
+namespace qmap {
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t basis) {
+  std::uint64_t hash = basis;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::string content_digest(std::string_view data) {
+  // Second basis: splitmix64 of the standard one — unrelated enough that
+  // the two 64-bit streams do not cancel on the same input.
+  const std::uint64_t a = fnv1a64(data);
+  const std::uint64_t b = fnv1a64(data, 0x9E3779B97F4A7C15ULL);
+  char out[33];
+  std::snprintf(out, sizeof(out), "%016llx%016llx",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  return out;
+}
+
+}  // namespace qmap

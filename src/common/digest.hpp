@@ -1,0 +1,31 @@
+// Content digests for cache keys and fingerprint summaries.
+//
+// The compile service (src/service/) addresses its result cache by the
+// *content* of a request — circuit text, device name, canonical pipeline
+// JSON, seed — not by object identity, so identical submissions from
+// different clients collapse onto one entry. These helpers provide the
+// digest: two independently seeded 64-bit FNV-1a passes concatenated into
+// a 128-bit hex string. Not cryptographic — collision resistance here
+// guards against accidental aliasing in an in-memory cache, not against an
+// adversary; at 128 bits a billion distinct requests collide with
+// probability ~1e-20, which is the same trust level the rest of the repo
+// puts in fingerprint string comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qmap {
+
+/// 64-bit FNV-1a over `data`, starting from `basis` (default is the
+/// standard offset basis). Deterministic across platforms and runs.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data,
+                                    std::uint64_t basis = 0xCBF29CE484222325ULL);
+
+/// 32-hex-character content digest: fnv1a64 under two unrelated bases,
+/// concatenated. Stable by contract — cached artifacts and golden tests
+/// may pin these strings.
+[[nodiscard]] std::string content_digest(std::string_view data);
+
+}  // namespace qmap

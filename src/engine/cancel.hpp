@@ -66,13 +66,29 @@ class CancelToken {
     return deadline_ns_.load(std::memory_order_relaxed) != 0;
   }
 
-  /// True once cancel() was called or the deadline passed.
+  /// Links an upstream token: this token reads as cancelled once either it
+  /// or `parent` fires. The compile service uses this to tie every rung's
+  /// deadline token to the client's disconnect token without merging
+  /// deadlines. `parent` must outlive this token (the service keeps the
+  /// client token alive until the request's compile returns); call with
+  /// nullptr to unlink. Set-once-before-sharing: link before handing the
+  /// token to workers, like set_deadline.
+  void link_parent(const CancelToken* parent) noexcept {
+    parent_.store(parent, std::memory_order_relaxed);
+  }
+
+  /// True once cancel() was called, the deadline passed, or a linked
+  /// parent token fired.
   [[nodiscard]] bool cancelled() const noexcept {
     if (flag_.load(std::memory_order_relaxed)) return true;
     const std::int64_t deadline =
         deadline_ns_.load(std::memory_order_relaxed);
-    return deadline != 0 &&
-           Clock::now().time_since_epoch().count() >= deadline;
+    if (deadline != 0 &&
+        Clock::now().time_since_epoch().count() >= deadline) {
+      return true;
+    }
+    const CancelToken* parent = parent_.load(std::memory_order_relaxed);
+    return parent != nullptr && parent->cancelled();
   }
 
   /// Checkpoint: throws CancelledError once the token fired.
@@ -86,6 +102,8 @@ class CancelToken {
   std::atomic<bool> flag_{false};
   // Deadline as steady-clock nanoseconds since epoch; 0 = disarmed.
   std::atomic<std::int64_t> deadline_ns_{0};
+  // Optional upstream token (not owned); null = unlinked.
+  std::atomic<const CancelToken*> parent_{nullptr};
 };
 
 }  // namespace qmap

@@ -330,6 +330,7 @@ PortfolioResult PortfolioCompiler::try_compile(const Circuit& circuit,
         deadline = deadline ? std::min(*deadline, own) : own;
       }
       if (deadline) token.set_deadline(*deadline);
+      if (options_.cancel != nullptr) token.link_parent(options_.cancel);
 
       // The strategy as data: the standard pipeline with this spec's
       // placer/router, executed directly against the shared device and the

@@ -115,6 +115,12 @@ struct PortfolioOptions {
   /// the calling thread. Not owned; null disables recording. Overrides
   /// base.obs for every strategy.
   obs::Observer* obs = nullptr;
+  /// Upstream cancellation (not owned; null = none): every strategy's
+  /// per-run deadline token is parent-linked to it, so firing it — e.g. the
+  /// compile service noticing the last interested client disconnected —
+  /// cancels the whole race at the next router checkpoint. Must outlive
+  /// the compile call.
+  const CancelToken* cancel = nullptr;
   /// Immutable shared device artifacts. Null = the PortfolioCompiler
   /// builds one bundle at construction; either way every racing strategy
   /// reads the same matrix instead of copying the device per worker, so

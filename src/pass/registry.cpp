@@ -142,6 +142,24 @@ std::string canonical_pass_name(const std::string& name) {
                      "' (valid: " + pass_names_for_error() + ")");
 }
 
+Json default_pass_options(const std::string& name) {
+  const std::string canonical = canonical_pass_name(name);
+  Json out;
+  if (canonical == "decompose") {
+    out["lower_to_native"] = Json(true);
+  } else if (canonical == "placer") {
+    out["algorithm"] = Json(std::string("greedy"));
+  } else if (canonical == "router") {
+    out["algorithm"] = Json(std::string("sabre"));
+  } else if (canonical == "postroute") {
+    out["peephole"] = Json(true);
+    out["lower_to_native"] = Json(true);
+  } else {  // schedule — canonical_pass_name() rejected everything else
+    out["use_control_constraints"] = Json(true);
+  }
+  return out;
+}
+
 std::unique_ptr<Pass> make_pass(const std::string& name, const Json& options) {
   const std::string canonical = canonical_pass_name(name);
   if (canonical == "decompose") {

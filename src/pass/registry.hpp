@@ -49,4 +49,13 @@ namespace qmap {
 [[nodiscard]] std::unique_ptr<Pass> make_pass(const std::string& name,
                                               const Json& options = Json());
 
+/// The complete option object a pass runs with when none is given — every
+/// key present, every value the default make_pass() would substitute.
+/// This is the normal form PipelineSpec::canonical() materializes so that
+/// option elision cannot split a content-addressed cache: {"pass":
+/// "router"} and {"pass": "router", "options": {"algorithm": "sabre"}}
+/// canonicalize identically. Must stay in lock-step with make_pass()'s
+/// fallbacks (pinned by tests/test_pass.cpp).
+[[nodiscard]] Json default_pass_options(const std::string& name);
+
 }  // namespace qmap

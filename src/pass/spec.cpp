@@ -93,6 +93,25 @@ PipelineSpec PipelineSpec::from_json_text(std::string_view text) {
   return from_json(Json::parse(text));
 }
 
+PipelineSpec PipelineSpec::canonical() const {
+  PipelineSpec out;
+  for (const PassSpec& spec : passes_) {
+    // Start from the full default object and overlay the explicit options;
+    // JsonObject is a std::map, so the merged object is sorted by
+    // construction.
+    Json options = default_pass_options(spec.pass);
+    if (!spec.options.is_null()) {
+      for (const auto& [key, value] : spec.options.as_object()) {
+        options[key] = value;
+      }
+    }
+    out.append(spec.pass, std::move(options));
+  }
+  return out;
+}
+
+Json PipelineSpec::canonical_json() const { return canonical().to_json(); }
+
 Json PipelineSpec::to_json() const {
   JsonArray array;
   array.reserve(passes_.size());

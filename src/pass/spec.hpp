@@ -66,7 +66,23 @@ class PipelineSpec {
   /// MappingError with the offending name/key and the valid choices.
   [[nodiscard]] static PipelineSpec from_json(const Json& json);
   [[nodiscard]] static PipelineSpec from_json_text(std::string_view text);
+  /// Emits object keys in sorted order (JsonObject is an ordered map), so
+  /// the key order of the *source* JSON can never leak into the output —
+  /// two parses of the same spec with shuffled keys dump byte-identically.
+  /// Contract pinned by tests/test_pass.cpp; the service cache key relies
+  /// on it.
   [[nodiscard]] Json to_json() const;
+
+  /// The normal form: every pass carries its complete option object, with
+  /// elided options materialized to the defaults make_pass() would use
+  /// (registry default_pass_options()). Two semantically equal specs —
+  /// one spelling out {"algorithm": "sabre"}, one omitting it — have equal
+  /// canonical forms, so a content-addressed cache keyed on
+  /// canonical_json().dump() cannot be split by option elision or source
+  /// key order.
+  [[nodiscard]] PipelineSpec canonical() const;
+  /// to_json() of canonical(): the serialization a cache key must use.
+  [[nodiscard]] Json canonical_json() const;
 
   [[nodiscard]] const std::vector<PassSpec>& passes() const noexcept {
     return passes_;

@@ -172,7 +172,12 @@ std::string CompileOutcome::fingerprint() const {
 }
 
 ResilientCompiler::ResilientCompiler(Device device, Policy policy)
-    : device_(std::move(device)), policy_(std::move(policy)) {
+    : device_(std::move(device)),
+      policy_(std::move(policy)),
+      num_strategies_(policy_.portfolio.empty()
+                          ? PortfolioCompiler::default_portfolio(device_).size()
+                          : policy_.portfolio.size()),
+      guard_(device_, policy_.budget) {
   // Fail on nonsense now, not three rungs deep into a compile.
   (void)make_placer(policy_.fallback_placer);
   (void)make_router(policy_.fallback_router);
@@ -193,7 +198,14 @@ ResilientCompiler::ResilientCompiler(Device device, Policy policy)
   if (policy_.max_retries_per_rung < 0) {
     throw MappingError("resilience policy: max_retries_per_rung < 0");
   }
+  if (policy_.first_rung < 0 || policy_.first_rung > 2) {
+    throw MappingError("resilience policy: first_rung must be 0, 1, or 2");
+  }
   artifacts_ = ArchArtifacts::shared(device_);
+}
+
+AdmissionReport ResilientCompiler::assess(const Circuit& circuit) const {
+  return guard_.assess(circuit, num_strategies_, policy_.deadline_ms);
 }
 
 CompileOutcome ResilientCompiler::compile(const Circuit& circuit) const {
@@ -243,13 +255,18 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
   if (root_span.active()) root_span.arg("circuit", circuit.name());
   obs::add(obs, "resilience.compiles");
 
-  const std::size_t num_strategies =
-      policy_.portfolio.empty()
-          ? PortfolioCompiler::default_portfolio(device_).size()
-          : policy_.portfolio.size();
-  const AdmissionGuard guard(device_, policy_.budget);
-  outcome.admission =
-      guard.assess(circuit, num_strategies, policy_.deadline_ms);
+  const CancelToken* const client_cancel = policy_.cancel;
+  const auto client_cancelled = [client_cancel] {
+    return client_cancel != nullptr && client_cancel->cancelled();
+  };
+  if (client_cancelled()) {
+    outcome.error = "cancelled by caller before admission";
+    outcome.wall_ms = ms_since(start);
+    obs::add(obs, "resilience.cancelled");
+    return outcome;
+  }
+
+  outcome.admission = assess(circuit);
   if (!outcome.admission.admitted()) {
     outcome.error =
         "rejected at admission: " + join(outcome.admission.reasons, "; ");
@@ -257,8 +274,9 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
     obs::add(obs, "resilience.admission_rejections");
     return outcome;
   }
-  const int first_rung =
-      outcome.admission.verdict == AdmissionVerdict::DownTier ? 1 : 0;
+  const int first_rung = std::max(
+      policy_.first_rung,
+      outcome.admission.verdict == AdmissionVerdict::DownTier ? 1 : 0);
 
   const FaultInjector injector(policy_.faults,
                                Rng::derive_stream(seed, kFaultStream));
@@ -282,7 +300,15 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
             : (policy_.rung2_pipeline ? policy_.rung2_pipeline->label()
                                       : "identity+naive");
     const bool shielded = rung == 2 && policy_.shield_last_rung;
-    if (outcome.ok || rung < first_rung ||
+    // Explicit caller cancellation stops the ladder even ahead of the
+    // shielded rung: it is a request, not a failure, so the never-fails
+    // guarantee is not owed to a caller who hung up.
+    const bool cancelled_now = !outcome.ok && client_cancelled();
+    if (cancelled_now && outcome.error.empty()) {
+      outcome.error = "cancelled by caller";
+      obs::add(obs, "resilience.cancelled");
+    }
+    if (outcome.ok || cancelled_now || rung < first_rung ||
         (rung < 2 && has_deadline && remaining_ms() <= 0.0)) {
       rr.skipped = true;
       outcome.rungs.push_back(std::move(rr));
@@ -294,6 +320,13 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
 
     for (int attempt = 0; attempt <= policy_.max_retries_per_rung;
          ++attempt) {
+      if (client_cancelled()) {
+        if (outcome.error.empty()) {
+          outcome.error = "cancelled by caller";
+          obs::add(obs, "resilience.cancelled");
+        }
+        break;
+      }
       AttemptReport ar;
       ar.attempt = attempt;
       obs::Span attempt_span(obs, "attempt", "resilience");
@@ -355,6 +388,7 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
               seed, kRungStream + static_cast<std::uint64_t>(attempt));
           popt.base = policy_.base;
           popt.obs = obs;
+          popt.cancel = client_cancel;
           popt.artifacts = artifacts_;
           if (has_deadline) {
             popt.portfolio_deadline_ms =
@@ -417,6 +451,13 @@ CompileOutcome ResilientCompiler::compile_(const Circuit& circuit,
           if (rung == 1 && has_deadline) {
             token.set_deadline_after_ms(std::max(0.0, remaining_ms()) *
                                         policy_.rung1_deadline_fraction);
+            copt.cancel = &token;
+          }
+          // Rung 2 stays uncancellable mid-run: the shield's never-fails
+          // guarantee holds once the last rung has started; disconnects
+          // are honoured at the attempt/rung checkpoints above instead.
+          if (rung == 1 && client_cancel != nullptr) {
+            token.link_parent(client_cancel);
             copt.cancel = &token;
           }
           if (!injector.empty() && !shielded) {

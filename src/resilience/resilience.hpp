@@ -47,6 +47,7 @@
 
 #include "arch/device.hpp"
 #include "common/json.hpp"
+#include "engine/cancel.hpp"
 #include "engine/portfolio.hpp"
 #include "engine/thread_pool.hpp"
 #include "resilience/admission.hpp"
@@ -80,6 +81,19 @@ struct Policy {
   /// never-fails guarantee survives even a probability-1.0 injection
   /// campaign. Disable only to test the ladder's own failure path.
   bool shield_last_rung = true;
+  /// First ladder rung to attempt (0 = portfolio race). Admission can only
+  /// push this *down* (DownTier starts at max(first_rung, 1)). The compile
+  /// service sets 1 for requests that pin an explicit pipeline: the pinned
+  /// spec runs as rung 1 with the never-fails rung below it, and no
+  /// portfolio race is spent on a request that asked for one strategy.
+  int first_rung = 0;
+  /// Upstream cancellation (not owned; null = none): checked between rungs
+  /// and attempts, parent-linked into the rung-0 race and the rung-1
+  /// deadline token. Explicit cancellation is a caller request, not a
+  /// failure mode, so it stops the ladder even ahead of the shielded last
+  /// rung. Must outlive the compile call. The compile service fires it
+  /// when the last client interested in a request disconnects.
+  const CancelToken* cancel = nullptr;
   /// Rung 0 strategy set; empty = PortfolioCompiler::default_portfolio.
   /// Each StrategySpec expands to a PipelineSpec (StrategySpec::pipeline),
   /// so all three rungs are pipeline data in the end.
@@ -178,6 +192,15 @@ class ResilientCompiler {
   [[nodiscard]] const Device& device() const noexcept { return device_; }
   [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
 
+  /// The one admission path every entry point shares — compile(),
+  /// compile_batch(), and the compile service's pre-queue check all call
+  /// this, so reject/down-tier behaviour cannot drift between front doors.
+  /// Wraps the guard with the policy-derived race width and deadline.
+  [[nodiscard]] AdmissionReport assess(const Circuit& circuit) const;
+  [[nodiscard]] const AdmissionGuard& admission_guard() const noexcept {
+    return guard_;
+  }
+
   /// Never throws for any admitted circuit: every failure is contained in
   /// the outcome. Runs the portfolio rung on an internally owned pool.
   [[nodiscard]] CompileOutcome compile(const Circuit& circuit) const;
@@ -199,6 +222,11 @@ class ResilientCompiler {
 
   Device device_;
   Policy policy_;
+  /// Width of the rung-0 race, resolved once (empty policy portfolio =
+  /// default_portfolio size); feeds the guard's memory estimate.
+  std::size_t num_strategies_ = 1;
+  /// One guard per supervisor, shared by every entry point (see assess()).
+  AdmissionGuard guard_;
   /// One immutable artifacts bundle shared by every rung, attempt, and
   /// portfolio strategy of every compile this supervisor runs.
   std::shared_ptr<const ArchArtifacts> artifacts_;

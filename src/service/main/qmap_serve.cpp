@@ -1,0 +1,180 @@
+// qmap_serve: the compile-as-a-service daemon.
+//
+// Speaks JSON-lines (one request object per line, one response object per
+// line; correlate by "id") over stdin/stdout by default, or over a Unix
+// domain socket with --socket PATH — each accepted connection gets its own
+// serve() loop, so several local clients can multiplex one daemon, one
+// result cache, and one compile pool.
+//
+//   echo '{"op":"ping"}' | qmap_serve
+//   qmap_serve --socket /tmp/qmap.sock &
+//   printf '%s\n' '{"op":"compile","device":"ibm_qx4","qasm":"..."}' |
+//     nc -U /tmp/qmap.sock
+//
+// See README "Running the compile service" and DESIGN.md §10.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define QMAP_SERVE_HAVE_UNIX_SOCKETS 1
+#endif
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --socket PATH        listen on a Unix domain socket instead of\n"
+      << "                       stdin/stdout (one serve loop per client)\n"
+      << "  --workers N          dispatcher threads (default 2)\n"
+      << "  --compile-threads N  engine pool threads (default: hardware)\n"
+      << "  --cache-mb N         result-cache byte budget in MiB (default 64)\n"
+      << "  --cache-shards N     result-cache lock shards (default 8)\n"
+      << "  --negative-ttl-ms X  failed-outcome cache TTL (default 2000)\n"
+      << "  --deadline-ms X      default per-request deadline (default none)\n"
+      << "  --metrics            dump the obs metrics JSON to stderr on exit\n"
+      << "  --help               this text\n";
+}
+
+#ifdef QMAP_SERVE_HAVE_UNIX_SOCKETS
+// One accept loop; each connection is served on its own thread against the
+// shared service (shared cache, shared compile pool, shared fairness
+// queues — the whole point of the daemon).
+int serve_unix_socket(qmap::service::CompileService& service,
+                      const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("qmap_serve: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "qmap_serve: socket path too long: " << path << "\n";
+    ::close(listener);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    std::perror("qmap_serve: bind");
+    ::close(listener);
+    return 1;
+  }
+  if (::listen(listener, 16) != 0) {
+    std::perror("qmap_serve: listen");
+    ::close(listener);
+    return 1;
+  }
+  std::cerr << "qmap_serve: listening on " << path << "\n";
+
+  std::vector<std::thread> sessions;
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    sessions.emplace_back([&service, fd] {
+      // Drain the connection into memory, serve it, write the responses
+      // back. JSON-lines has no framing beyond '\n', so EOF is the only
+      // request-stream terminator a socket client can send (shutdown(WR)).
+      std::string input;
+      char buffer[4096];
+      for (;;) {
+        const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+        if (n <= 0) break;
+        input.append(buffer, static_cast<std::size_t>(n));
+      }
+      std::istringstream in(input);
+      std::ostringstream out;
+      service.serve(in, out);
+      const std::string reply = out.str();
+      std::size_t written = 0;
+      while (written < reply.size()) {
+        const ssize_t n =
+            ::write(fd, reply.data() + written, reply.size() - written);
+        if (n <= 0) break;
+        written += static_cast<std::size_t>(n);
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& session : sessions) session.join();
+  ::close(listener);
+  return 0;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qmap::service::ServiceConfig config;
+  std::string socket_path;
+  bool dump_metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "qmap_serve: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--workers") {
+      config.num_workers = std::atoi(next().c_str());
+    } else if (arg == "--compile-threads") {
+      config.num_compile_threads = std::atoi(next().c_str());
+    } else if (arg == "--cache-mb") {
+      config.cache.max_bytes =
+          static_cast<std::size_t>(std::atoll(next().c_str())) << 20;
+    } else if (arg == "--cache-shards") {
+      config.cache.shards = std::atoi(next().c_str());
+    } else if (arg == "--negative-ttl-ms") {
+      config.cache.negative_ttl_ms = std::atof(next().c_str());
+    } else if (arg == "--deadline-ms") {
+      config.default_deadline_ms = std::atof(next().c_str());
+    } else if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "qmap_serve: unknown option " << arg << "\n";
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  qmap::obs::Observer observer;
+  config.obs = &observer;
+  qmap::service::CompileService service(std::move(config));
+
+  int rc = 0;
+  if (!socket_path.empty()) {
+#ifdef QMAP_SERVE_HAVE_UNIX_SOCKETS
+    rc = serve_unix_socket(service, socket_path);
+#else
+    std::cerr << "qmap_serve: --socket unsupported on this platform\n";
+    rc = 2;
+#endif
+  } else {
+    service.serve(std::cin, std::cout);
+  }
+
+  if (dump_metrics) {
+    std::cerr << observer.metrics().to_json().dump(2) << "\n";
+  }
+  return rc;
+}
