@@ -40,20 +40,22 @@ void print_figure() {
   for (const Device& device :
        {devices::surface17(), devices::ibm_qx5(), devices::grid(4, 4)}) {
     section("Router comparison on " + device.name());
-    TextTable table({"workload", "router", "swaps", "gates", "depth",
-                     "latency cycles", "runtime ms"});
+    TextTable table({"workload", "router", "swaps", "bridges", "gates",
+                     "depth", "latency cycles", "runtime ms"});
     for (const auto& [label, circuit] : suite()) {
       if (circuit.num_qubits() > device.num_qubits()) continue;
       const Circuit lowered =
           lower_to_device(circuit, device, /*keep_swaps=*/true);
       const Placement initial = GreedyPlacer().place(lowered, device);
-      for (const char* router : {"naive", "sabre", "astar", "qmap"}) {
+      for (const char* router : {"naive", "sabre", "bridge", "astar",
+                                 "qmap"}) {
         const MappedOutcome outcome =
             map_and_verify(circuit, device, router, initial);
         const Schedule schedule =
             schedule_for_device(outcome.final_circuit, device);
         table.add_row({label, router,
                        TextTable::num(outcome.routing.added_swaps),
+                       TextTable::num(outcome.routing.added_bridges),
                        TextTable::num(outcome.metrics.total_gates),
                        TextTable::num(outcome.metrics.depth),
                        TextTable::num(schedule.total_cycles()),
@@ -64,22 +66,48 @@ void print_figure() {
   }
 }
 
+// Router x workload grid. Besides wall time, each entry exports quality
+// counters so the snapshot script can diff routers: added_cx counts the
+// CXs the router inserted (3 per SWAP, 3 net per BRIDGE — the template is
+// 4 CXs replacing the 1 the bare gate would have been) and depth is the
+// mapped circuit's depth. bench_snapshot.sh derives bridge-vs-sabre deltas
+// from these.
 void BM_Router(benchmark::State& state) {
-  static const char* routers[] = {"naive", "sabre", "astar", "qmap"};
+  static const char* routers[] = {"naive", "sabre", "bridge", "astar",
+                                  "qmap"};
   const char* router = routers[state.range(0)];
-  const Device device = devices::surface17();
-  Rng rng(99);
-  const Circuit circuit =
-      lower_to_device(workloads::random_circuit(10, 80, rng, 0.45), device,
-                      true);
+  const int workload = static_cast<int>(state.range(1));
+  Device device = devices::surface17();
+  Circuit program;
+  const char* workload_label = "random10";
+  if (workload == 0) {
+    Rng rng(99);
+    program = workloads::random_circuit(10, 80, rng, 0.45);
+  } else {
+    // The paper's Fig. 1 example on QX5: the front-layer CX at distance 2
+    // is exactly the shape BRIDGE exists for — sabre pays two SWAPs where
+    // bridge pays one 4-CX template and keeps the placement.
+    device = devices::ibm_qx5();
+    program = workloads::fig1_example();
+    workload_label = "fig1@qx5";
+  }
+  const Circuit circuit = lower_to_device(program, device, true);
   const Placement initial = GreedyPlacer().place(circuit, device);
+  const MappedOutcome quality =
+      map_and_verify(program, device, router, initial);
+  state.counters["added_cx"] = static_cast<double>(
+      3 * (quality.routing.added_swaps + quality.routing.added_bridges));
+  state.counters["bridges"] =
+      static_cast<double>(quality.routing.added_bridges);
+  state.counters["depth"] = static_cast<double>(quality.metrics.depth);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         make_router(router)->route(circuit, device, initial));
   }
-  state.SetLabel(router);
+  state.SetLabel(std::string(router) + "/" + workload_label);
 }
-BENCHMARK(BM_Router)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_Router)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}});
 
 void BM_GreedyPlacement(benchmark::State& state) {
   const Device device = devices::surface17();

@@ -42,20 +42,53 @@ def to_ms(value, unit):
     scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
     return value * scale
 
+STANDARD_KEYS = {
+    "name", "label", "real_time", "cpu_time", "time_unit", "iterations",
+    "run_name", "run_type", "repetitions", "repetition_index", "threads",
+    "family_index", "per_family_instance_index", "aggregate_name",
+}
+
 benchmarks = []
 for bench in raw.get("benchmarks", []):
     if bench.get("run_type") == "aggregate":
         continue
-    benchmarks.append({
+    entry = {
         "name": bench["name"],
         "label": bench.get("label", ""),
         "real_time_ms": round(to_ms(bench["real_time"], bench["time_unit"]), 6),
         "cpu_time_ms": round(to_ms(bench["cpu_time"], bench["time_unit"]), 6),
         "iterations": bench["iterations"],
-    })
+    }
+    # User counters (quality metrics like added_cx/depth) appear as extra
+    # numeric keys in the raw JSON; carry them into the snapshot.
+    counters = {k: v for k, v in bench.items()
+                if k not in STANDARD_KEYS and isinstance(v, (int, float))}
+    if counters:
+        entry["counters"] = counters
+    benchmarks.append(entry)
 
 by_name = {bench["name"]: bench for bench in benchmarks}
 derived = {}
+if name == "router_comparison":
+    # BM_Router/<router>/<workload>: diff each router's quality counters
+    # against sabre per workload. Negative added_cx delta = fewer inserted
+    # CXs than sabre (the BRIDGE router's reason to exist).
+    routers = ["naive", "sabre", "bridge", "astar", "qmap"]
+    workloads = {"0": "random10", "1": "fig1_qx5"}
+    for arg, workload in workloads.items():
+        sabre = by_name.get(f"BM_Router/1/{arg}", {}).get("counters")
+        if not sabre:
+            continue
+        for idx, router in enumerate(routers):
+            if router == "sabre":
+                continue
+            counters = by_name.get(f"BM_Router/{idx}/{arg}", {}).get("counters")
+            if not counters:
+                continue
+            derived[f"{router}_vs_sabre_added_cx_delta_{workload}"] = \
+                counters.get("added_cx", 0) - sabre.get("added_cx", 0)
+            derived[f"{router}_vs_sabre_depth_delta_{workload}"] = \
+                counters.get("depth", 0) - sabre.get("depth", 0)
 if name == "service":
     cold = by_name.get("BM_ServiceColdCompile")
     warm = by_name.get("BM_ServiceWarmHit")
@@ -86,4 +119,21 @@ ratio = snapshot.get("derived", {}).get("warm_cold_ratio", 0)
 if ratio < 100:
     sys.exit(f"bench_snapshot: warm/cold ratio {ratio} below the 100x gate")
 print(f"bench_snapshot: service warm/cold ratio {ratio}x (gate: >= 100x)")
+PY
+
+# The BRIDGE router's headline claim: it must insert fewer CXs than sabre
+# on at least one device/workload pair in the snapshot.
+python3 - <<'PY'
+import json, sys
+with open("BENCH_router_comparison.json") as f:
+    snapshot = json.load(f)
+derived = snapshot.get("derived", {})
+deltas = {k: v for k, v in derived.items()
+          if k.startswith("bridge_vs_sabre_added_cx_delta_")}
+if not deltas:
+    sys.exit("bench_snapshot: no bridge-vs-sabre added-CX deltas recorded")
+if min(deltas.values()) >= 0:
+    sys.exit(f"bench_snapshot: bridge never beat sabre on added CX: {deltas}")
+for key, value in sorted(deltas.items()):
+    print(f"bench_snapshot: {key} = {value:+g}")
 PY

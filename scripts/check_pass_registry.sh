@@ -13,7 +13,7 @@ DESIGN=DESIGN.md
 # Pull the quoted names out of the known_passes() initializer: everything
 # between `known_passes() {` and the closing `}` of its static vector.
 names=$(awk '/known_passes\(\)/,/^}/' "${REGISTRY}" \
-  | grep -o '"[a-z-]*"' | tr -d '"')
+  | grep -o '"[a-z_-]*"' | tr -d '"')
 
 if [ -z "${names}" ]; then
   echo "check_pass_registry: failed to extract pass names from ${REGISTRY}" >&2

@@ -43,6 +43,12 @@ echo "== tier 1: compile-service label =="
 # 1/2/8 dispatcher threads.
 (cd build && ctest --output-on-failure -L service)
 
+echo "== tier 1: bridge router + token-swap finisher leg =="
+# The BRIDGE router and the token-swapping permutation finisher as their
+# own leg: the 4-CX template property tests, the token-swap phase tests,
+# and the finisher's end-to-end placement-restoration contract.
+(cd build && ctest --output-on-failure -R 'Bridge|TokenSwap')
+
 echo "== tier 1: pass registry lint =="
 # Every registered pass name must be documented in DESIGN.md's pass table.
 scripts/check_pass_registry.sh
@@ -68,6 +74,11 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
 # test_pass adds the shared-ArchArtifacts concurrent reads and the lazy
 # CouplingGraph distance-cache first-use race.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_pass
+# The bridge/token-swap property tests re-run under TSan: BridgeRouter
+# reads the shared ArchArtifacts distance tables from portfolio threads.
+cmake --build build-tsan -j "${JOBS}" --target test_route
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_route \
+    --gtest_filter='BridgeRouter.*:TokenSwap.*:RoutingEmitter.Bridge*:RouterProperty*'
 # test_service hammers the sharded result cache (single-flight leaders,
 # blocking followers, LRU under byte pressure), the round-robin dispatch
 # queues, and disconnect-driven cancellation from concurrent clients.

@@ -215,6 +215,7 @@ std::vector<StrategySpec> PortfolioCompiler::default_portfolio(
   // default-constructed portfolio.
   std::vector<StrategySpec> preferred = {
       {"greedy", "sabre", 0, 0.0},
+      {"greedy", "bridge", 0, 0.0},
       {"annealing", "qmap", 0, 0.0},
       {"greedy", "sabre+commute", 0, 0.0},
       // Exhaustive placement walks m!/(m-n)! assignments; width 5 keeps it

@@ -1,10 +1,14 @@
 #include "pass/passes.hpp"
 
+#include <numeric>
+
 #include "decompose/decomposer.hpp"
 #include "decompose/peephole.hpp"
+#include "obs/obs.hpp"
 #include "pass/context.hpp"
 #include "pass/registry.hpp"
 #include "route/measure_relocation.hpp"
+#include "route/token_swap.hpp"
 #include "schedule/schedulers.hpp"
 
 namespace qmap {
@@ -55,6 +59,64 @@ void RoutePass::run(CompileContext& ctx) {
   ctx.result.routing =
       router->route(ctx.result.lowered, ctx.device(), ctx.placement);
   ctx.routed = true;
+}
+
+void TokenSwapFinisherPass::run(CompileContext& ctx) {
+  if (!ctx.routed) {
+    throw MappingError(
+        "pass 'token_swap_finisher' needs a routing result: add a 'router' "
+        "pass earlier in the pipeline");
+  }
+  if (ctx.postrouted) {
+    throw MappingError(
+        "pass 'token_swap_finisher' must run before 'postroute': its cleanup "
+        "SWAPs are placeholders the postroute pass expands");
+  }
+  RoutingResult& routing = ctx.result.routing;
+  const TokenSwapPlan plan = plan_token_swaps(routing.final, routing.initial,
+                                              ctx.device(), &ctx.artifacts());
+  obs::add(ctx.obs(), "router.bridge.token_swap_rounds", plan.rounds.size());
+  obs::add(ctx.obs(), "router.bridge.token_swap_swaps", plan.total_swaps());
+  if (plan.rounds.empty()) return;
+
+  // The cleanup SWAPs are unitaries, and relocate_measurements (postroute)
+  // rejects unitaries after a deferred measurement — so splice the rounds
+  // in *before* the trailing measurement/barrier suffix and route those
+  // terminal operands through the cleanup permutation.
+  const Circuit& routed = routing.circuit;
+  std::size_t split = routed.size();
+  while (split > 0) {
+    const GateKind kind = routed.gate(split - 1).kind;
+    if (kind != GateKind::Measure && kind != GateKind::Barrier) break;
+    --split;
+  }
+  Circuit out(routed.num_qubits(), routed.name());
+  for (std::size_t i = 0; i < split; ++i) out.add(routed.gate(i));
+  // position_of[p]: where the wire sitting on p at the split point ends up
+  // once the cleanup rounds have run.
+  std::vector<int> position_of(static_cast<std::size_t>(routed.num_qubits()));
+  std::vector<int> content_at(position_of.size());
+  std::iota(position_of.begin(), position_of.end(), 0);
+  std::iota(content_at.begin(), content_at.end(), 0);
+  for (const SwapRound& round : plan.rounds) {
+    for (const auto& [a, b] : round) {
+      out.swap(a, b);
+      routing.final.apply_swap(a, b);
+      const int x = content_at[static_cast<std::size_t>(a)];
+      const int y = content_at[static_cast<std::size_t>(b)];
+      std::swap(content_at[static_cast<std::size_t>(a)],
+                content_at[static_cast<std::size_t>(b)]);
+      position_of[static_cast<std::size_t>(x)] = b;
+      position_of[static_cast<std::size_t>(y)] = a;
+    }
+  }
+  for (std::size_t i = split; i < routed.size(); ++i) {
+    Gate gate = routed.gate(i);
+    for (int& q : gate.qubits) q = position_of[static_cast<std::size_t>(q)];
+    out.add(std::move(gate));
+  }
+  routing.added_swaps += plan.total_swaps();
+  routing.circuit = std::move(out);
 }
 
 void PostRoutePass::run(CompileContext& ctx) {

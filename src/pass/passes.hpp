@@ -64,6 +64,21 @@ class RoutePass final : public Pass {
   std::string algorithm_;
 };
 
+/// Final-permutation cleanup by greedy token swapping (Cowtan et al., "On
+/// the qubit routing problem"): appends rounds of disjoint SWAPs to the
+/// routed circuit until every program wire is back on the physical qubit
+/// the initial placement gave it, so the mapped circuit computes the bare
+/// unitary with no trailing relabeling. Runs between 'router' and
+/// 'postroute' — the cleanup SWAPs are placeholders the postroute pass
+/// expands to native gates like any routing SWAP.
+class TokenSwapFinisherPass final : public Pass {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "token_swap_finisher";
+  }
+  void run(CompileContext& ctx) override;
+};
+
 /// Post-routing clean-up: measurement relocation (Sec. VI-A), optional
 /// peephole, SWAP expansion, CX direction repair, final native lowering,
 /// and the final metrics. Requires a routing result.

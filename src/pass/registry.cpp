@@ -9,6 +9,7 @@
 #include "pass/passes.hpp"
 #include "route/astar_layer.hpp"
 #include "route/bidirectional_placer.hpp"
+#include "route/bridge.hpp"
 #include "route/exact.hpp"
 #include "route/naive.hpp"
 #include "route/qmap_router.hpp"
@@ -26,7 +27,7 @@ const std::vector<std::string>& known_placers() {
 
 const std::vector<std::string>& known_routers() {
   static const std::vector<std::string> names = {
-      "naive", "sabre", "sabre+commute", "astar",
+      "naive", "sabre", "sabre+commute", "bridge",      "astar",
       "exact", "qmap",  "reliability",   "shuttle"};
   return names;
 }
@@ -51,6 +52,7 @@ std::unique_ptr<Router> make_router(const std::string& name) {
     options.use_commutation = true;
     return std::make_unique<SabreRouter>(options);
   }
+  if (name == "bridge") return std::make_unique<BridgeRouter>();
   if (name == "astar") return std::make_unique<AStarLayerRouter>();
   if (name == "exact") return std::make_unique<ExactRouter>();
   if (name == "qmap") return std::make_unique<QmapRouter>();
@@ -62,7 +64,8 @@ std::unique_ptr<Router> make_router(const std::string& name) {
 
 const std::vector<std::string>& known_passes() {
   static const std::vector<std::string> names = {
-      "decompose", "placer", "router", "postroute", "schedule"};
+      "decompose", "placer",    "router",
+      "token_swap_finisher",    "postroute", "schedule"};
   return names;
 }
 
@@ -74,7 +77,8 @@ const std::vector<std::pair<std::string, std::string>>& pass_aliases() {
   static const std::vector<std::pair<std::string, std::string>> aliases = {
       {"lower", "decompose"},  {"place", "placer"},
       {"route", "router"},     {"post-route", "postroute"},
-      {"scheduler", "schedule"}};
+      {"scheduler", "schedule"},
+      {"token-swap", "token_swap_finisher"}};
   return aliases;
 }
 
@@ -154,9 +158,10 @@ Json default_pass_options(const std::string& name) {
   } else if (canonical == "postroute") {
     out["peephole"] = Json(true);
     out["lower_to_native"] = Json(true);
-  } else {  // schedule — canonical_pass_name() rejected everything else
+  } else if (canonical == "schedule") {
     out["use_control_constraints"] = Json(true);
   }
+  // token_swap_finisher takes no options; its default stays null.
   return out;
 }
 
@@ -182,6 +187,10 @@ std::unique_ptr<Pass> make_pass(const std::string& name, const Json& options) {
     return std::make_unique<PostRoutePass>(
         bool_option(options, "peephole", true),
         bool_option(options, "lower_to_native", true));
+  }
+  if (canonical == "token_swap_finisher") {
+    check_option_keys(options, canonical, {});
+    return std::make_unique<TokenSwapFinisherPass>();
   }
   // canonical_pass_name() already rejected everything else.
   check_option_keys(options, canonical, {"use_control_constraints"});

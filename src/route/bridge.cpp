@@ -1,0 +1,225 @@
+#include "route/bridge.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/error.hpp"
+#include "ir/dag.hpp"
+
+namespace qmap {
+
+RoutingResult BridgeRouter::route(const Circuit& circuit, const Device& device,
+                                  const Placement& initial) {
+  const auto start_time = std::chrono::steady_clock::now();
+  check_routable(circuit, device);
+  const CouplingGraph& coupling = device.coupling();
+  DependencyDag dag(circuit, DagMode::Sequential);
+  RoutingEmitter emitter(device, initial,
+                         circuit.name() + "@" + device.name());
+
+  std::vector<double> decay(static_cast<std::size_t>(device.num_qubits()),
+                            1.0);
+  int swaps_since_reset = 0;
+  int swaps_since_progress = 0;
+  const int stall_limit = 10 * std::max(1, device.num_qubits());
+
+  const auto executable = [&](int node) {
+    const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
+    if (!gate.is_two_qubit()) return true;
+    return coupling.connected(
+        emitter.placement().phys_of_program(gate.qubits[0]),
+        emitter.placement().phys_of_program(gate.qubits[1]));
+  };
+
+  const auto flush_executable = [&] {
+    bool progressed = true;
+    bool any = false;
+    while (progressed) {
+      progressed = false;
+      // Copy: mark_scheduled mutates the ready list.
+      const std::vector<int> ready = dag.ready();
+      for (const int node : ready) {
+        if (!executable(node)) continue;
+        emitter.emit_program_gate(circuit.gate(static_cast<std::size_t>(node)));
+        dag.mark_scheduled(node);
+        progressed = true;
+        any = true;
+      }
+    }
+    return any;
+  };
+
+  // Distance of a (program-qubit) two-qubit gate under a placement.
+  const auto gate_distance = [&](int node, const Placement& placement) {
+    const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
+    return phys_distance(device, placement.phys_of_program(gate.qubits[0]),
+                         placement.phys_of_program(gate.qubits[1]));
+  };
+
+  std::uint64_t iterations = 0;
+  std::uint64_t rescues = 0;
+  std::uint64_t swaps_avoided = 0;
+
+  while (!dag.all_scheduled()) {
+    check_cancelled();
+    ++iterations;
+    if (flush_executable()) {
+      swaps_since_progress = 0;
+      continue;
+    }
+    const std::vector<int> front = dag.ready_two_qubit();
+    if (front.empty()) {
+      throw MappingError("bridge: stalled with no ready two-qubit gate");
+    }
+
+    // Extended lookahead: the next unscheduled 2q gates in program order
+    // beyond the front layer.
+    std::vector<int> extended;
+    for (std::size_t i = 0;
+         i < circuit.size() &&
+         extended.size() < static_cast<std::size_t>(options_.extended_window);
+         ++i) {
+      const int node = static_cast<int>(i);
+      if (dag.color(node) == NodeColor::Scheduled) continue;
+      if (std::find(front.begin(), front.end(), node) != front.end()) continue;
+      if (circuit.gate(i).is_two_qubit()) extended.push_back(node);
+    }
+
+    // Candidate SWAPs: edges touching a physical qubit that currently holds
+    // an operand of a front-layer gate.
+    std::vector<bool> relevant(static_cast<std::size_t>(device.num_qubits()),
+                               false);
+    for (const int node : front) {
+      const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
+      for (const int q : gate.qubits) {
+        relevant[static_cast<std::size_t>(
+            emitter.placement().phys_of_program(q))] = true;
+      }
+    }
+
+    double best_score = std::numeric_limits<double>::infinity();
+    int best_a = -1;
+    int best_b = -1;
+    for (const auto& edge : coupling.edges()) {
+      if (!relevant[static_cast<std::size_t>(edge.a)] &&
+          !relevant[static_cast<std::size_t>(edge.b)]) {
+        continue;
+      }
+      Placement trial = emitter.placement();
+      trial.apply_swap(edge.a, edge.b);
+      double front_term = 0.0;
+      for (const int node : front) front_term += gate_distance(node, trial);
+      front_term /= static_cast<double>(front.size());
+      double extended_term = 0.0;
+      if (!extended.empty()) {
+        for (const int node : extended) {
+          extended_term += gate_distance(node, trial);
+        }
+        extended_term /= static_cast<double>(extended.size());
+      }
+      const double decay_factor =
+          std::max(decay[static_cast<std::size_t>(edge.a)],
+                   decay[static_cast<std::size_t>(edge.b)]);
+      const double score =
+          decay_factor *
+          (front_term + options_.extended_weight * extended_term);
+      if (score < best_score) {
+        best_score = score;
+        best_a = edge.a;
+        best_b = edge.b;
+      }
+    }
+    if (best_a < 0) {
+      throw MappingError("bridge: no candidate SWAP found");
+    }
+
+    // BRIDGE decision: a front-layer CX at distance exactly 2 runs in
+    // place when the best SWAP would not improve the score of the *other*
+    // front gates plus the lookahead window — then the SWAP's only value
+    // was this gate, and the bridge gets it for free without perturbing
+    // the placement. Decisions are pure reads, emission follows, so one
+    // round may bridge several front gates (placement never changes).
+    Placement swapped = emitter.placement();
+    swapped.apply_swap(best_a, best_b);
+    std::vector<int> to_bridge;
+    for (const int node : front) {
+      const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
+      if (gate.kind != GateKind::CX) continue;
+      const int phys_c = emitter.placement().phys_of_program(gate.qubits[0]);
+      const int phys_t = emitter.placement().phys_of_program(gate.qubits[1]);
+      if (phys_distance(device, phys_c, phys_t) != 2) continue;
+      double rest_now = 0.0;
+      double rest_swapped = 0.0;
+      for (const int other : front) {
+        if (other == node) continue;
+        rest_now += gate_distance(other, emitter.placement());
+        rest_swapped += gate_distance(other, swapped);
+      }
+      for (const int other : extended) {
+        rest_now += options_.extended_weight *
+                    gate_distance(other, emitter.placement());
+        rest_swapped += options_.extended_weight *
+                        gate_distance(other, swapped);
+      }
+      if (rest_swapped < rest_now) continue;  // the SWAP helps others too
+      to_bridge.push_back(node);
+    }
+    if (!to_bridge.empty()) {
+      for (const int node : to_bridge) {
+        const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
+        const int phys_c = emitter.placement().phys_of_program(gate.qubits[0]);
+        const int phys_t = emitter.placement().phys_of_program(gate.qubits[1]);
+        const std::vector<int> path =
+            phys_shortest_path(device, phys_c, phys_t);
+        emitter.emit_bridge(phys_c, path[1], phys_t);
+        dag.mark_scheduled(node);
+      }
+      swaps_avoided += to_bridge.size();
+      swaps_since_progress = 0;
+      continue;
+    }
+
+    ++swaps_since_progress;
+    if (swaps_since_progress > stall_limit) {
+      // Safeguard: force progress by walking the first front gate together
+      // along a shortest path (the naive step). Guarantees termination.
+      const Gate& gate =
+          circuit.gate(static_cast<std::size_t>(front.front()));
+      const int pa = emitter.placement().phys_of_program(gate.qubits[0]);
+      const int pb = emitter.placement().phys_of_program(gate.qubits[1]);
+      const std::vector<int> path = phys_shortest_path(device, pa, pb);
+      for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+        emitter.emit_swap(path[i], path[i + 1]);
+      }
+      ++rescues;
+      swaps_since_progress = 0;
+      continue;
+    }
+
+    emitter.emit_swap(best_a, best_b);
+    decay[static_cast<std::size_t>(best_a)] += options_.decay_increment;
+    decay[static_cast<std::size_t>(best_b)] += options_.decay_increment;
+    if (++swaps_since_reset >= options_.decay_reset_interval) {
+      std::fill(decay.begin(), decay.end(), 1.0);
+      swaps_since_reset = 0;
+    }
+  }
+
+  const double runtime_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_time)
+          .count();
+  RoutingResult result = std::move(emitter).finish(initial, runtime_ms);
+  // One flush per route() keeps the loop body free of locking.
+  obs::add(observer(), "router.bridge.routes");
+  obs::add(observer(), "router.bridge.iterations", iterations);
+  obs::add(observer(), "router.bridge.rescues", rescues);
+  obs::add(observer(), "router.bridge.bridges", result.added_bridges);
+  obs::add(observer(), "router.bridge.swaps_avoided", swaps_avoided);
+  obs::observe(observer(), "route.swaps_inserted",
+               static_cast<double>(result.added_swaps));
+  return result;
+}
+
+}  // namespace qmap

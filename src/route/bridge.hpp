@@ -1,0 +1,41 @@
+// BRIDGE-aware lookahead router ("On the qubit routing problem", Cowtan
+// et al.): SABRE's front-layer/extended-window heuristic, except that a
+// front-layer CX whose operands sit at distance exactly 2 may execute in
+// place as a 4-CX BRIDGE template
+//
+//     CX(c,t) = CX(c,m) CX(m,t) CX(c,m) CX(m,t)   (m = the middle qubit)
+//
+// which satisfies the coupling graph without touching the placement. The
+// router bridges such a gate when the best candidate SWAP buys nothing for
+// the *rest* of the front layer and the lookahead window — i.e. moving the
+// gate's qubits has no side benefit beyond the gate itself — and otherwise
+// falls back to SWAP insertion, so qubits still migrate toward clusters of
+// future interactions.
+#pragma once
+
+#include "route/router.hpp"
+
+namespace qmap {
+
+class BridgeRouter final : public Router {
+ public:
+  struct Options {
+    int extended_window = 20;      // lookahead: # future 2q gates scored
+    double extended_weight = 0.5;  // weight of the lookahead term
+    double decay_increment = 0.1;  // per-use decay added to a qubit
+    int decay_reset_interval = 5;  // SWAPs between decay resets
+  };
+
+  BridgeRouter() = default;
+  explicit BridgeRouter(const Options& options) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "bridge"; }
+  [[nodiscard]] RoutingResult route(const Circuit& circuit,
+                                    const Device& device,
+                                    const Placement& initial) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace qmap

@@ -8,10 +8,11 @@ namespace qmap {
 
 std::string RoutingResult::to_string() const {
   char buffer[200];
-  std::snprintf(
-      buffer, sizeof(buffer),
-      "swaps=%zu moves=%zu direction_fixes=%zu gates=%zu runtime=%.3fms",
-      added_swaps, added_moves, direction_fixes, circuit.size(), runtime_ms);
+  std::snprintf(buffer, sizeof(buffer),
+                "swaps=%zu moves=%zu bridges=%zu direction_fixes=%zu "
+                "gates=%zu runtime=%.3fms",
+                added_swaps, added_moves, added_bridges, direction_fixes,
+                circuit.size(), runtime_ms);
   return buffer;
 }
 
@@ -77,6 +78,48 @@ void RoutingEmitter::emit_move(int phys_from, int phys_to) {
   ++added_moves_;
 }
 
+void RoutingEmitter::emit_bridge(int phys_c, int phys_m, int phys_t) {
+  const CouplingGraph& coupling = device_->coupling();
+  if (phys_c == phys_t || phys_c == phys_m || phys_m == phys_t) {
+    throw MappingError("router bug: BRIDGE qubits Q" + std::to_string(phys_c) +
+                       ", Q" + std::to_string(phys_m) + ", Q" +
+                       std::to_string(phys_t) + " are not distinct");
+  }
+  if (!coupling.connected(phys_c, phys_m) ||
+      !coupling.connected(phys_m, phys_t)) {
+    throw MappingError("router bug: BRIDGE leg on non-adjacent physical "
+                       "qubits (Q" +
+                       std::to_string(phys_c) + " - Q" +
+                       std::to_string(phys_m) + " - Q" +
+                       std::to_string(phys_t) + ")");
+  }
+  if (coupling.connected(phys_c, phys_t)) {
+    throw MappingError("router bug: BRIDGE between adjacent qubits Q" +
+                       std::to_string(phys_c) + ", Q" +
+                       std::to_string(phys_t) + "; emit the CX directly");
+  }
+  // CX(c,t) = CX(c,m) CX(m,t) CX(c,m) CX(m,t); identity on m.
+  emit_physical_cx(phys_c, phys_m);
+  emit_physical_cx(phys_m, phys_t);
+  emit_physical_cx(phys_c, phys_m);
+  emit_physical_cx(phys_m, phys_t);
+  ++added_bridges_;
+}
+
+void RoutingEmitter::emit_physical_cx(int phys_control, int phys_target) {
+  if (!device_->coupling().orientation_allowed(phys_control, phys_target)) {
+    // Sec. IV: flip control/target with Hadamards.
+    circuit_.h(phys_control)
+        .h(phys_target)
+        .cx(phys_target, phys_control)
+        .h(phys_control)
+        .h(phys_target);
+    ++direction_fixes_;
+    return;
+  }
+  circuit_.cx(phys_control, phys_target);
+}
+
 RoutingResult RoutingEmitter::finish(const Placement& initial,
                                      double runtime_ms) && {
   RoutingResult result;
@@ -85,6 +128,7 @@ RoutingResult RoutingEmitter::finish(const Placement& initial,
   result.final = std::move(placement_);
   result.added_swaps = added_swaps_;
   result.added_moves = added_moves_;
+  result.added_bridges = added_bridges_;
   result.direction_fixes = direction_fixes_;
   result.runtime_ms = runtime_ms;
   return result;

@@ -28,6 +28,7 @@ struct RoutingResult {
   Placement final;      // wire -> physical at circuit end
   std::size_t added_swaps = 0;
   std::size_t added_moves = 0;      // shuttle moves (Sec. VI-C devices)
+  std::size_t added_bridges = 0;    // distance-2 CXs run as 4-CX BRIDGEs
   std::size_t direction_fixes = 0;  // CXs that needed the 4-H inversion
   double runtime_ms = 0.0;
 
@@ -124,16 +125,29 @@ class RoutingEmitter {
   /// and that `phys_to` holds a free wire. Updates the placement.
   void emit_move(int phys_from, int phys_to);
 
+  /// Emits the 4-CX BRIDGE template realizing CX(phys_c, phys_t) through
+  /// the middle qubit `phys_m`:
+  ///   CX(c,m) CX(m,t) CX(c,m) CX(m,t)
+  /// The placement is untouched (a bridge moves no wires). Requires both
+  /// legs adjacent and control/target *not* adjacent (distance exactly 2);
+  /// forbidden leg orientations are repaired with Hadamards like any CX.
+  void emit_bridge(int phys_c, int phys_m, int phys_t);
+
   /// Moves this emitter's state into a RoutingResult.
   [[nodiscard]] RoutingResult finish(const Placement& initial,
                                      double runtime_ms) &&;
 
  private:
+  // One coupling-legal CX, wrapped in Hadamards when the orientation is
+  // forbidden (shared by the four bridge legs).
+  void emit_physical_cx(int phys_control, int phys_target);
+
   const Device* device_;
   Placement placement_;
   Circuit circuit_;
   std::size_t added_swaps_ = 0;
   std::size_t added_moves_ = 0;
+  std::size_t added_bridges_ = 0;
   std::size_t direction_fixes_ = 0;
 };
 

@@ -36,7 +36,27 @@ RunOutcome run_strategy(const Circuit& circuit, const Device& device,
     options.placer = strategy.placer;
     options.router = strategy.router;
     options.seed = seed;
-    CompilationResult result = Compiler(device, options).compile(circuit);
+    const Compiler compiler(device, options);
+    CompilationResult result;
+    if (strategy.finisher) {
+      // The facade preset with token_swap_finisher spliced in between
+      // router and postroute (all other options at their defaults, which
+      // is what the facade uses too).
+      PipelineSpec spec;
+      spec.append("decompose");
+      Json placer_options;
+      placer_options["algorithm"] = Json(strategy.placer);
+      spec.append("placer", std::move(placer_options));
+      Json router_options;
+      router_options["algorithm"] = Json(strategy.router);
+      spec.append("router", std::move(router_options));
+      spec.append("token_swap_finisher");
+      spec.append("postroute");
+      spec.append("schedule");
+      result = compiler.compile(circuit, spec);
+    } else {
+      result = compiler.compile(circuit);
+    }
     inject_fault(result, device, fault);
     outcome.final_gates = result.final_circuit.size();
     outcome.added_swaps = result.routing.added_swaps;
@@ -124,6 +144,11 @@ std::vector<FuzzStrategy> DifferentialFuzzer::strategies_for(
         continue;
       }
       strategies.push_back(FuzzStrategy{placer, router});
+      if (std::find(options_.finisher_routers.begin(),
+                    options_.finisher_routers.end(),
+                    router) != options_.finisher_routers.end()) {
+        strategies.push_back(FuzzStrategy{placer, router, /*finisher=*/true});
+      }
     }
   }
   return strategies;

@@ -63,8 +63,13 @@ struct RunOutcome {
 struct FuzzStrategy {
   std::string placer;
   std::string router;
+  /// Append the token_swap_finisher pass between router and postroute, so
+  /// the permutation-cleanup path is cross-checked by the same oracles.
+  bool finisher = false;
 
-  [[nodiscard]] std::string label() const { return placer + "+" + router; }
+  [[nodiscard]] std::string label() const {
+    return placer + "+" + router + (finisher ? "+tsf" : "");
+  }
 };
 
 struct FuzzOptions {
@@ -97,6 +102,9 @@ struct FuzzOptions {
   /// Width gates for the exponential strategies.
   int exact_router_max_device = 6;
   int exhaustive_placer_max_device = 9;
+  /// Routers that additionally fuzz with the token_swap_finisher pass
+  /// appended (strategy label suffix "+tsf"); empty disables the variants.
+  std::vector<std::string> finisher_routers = {"sabre", "bridge"};
   /// Planted bug applied to every run (harness self-test).
   FaultInjection fault = FaultInjection::None;
   /// Minimize failing circuits with the Shrinker.

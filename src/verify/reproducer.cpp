@@ -80,6 +80,8 @@ std::string save_reproducer(const Reproducer& repro, const std::string& dir,
   out["device"] = Json(repro.device);
   out["placer"] = Json(repro.strategy.placer);
   out["router"] = Json(repro.strategy.router);
+  // Written only when set, so reproducers stay loadable by older readers.
+  if (repro.strategy.finisher) out["finisher"] = Json(true);
   // Decimal string: JSON numbers are doubles and would round the seed.
   out["seed"] = Json(std::to_string(repro.seed));
   out["trials"] = Json(repro.trials);
@@ -106,6 +108,11 @@ Reproducer load_reproducer(const std::string& json_path) {
   repro.device = doc.at("device").as_string();
   repro.strategy.placer = doc.at("placer").as_string();
   repro.strategy.router = doc.at("router").as_string();
+  // Backwards-compatible: absent in reproducers dumped before the
+  // token_swap_finisher pass existed.
+  if (const Json* finisher = doc.find("finisher")) {
+    repro.strategy.finisher = finisher->as_bool();
+  }
   repro.seed = std::strtoull(doc.at("seed").as_string().c_str(), nullptr, 10);
   repro.trials = doc.at("trials").as_int();
   repro.fault = fault_from_name(doc.at("fault").as_string());

@@ -28,7 +28,18 @@ TEST(DifferentialFuzz, Qx4AllStrategiesStateVector) {
   // Empty placers/routers = everything applicable: QX4's 5 qubits keep
   // even the exhaustive placer and the exact router in play.
   const DifferentialFuzzer fuzzer({devices::ibm_qx4()}, options);
-  ASSERT_GE(fuzzer.strategies_for(devices::ibm_qx4()).size(), 12u);
+  const auto strategies = fuzzer.strategies_for(devices::ibm_qx4());
+  ASSERT_GE(strategies.size(), 12u);
+  // The default enumeration covers the BRIDGE router and the
+  // token_swap_finisher pipeline variants ("+tsf" labels).
+  bool saw_bridge = false;
+  bool saw_finisher = false;
+  for (const FuzzStrategy& strategy : strategies) {
+    saw_bridge = saw_bridge || strategy.router == "bridge";
+    saw_finisher = saw_finisher || strategy.finisher;
+  }
+  EXPECT_TRUE(saw_bridge);
+  EXPECT_TRUE(saw_finisher);
   const FuzzReport report = fuzzer.run();
   EXPECT_TRUE(report.ok()) << report.report();
   EXPECT_GT(report.runs, 0u);
@@ -47,7 +58,8 @@ TEST(DifferentialFuzz, WideDevicesCliffordTableau) {
   options.clifford_only = true;  // exact tableau oracle at 16/17 qubits
   options.base_seed = 0xC11FF;
   options.placers = {"identity", "greedy", "annealing", "bidirectional"};
-  options.routers = {"naive", "sabre", "sabre+commute", "astar", "qmap"};
+  options.routers = {"naive", "sabre", "sabre+commute", "bridge", "astar",
+                     "qmap"};
   const DifferentialFuzzer fuzzer(
       {devices::ibm_qx5(), devices::surface17()}, options);
   const FuzzReport report = fuzzer.run();
@@ -73,7 +85,7 @@ TEST(DifferentialFuzz, Surface17MixedGateSet) {
   options.trials = 2;
   options.max_statevector_qubits = 17;
   options.placers = {"greedy"};
-  options.routers = {"naive", "sabre", "astar", "qmap"};
+  options.routers = {"naive", "sabre", "bridge", "astar", "qmap"};
   const FuzzReport report =
       DifferentialFuzzer({devices::surface17()}, options).run();
   EXPECT_TRUE(report.ok()) << report.report();

@@ -3,6 +3,7 @@
 // throughput mode, and the factory enumerations the engine builds on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -104,6 +105,23 @@ TEST(StrategyFactories, UnknownNamesListValidOnes) {
     for (const std::string& name : known_routers()) {
       EXPECT_NE(what.find(name), std::string::npos) << what;
     }
+  }
+}
+
+TEST(StrategyFactories, BridgeIsARegisteredRouter) {
+  // The BRIDGE router is first-class: enumerated, constructible, and named
+  // in the unknown-router error so users discover it from the message.
+  EXPECT_TRUE(std::find(known_routers().begin(), known_routers().end(),
+                        "bridge") != known_routers().end());
+  const auto router = make_router("bridge");
+  ASSERT_NE(router, nullptr);
+  EXPECT_EQ(router->name(), "bridge");
+  try {
+    (void)make_router("no-such-router");
+    FAIL() << "expected MappingError";
+  } catch (const MappingError& e) {
+    EXPECT_NE(std::string(e.what()).find("bridge"), std::string::npos)
+        << e.what();
   }
 }
 
@@ -298,6 +316,15 @@ TEST(Portfolio, DefaultPortfolioAddsReliabilityOnNoisyDevices) {
   const auto with_noise = PortfolioCompiler::default_portfolio(noisy);
   EXPECT_EQ(with_noise.size(), plain.size() + 1);
   EXPECT_EQ(with_noise.back().router, "reliability");
+}
+
+TEST(Portfolio, DefaultPortfolioEntersBridgeInTheRace) {
+  const auto strategies =
+      PortfolioCompiler::default_portfolio(devices::surface17());
+  const bool has_bridge =
+      std::any_of(strategies.begin(), strategies.end(),
+                  [](const StrategySpec& s) { return s.router == "bridge"; });
+  EXPECT_TRUE(has_bridge);
 }
 
 // --- Cancellation plumbed through the plain Compiler -----------------------

@@ -48,6 +48,7 @@ const GoldenCase kCases[] = {
     {"ghz5", "surface7", "identity", "naive"},
     {"qft4", "surface7", "greedy", "astar"},
     {"qft4", "ibm_qx4", "greedy", "qmap"},
+    {"qft4", "ibm_qx5", "greedy", "bridge"},
     {"bv5", "ibm_qx4", "identity", "sabre"},
 };
 
@@ -76,6 +77,13 @@ TEST_P(GoldenMapping, ParseMapWriteMatchesGolden) {
   const verify::ValidityReport audit =
       verify::ValidityChecker(device).check_result(result);
   ASSERT_TRUE(audit.ok()) << audit.to_string();
+
+  // The bridge case is only a meaningful golden if the 4-CX BRIDGE
+  // template actually fired — otherwise it degenerates to a SABRE pin.
+  if (param.router == "bridge") {
+    EXPECT_GT(result.routing.added_bridges, 0u)
+        << "expected at least one BRIDGE in the golden circuit";
+  }
 
   const std::string written = to_openqasm(result.final_circuit);
   const std::string golden_path = std::string(QMAP_GOLDEN_DIR) + "/" +

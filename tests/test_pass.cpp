@@ -10,6 +10,7 @@
 //     distance-matrix race the eager Device precompute is meant to close.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -396,6 +397,109 @@ TEST(ArchArtifacts, ConcurrentRunsSharingOneBundleMatchSerial) {
   for (const std::string& fingerprint : fingerprints) {
     EXPECT_EQ(fingerprint, expected);
   }
+}
+
+// --- token_swap_finisher pass ---
+
+TEST(TokenSwapFinisher, RestoresTheInitialPlacementEndToEnd) {
+  for (const char* router : {"sabre", "bridge"}) {
+    for (const char* device_name : {"qx4", "qx5", "s17"}) {
+      const Device device = parity_device(device_name);
+      Rng rng(31);
+      const int width = std::min(6, device.num_qubits());
+      const Circuit circuit = workloads::random_circuit(width, 40, rng, 0.5);
+      PipelineSpec spec;
+      spec.append("decompose");
+      spec.append("placer");
+      Json router_options;
+      router_options["algorithm"] = Json(std::string(router));
+      spec.append("router", std::move(router_options));
+      spec.append("token_swap_finisher");
+      spec.append("postroute");
+      spec.append("schedule");
+      const CompilationResult result =
+          PassManager(spec).run(circuit, device, PipelineRuntime{});
+      // The finisher's whole contract: every program wire ends where it
+      // started, so the mapped circuit computes the bare unitary.
+      for (int w = 0; w < result.routing.initial.num_program_qubits(); ++w) {
+        EXPECT_EQ(result.routing.final.phys_of_wire(w),
+                  result.routing.initial.phys_of_wire(w))
+            << router << " on " << device_name << ", wire " << w;
+      }
+      EXPECT_TRUE(respects_coupling(result.final_circuit, device));
+      EXPECT_TRUE(Compiler::verify(result))
+          << router << " on " << device_name;
+    }
+  }
+}
+
+TEST(TokenSwapFinisher, RemapsTerminalMeasurementsThroughTheCleanup) {
+  // Measured circuits are the sharp edge: the cleanup SWAPs must splice in
+  // *before* the trailing measurements (postroute's measurement relocation
+  // rejects unitaries after a deferred measure), with the measurement
+  // operands rerouted through the cleanup permutation.
+  const Device device = devices::ibm_qx5();
+  Circuit circuit = workloads::ghz(5);
+  circuit.measure_all();
+  PipelineSpec spec = PipelineSpec::from_json_text(
+      R"(["decompose", "placer",
+          {"pass": "router", "options": {"algorithm": "bridge"}},
+          "token_swap_finisher", "postroute", "schedule"])");
+  const CompilationResult result =
+      PassManager(spec).run(circuit, device, PipelineRuntime{});
+  for (int w = 0; w < result.routing.initial.num_program_qubits(); ++w) {
+    EXPECT_EQ(result.routing.final.phys_of_wire(w),
+              result.routing.initial.phys_of_wire(w));
+  }
+  EXPECT_TRUE(Compiler::verify(result));
+  std::size_t measures = 0;
+  for (const Gate& gate : result.final_circuit) {
+    if (gate.kind == GateKind::Measure) ++measures;
+  }
+  EXPECT_EQ(measures, 5u);
+}
+
+TEST(TokenSwapFinisher, TokenSwapAliasAndCanonicalNameBothParse) {
+  const PipelineSpec spec = PipelineSpec::from_json_text(
+      R"(["decompose", "placer", "router", "token-swap", "postroute"])");
+  const Json canonical = spec.canonical_json();
+  EXPECT_NE(canonical.dump().find("token_swap_finisher"), std::string::npos);
+}
+
+TEST(TokenSwapFinisher, WithoutARouterFailsWithActionableError) {
+  const Device device = devices::ibm_qx4();
+  const PipelineSpec spec = PipelineSpec::from_json_text(
+      R"(["decompose", "placer", "token_swap_finisher"])");
+  try {
+    (void)PassManager(spec).run(workloads::ghz(4), device, PipelineRuntime{});
+    FAIL() << "expected MappingError";
+  } catch (const MappingError& e) {
+    EXPECT_NE(std::string(e.what()).find("needs a routing result"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TokenSwapFinisher, AfterPostrouteFailsWithActionableError) {
+  const Device device = devices::ibm_qx4();
+  const PipelineSpec spec = PipelineSpec::from_json_text(
+      R"(["decompose", "placer", "router", "postroute",
+          "token_swap_finisher"])");
+  try {
+    (void)PassManager(spec).run(workloads::ghz(4), device, PipelineRuntime{});
+    FAIL() << "expected MappingError";
+  } catch (const MappingError& e) {
+    EXPECT_NE(std::string(e.what()).find("must run before 'postroute'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TokenSwapFinisher, RejectsUnknownOptions) {
+  EXPECT_THROW((void)PipelineSpec::from_json_text(
+                   R"([{"pass": "token_swap_finisher",
+                        "options": {"rounds": 3}}])"),
+               MappingError);
 }
 
 TEST(CouplingGraph, LazyDistanceCacheIsSafeUnderConcurrentFirstUse) {

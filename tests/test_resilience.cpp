@@ -599,6 +599,41 @@ TEST(Resilience, Rung1PipelineOverrideIsHonoredAndLabelsTheRung) {
                                 devices::ibm_qx4()));
 }
 
+TEST(Resilience, BridgeWithTokenSwapFinisherServesAsRung1) {
+  // The BRIDGE router + token_swap_finisher pair enrolls in the fallback
+  // ladder like any registered strategy: kill rung 0 and the ladder must
+  // recover through the bridge pipeline with a checker-clean result whose
+  // final placement equals the initial one (the finisher's contract).
+  Policy policy = small_policy();
+  FaultSpec fault;
+  fault.point = "throw-in-placer";
+  fault.rung = 0;
+  policy.faults = {fault};
+  policy.rung1_pipeline = PipelineSpec::from_json_text(R"([
+    "decompose",
+    {"pass": "placer", "options": {"algorithm": "greedy"}},
+    {"pass": "router", "options": {"algorithm": "bridge"}},
+    "token_swap_finisher",
+    "postroute",
+    "schedule"
+  ])");
+
+  const Device device = devices::ibm_qx5();
+  const CompileOutcome outcome =
+      resilience::compile(workloads::qft(5), device, policy);
+  ASSERT_TRUE(outcome.ok) << outcome.report();
+  EXPECT_EQ(outcome.rung, 1);
+  EXPECT_EQ(outcome.winner_label, "greedy+bridge");
+  EXPECT_TRUE(outcome.validated);
+  const verify::ValidityChecker checker(device);
+  EXPECT_TRUE(checker.check_result(outcome.result).ok()) << outcome.report();
+  const RoutingResult& routing = outcome.result.routing;
+  for (int w = 0; w < routing.initial.num_program_qubits(); ++w) {
+    EXPECT_EQ(routing.final.phys_of_wire(w), routing.initial.phys_of_wire(w))
+        << "wire " << w;
+  }
+}
+
 TEST(Resilience, DefaultRungsMatchTheirPipelineSpecForm) {
   // Without overrides the ladder behaves exactly as before; the explicit
   // PipelineSpec form of the same rung produces an identical result.

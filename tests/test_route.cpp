@@ -15,11 +15,14 @@
 #include "decompose/decomposer.hpp"
 #include "layout/placers.hpp"
 #include "route/astar_layer.hpp"
+#include "route/bridge.hpp"
 #include "route/exact.hpp"
 #include "route/naive.hpp"
 #include "route/qmap_router.hpp"
 #include "route/sabre.hpp"
+#include "route/token_swap.hpp"
 #include "sim/equivalence.hpp"
+#include "sim/stabilizer.hpp"
 #include "verify/validity.hpp"
 #include "workloads/workloads.hpp"
 
@@ -114,6 +117,19 @@ TEST_P(RouterProperty, RoutedCircuitIsLegalAndEquivalent) {
   EXPECT_EQ(swap_count, result.added_swaps + program_swaps);
   EXPECT_EQ(result.initial, initial);
 
+  // CX accounting: each BRIDGE contributes exactly 3 extra CXs over the
+  // gate it realizes, and nothing else mints or destroys CXs (direction
+  // fixes rewrite a CX into H·CX·H, preserving the count).
+  std::size_t program_cx = 0;
+  for (const Gate& gate : input) {
+    if (gate.kind == GateKind::CX) ++program_cx;
+  }
+  std::size_t routed_cx = 0;
+  for (const Gate& gate : result.circuit) {
+    if (gate.kind == GateKind::CX) ++routed_cx;
+  }
+  EXPECT_EQ(routed_cx, program_cx + 3 * result.added_bridges);
+
   // Legality after SWAP expansion + direction repair.
   Circuit legal = expand_swaps(result.circuit, device);
   legal = fix_cx_directions(legal, device);
@@ -126,7 +142,7 @@ TEST_P(RouterProperty, RoutedCircuitIsLegalAndEquivalent) {
                                  result.final.wire_to_phys(), rng, 3));
 }
 
-const char* kRouters[] = {"naive", "sabre", "astar", "qmap"};
+const char* kRouters[] = {"naive", "sabre", "bridge", "astar", "qmap"};
 const char* kDevices[] = {"qx4", "s17", "s7", "line5", "grid9"};
 const char* kWorkloads[] = {"fig1", "ghz4", "qft4", "random"};
 
@@ -145,7 +161,7 @@ std::vector<RouteCase> all_cases() {
     cases.push_back({"exact", "line5", workload});
   }
   // Bigger instances for the scalable routers.
-  for (const char* router : {"sabre", "astar", "qmap"}) {
+  for (const char* router : {"sabre", "bridge", "astar", "qmap"}) {
     cases.push_back({router, "qx5", "random5"});
     cases.push_back({router, "s17", "random5"});
     cases.push_back({router, "qx5", "ghz5"});
@@ -238,7 +254,8 @@ TEST(Routers, RejectArityThreeGates) {
   const Device qx4 = devices::ibm_qx4();
   Circuit c(3);
   c.ccx(0, 1, 2);
-  for (const char* name : {"naive", "sabre", "astar", "exact", "qmap"}) {
+  for (const char* name : {"naive", "sabre", "bridge", "astar", "exact",
+                           "qmap"}) {
     EXPECT_THROW((void)make_router(name)->route(
                      c, qx4, Placement::identity(3, 5)),
                  MappingError)
@@ -249,7 +266,8 @@ TEST(Routers, RejectArityThreeGates) {
 TEST(Routers, RejectOversizedCircuits) {
   const Device qx4 = devices::ibm_qx4();
   const Circuit c = workloads::ghz(6);
-  for (const char* name : {"naive", "sabre", "astar", "exact", "qmap"}) {
+  for (const char* name : {"naive", "sabre", "bridge", "astar", "exact",
+                           "qmap"}) {
     EXPECT_THROW((void)make_router(name)->route(
                      c, qx4, Placement::identity(6, 6)),
                  MappingError)
@@ -260,7 +278,8 @@ TEST(Routers, RejectOversizedCircuits) {
 TEST(Routers, EmptyCircuitRoutesToEmpty) {
   const Device s7 = devices::surface7();
   const Circuit c(3, "empty");
-  for (const char* name : {"naive", "sabre", "astar", "exact", "qmap"}) {
+  for (const char* name : {"naive", "sabre", "bridge", "astar", "exact",
+                           "qmap"}) {
     const RoutingResult result =
         make_router(name)->route(c, s7, Placement::identity(3, 7));
     EXPECT_EQ(result.circuit.size(), 0u) << name;
@@ -272,7 +291,8 @@ TEST(Routers, SingleQubitOnlyCircuitNeedsNoSwaps) {
   const Device qx4 = devices::ibm_qx4();
   Circuit c(4);
   c.h(0).t(1).x(2).rz(0.4, 3);
-  for (const char* name : {"naive", "sabre", "astar", "exact", "qmap"}) {
+  for (const char* name : {"naive", "sabre", "bridge", "astar", "exact",
+                           "qmap"}) {
     const RoutingResult result =
         make_router(name)->route(c, qx4, Placement::identity(4, 5));
     EXPECT_EQ(result.added_swaps, 0u) << name;
@@ -293,6 +313,233 @@ TEST(Routers, MeasurementsSurviveRouting) {
   }
   EXPECT_EQ(measures, 3u);
   expect_routed_valid_and_equivalent(c, s7, result);
+}
+
+// --- BridgeRouter / BRIDGE template ---
+
+TEST(BridgeRouter, EmitsTheFourCxTemplateOnALine) {
+  // cx(0, 2) on a 3-qubit line: distance 2, nothing else in the front
+  // layer, so the router must bridge instead of swapping — and the
+  // template bytes are pinned: CX(c,m) CX(m,t) CX(c,m) CX(m,t).
+  const Device line = devices::linear(3);
+  Circuit c(3);
+  c.cx(0, 2);
+  const RoutingResult result =
+      BridgeRouter().route(c, line, Placement::identity(3, 3));
+  EXPECT_EQ(result.added_bridges, 1u);
+  EXPECT_EQ(result.added_swaps, 0u);
+  EXPECT_EQ(result.final, result.initial);
+  ASSERT_EQ(result.circuit.size(), 4u);
+  const int expected[4][2] = {{0, 1}, {1, 2}, {0, 1}, {1, 2}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Gate& gate = result.circuit.gate(i);
+    EXPECT_EQ(gate.kind, GateKind::CX) << "gate " << i;
+    EXPECT_EQ(gate.qubits[0], expected[i][0]) << "gate " << i;
+    EXPECT_EQ(gate.qubits[1], expected[i][1]) << "gate " << i;
+  }
+  expect_routed_valid_and_equivalent(c, line, result);
+}
+
+TEST(BridgeRouter, BridgeLeavesThePlacementAlone) {
+  // A lone distance-2 CX must never move qubits: final == initial even
+  // though the gate was not directly executable.
+  const Device qx5 = devices::ibm_qx5();
+  Circuit c(3);
+  c.h(0).cx(0, 2).h(2);
+  const Placement initial = GreedyPlacer().place(c, qx5);
+  const RoutingResult result = BridgeRouter().route(c, qx5, initial);
+  if (result.added_swaps == 0) {
+    EXPECT_EQ(result.final, result.initial);
+  }
+  expect_routed_valid_and_equivalent(c, qx5, result);
+}
+
+TEST(RoutingEmitter, BridgeIsLegalAndEquivalentOnEveryDistance2Pair) {
+  // Property: for every ordered physical pair at hop distance exactly 2
+  // on the real devices, emit_bridge produces a coupling-legal 4-CX
+  // realization (direction-repaired where needed) equivalent to the
+  // direct CX, without touching the placement.
+  for (const Device& device :
+       {devices::ibm_qx4(), devices::ibm_qx5(), devices::surface17()}) {
+    const int n = device.num_qubits();
+    const CouplingGraph& coupling = device.coupling();
+    std::size_t pairs = 0;
+    for (int c = 0; c < n; ++c) {
+      for (int t = 0; t < n; ++t) {
+        if (c == t || coupling.distance(c, t) != 2) continue;
+        const std::vector<int> path = coupling.shortest_path(c, t);
+        ASSERT_EQ(path.size(), 3u);
+        const Placement identity = Placement::identity(n, n);
+        RoutingEmitter emitter(device, identity, "bridge");
+        emitter.emit_bridge(c, path[1], t);
+        const RoutingResult result = std::move(emitter).finish(identity, 0.0);
+        EXPECT_EQ(result.added_bridges, 1u);
+        EXPECT_TRUE(respects_coupling(result.circuit, device))
+            << device.name() << " Q" << c << "->Q" << t;
+        EXPECT_EQ(result.final, result.initial);
+        Circuit direct(n);
+        direct.cx(c, t);
+        // The bridge is Clifford, so the exact tableau oracle applies at
+        // any width (QX5/Surface-17 are 16/17 qubits).
+        EXPECT_TRUE(clifford_mapping_equivalent(
+            direct, result.circuit, identity.wire_to_phys(),
+            identity.wire_to_phys()))
+            << device.name() << " Q" << c << "->Q" << t;
+        ++pairs;
+      }
+    }
+    EXPECT_GT(pairs, 0u) << device.name();
+  }
+}
+
+TEST(RoutingEmitter, BridgeRejectsIllegalTriples) {
+  const Device line = devices::linear(4);
+  const Placement identity = Placement::identity(4, 4);
+  {  // non-distinct qubits
+    RoutingEmitter emitter(line, identity, "t");
+    EXPECT_THROW(emitter.emit_bridge(0, 1, 0), MappingError);
+  }
+  {  // second leg not adjacent
+    RoutingEmitter emitter(line, identity, "t");
+    EXPECT_THROW(emitter.emit_bridge(0, 1, 3), MappingError);
+  }
+  {  // control/target adjacent (QX4's 0-1-2 triangle): emit the CX instead
+    const Device qx4 = devices::ibm_qx4();
+    RoutingEmitter emitter(qx4, Placement::identity(5, 5), "t");
+    EXPECT_THROW(emitter.emit_bridge(0, 2, 1), MappingError);
+  }
+}
+
+// --- Token swapping ---
+
+/// Applies a plan to `start`, asserting every structural invariant along
+/// the way: pairs are coupling edges, rounds are vertex-disjoint.
+Placement apply_plan(const TokenSwapPlan& plan, const Placement& start,
+                     const Device& device) {
+  Placement place = start;
+  for (const SwapRound& round : plan.rounds) {
+    std::vector<bool> touched(
+        static_cast<std::size_t>(device.num_qubits()), false);
+    for (const auto& [a, b] : round) {
+      EXPECT_TRUE(device.coupling().connected(a, b))
+          << "Q" << a << ", Q" << b;
+      EXPECT_FALSE(touched[static_cast<std::size_t>(a)]) << "Q" << a;
+      EXPECT_FALSE(touched[static_cast<std::size_t>(b)]) << "Q" << b;
+      touched[static_cast<std::size_t>(a)] = true;
+      touched[static_cast<std::size_t>(b)] = true;
+      place.apply_swap(a, b);
+    }
+  }
+  return place;
+}
+
+void expect_program_wires_home(const Placement& place,
+                               const Placement& target) {
+  for (int w = 0; w < target.num_program_qubits(); ++w) {
+    EXPECT_EQ(place.phys_of_wire(w), target.phys_of_wire(w)) << "wire " << w;
+  }
+}
+
+TEST(TokenSwap, RestoresRandomPermutationsOnEveryDevice) {
+  Rng rng(4242);
+  for (const Device& device :
+       {devices::ibm_qx4(), devices::surface17(), devices::grid(3, 3),
+        devices::linear(5)}) {
+    const int n = device.num_qubits();
+    for (int trial = 0; trial < 12; ++trial) {
+      // Vary the program width so free (don't-care) wires get exercised.
+      const int k = 2 + static_cast<int>(rng.index(
+                            static_cast<std::size_t>(n - 1)));
+      const auto scramble = [&] {
+        Placement place = Placement::identity(k, n);
+        for (int step = 0; step < 3 * n; ++step) {
+          const auto& edge = device.coupling().edges()[rng.index(
+              device.coupling().edges().size())];
+          place.apply_swap(edge.a, edge.b);
+        }
+        return place;
+      };
+      const Placement current = scramble();
+      const Placement target = scramble();
+      const TokenSwapPlan plan =
+          plan_token_swaps(current, target, device, nullptr);
+      const Placement reached = apply_plan(plan, current, device);
+      expect_program_wires_home(reached, target);
+    }
+  }
+}
+
+TEST(TokenSwap, ParallelRoundsBeatTheSequentialChainOnDisjointCycles) {
+  // Two disjoint transpositions on a 4-line: one round of two parallel
+  // swaps suffices; a sequential chain would serialize them.
+  const Device line = devices::linear(4);
+  Placement current = Placement::identity(4, 4);
+  current.apply_swap(0, 1);
+  current.apply_swap(2, 3);
+  const Placement target = Placement::identity(4, 4);
+  const TokenSwapPlan plan = plan_token_swaps(current, target, line, nullptr);
+  ASSERT_EQ(plan.rounds.size(), 1u);
+  EXPECT_EQ(plan.rounds[0].size(), 2u);
+  expect_program_wires_home(apply_plan(plan, current, line), target);
+}
+
+TEST(TokenSwap, EscapesTheDistance2TranspositionStall) {
+  // Swapping the endpoints of a 3-line while the middle stays put: no
+  // single swap has positive gain, so the zero-gain escape must engage.
+  const Device line = devices::linear(3);
+  Placement current = Placement::identity(3, 3);
+  current.apply_swap(0, 1);
+  current.apply_swap(1, 2);
+  current.apply_swap(0, 1);  // net effect: wires 0 and 2 exchanged
+  const Placement target = Placement::identity(3, 3);
+  const TokenSwapPlan plan = plan_token_swaps(current, target, line, nullptr);
+  EXPECT_GE(plan.escape_swaps, 1u);
+  expect_program_wires_home(apply_plan(plan, current, line), target);
+}
+
+TEST(TokenSwap, SpanningTreeFallbackAlwaysTerminates) {
+  // Escape budget 0 disables phase 2, forcing the spanning-tree sort the
+  // moment the greedy stalls; the result must still be correct.
+  const Device line = devices::linear(3);
+  Placement current = Placement::identity(3, 3);
+  current.apply_swap(0, 1);
+  current.apply_swap(1, 2);
+  current.apply_swap(0, 1);
+  const Placement target = Placement::identity(3, 3);
+  const TokenSwapPlan plan =
+      plan_token_swaps(current, target, line, nullptr, /*escape_budget=*/0);
+  EXPECT_GE(plan.fallback_swaps, 1u);
+  expect_program_wires_home(apply_plan(plan, current, line), target);
+}
+
+TEST(TokenSwap, IdenticalPlacementsNeedNoSwaps) {
+  const Device qx4 = devices::ibm_qx4();
+  const Placement identity = Placement::identity(4, 5);
+  const TokenSwapPlan plan =
+      plan_token_swaps(identity, identity, qx4, nullptr);
+  EXPECT_TRUE(plan.rounds.empty());
+  EXPECT_EQ(plan.total_swaps(), 0u);
+}
+
+TEST(TokenSwap, FreeWiresAreDontCares) {
+  // One program wire out of place on a 3-line; only its path matters, the
+  // free wires may land anywhere.
+  const Device line = devices::linear(3);
+  Placement current = Placement::identity(1, 3);
+  current.apply_swap(0, 1);
+  current.apply_swap(1, 2);  // program wire 0 now at phys 2
+  const Placement target = Placement::identity(1, 3);
+  const TokenSwapPlan plan = plan_token_swaps(current, target, line, nullptr);
+  EXPECT_EQ(plan.total_swaps(), 2u);  // straight walk home, nothing extra
+  expect_program_wires_home(apply_plan(plan, current, line), target);
+}
+
+TEST(TokenSwap, RejectsMismatchedPlacements) {
+  const Device qx4 = devices::ibm_qx4();
+  EXPECT_THROW((void)plan_token_swaps(Placement::identity(3, 5),
+                                      Placement::identity(3, 7), qx4,
+                                      nullptr),
+               MappingError);
 }
 
 TEST(RoutingEmitter, RefusesNonAdjacentTwoQubitGate) {
