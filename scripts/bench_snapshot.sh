@@ -95,6 +95,20 @@ if name == "service":
     if cold and warm and warm["real_time_ms"] > 0:
         derived["warm_cold_ratio"] = round(
             cold["real_time_ms"] / warm["real_time_ms"], 1)
+    # Overload-control economics: the admission verdict runs on every
+    # submit, so its cost relative to a cold compile is the number that
+    # says shedding is free; drain_ms is the SIGTERM-to-exit budget a
+    # supervisor should allow with compiles in flight.
+    shed = by_name.get("BM_ServiceShedDecision")
+    if cold and shed and cold["real_time_ms"] > 0:
+        derived["shed_decision_pct_of_cold"] = round(
+            100.0 * shed["real_time_ms"] / cold["real_time_ms"], 6)
+    # BM_ServiceDrain pins its iteration count, which google-benchmark
+    # appends to the name ("BM_ServiceDrain/iterations:3").
+    drain = next((b for b in benchmarks
+                  if b["name"].startswith("BM_ServiceDrain")), None)
+    if drain:
+        derived["drain_ms"] = round(drain["real_time_ms"], 3)
 
 snapshot = {
     "bench": name,
@@ -119,6 +133,18 @@ ratio = snapshot.get("derived", {}).get("warm_cold_ratio", 0)
 if ratio < 100:
     sys.exit(f"bench_snapshot: warm/cold ratio {ratio} below the 100x gate")
 print(f"bench_snapshot: service warm/cold ratio {ratio}x (gate: >= 100x)")
+shed_pct = snapshot.get("derived", {}).get("shed_decision_pct_of_cold")
+if shed_pct is None:
+    sys.exit("bench_snapshot: no shed-decision latency recorded")
+if shed_pct >= 1.0:
+    sys.exit(f"bench_snapshot: shed decision costs {shed_pct}% of a cold "
+             "compile (gate: < 1%)")
+print(f"bench_snapshot: shed decision {shed_pct}% of a cold compile "
+      "(gate: < 1%)")
+drain_ms = snapshot.get("derived", {}).get("drain_ms")
+if drain_ms is None:
+    sys.exit("bench_snapshot: no drain latency recorded")
+print(f"bench_snapshot: graceful drain {drain_ms}ms with compiles in flight")
 PY
 
 # The BRIDGE router's headline claim: it must insert fewer CXs than sabre

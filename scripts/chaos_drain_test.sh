@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end drain check against the real qmap_serve binary: feed it a
+# slow request stream over a fifo, SIGTERM it mid-stream, and assert the
+# daemon (a) exits 0, (b) reports the drain on stderr, and (c) flushed a
+# response line for every request it accepted before the signal. This is
+# the process-level half of the drain story; tests/test_chaos.cpp covers
+# the in-process CompileService::drain() semantics.
+#
+# Usage: scripts/chaos_drain_test.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SERVE="${BUILD}/src/qmap_serve"
+if [ ! -x "${SERVE}" ]; then
+  echo "chaos_drain_test: ${SERVE} not built" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+FIFO="${WORK}/requests.fifo"
+OUT="${WORK}/responses.jsonl"
+ERR="${WORK}/stderr.log"
+mkfifo "${FIFO}"
+
+QASM='OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncx q[0],q[1];\ncx q[1],q[2];\ncx q[0],q[2];'
+
+# The daemon reads the fifo; holding a write fd open keeps it from seeing
+# EOF until we are done, so the SIGTERM lands mid-stream.
+"${SERVE}" --workers 2 --drain-ms 5000 <"${FIFO}" >"${OUT}" 2>"${ERR}" &
+SERVE_PID=$!
+exec 3>"${FIFO}"
+
+request() {
+  printf '{"op":"compile","id":"%s","client":"drain","device":"ibm_qx4","qasm":"%s","seed":%d}\n' \
+    "$1" "${QASM}" "$2" >&3
+}
+
+printf '{"op":"ping","id":"p0"}\n' >&3
+request r0 1
+request r1 2
+request r2 3
+
+# Wait until the ping answer proves the daemon is up and the compiles are
+# in the pipeline, then signal with the stream still open.
+for _ in $(seq 1 100); do
+  grep -q '"id":"p0"' "${OUT}" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q '"id":"p0"' "${OUT}" || {
+  echo "chaos_drain_test: daemon never answered the ping" >&2
+  kill -9 "${SERVE_PID}" 2>/dev/null || true
+  exit 1
+}
+
+kill -TERM "${SERVE_PID}"
+RC=0
+wait "${SERVE_PID}" || RC=$?
+exec 3>&-
+
+if [ "${RC}" -ne 0 ]; then
+  echo "chaos_drain_test: daemon exited ${RC} on SIGTERM (want 0)" >&2
+  cat "${ERR}" >&2
+  exit 1
+fi
+if ! grep -q 'drained in' "${ERR}"; then
+  echo "chaos_drain_test: no drain report on stderr" >&2
+  cat "${ERR}" >&2
+  exit 1
+fi
+
+# Every request written before the signal must have a flushed response
+# line; accepted compiles answer ok, anything the drain caught answers
+# shed/cancelled — never silence.
+for id in p0 r0 r1 r2; do
+  if ! grep -q "\"id\":\"${id}\"" "${OUT}"; then
+    echo "chaos_drain_test: no response for ${id} (responses below)" >&2
+    cat "${OUT}" >&2
+    exit 1
+  fi
+done
+if grep -qv '^{' "${OUT}"; then
+  echo "chaos_drain_test: non-JSON garbage in the response stream" >&2
+  exit 1
+fi
+
+echo "chaos_drain_test: SIGTERM drained cleanly, exit 0," \
+     "$(wc -l <"${OUT}") responses flushed"

@@ -34,5 +34,23 @@ done
 if [ "${missing}" -ne 0 ]; then
   exit 1
 fi
+
+# The service.* transport fault points (registered in the resilience fault
+# registry, delivered by the ChaosTransport) must be documented too —
+# their names allow '-', so they need their own character class.
+faults=$(grep -rho '"service\.[a-z-]*' src/resilience/fault_injector.cpp \
+  | tr -d '"' | sort -u)
+for name in ${faults}; do
+  if ! grep -Fq "${name}" "${DESIGN}"; then
+    echo "check_service_metrics: fault point '${name}' is registered in" \
+         "src/resilience/fault_injector.cpp but missing from ${DESIGN}" >&2
+    missing=1
+  fi
+done
+if [ "${missing}" -ne 0 ]; then
+  exit 1
+fi
+
 echo "check_service_metrics: src/service/ and ${DESIGN} agree" \
-     "($(echo "${names}" | wc -w) metric names)"
+     "($(echo "${names}" | wc -w) metric names," \
+     "$(echo "${faults}" | wc -w) fault points)"

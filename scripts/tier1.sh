@@ -43,6 +43,18 @@ echo "== tier 1: compile-service label =="
 # 1/2/8 dispatcher threads.
 (cd build && ctest --output-on-failure -L service)
 
+echo "== tier 1: chaos label =="
+# The chaos-hardening suite (tests/test_chaos.cpp): the seeded
+# ChaosTransport matrix (mixed-validity traffic x wire faults x 1/2/8
+# dispatcher threads, fingerprints pinned against fault-free runs),
+# overload shedding, brownout, circuit breakers, and graceful drain.
+(cd build && ctest --output-on-failure -L chaos)
+
+echo "== tier 1: qmap_serve drain (process level) =="
+# SIGTERM a live daemon mid-stream: exit 0, drain reported, every accepted
+# request answered.
+scripts/chaos_drain_test.sh build
+
 echo "== tier 1: bridge router + token-swap finisher leg =="
 # The BRIDGE router and the token-swapping permutation finisher as their
 # own leg: the 4-CX template property tests, the token-swap phase tests,
@@ -58,9 +70,9 @@ echo "== tier 1: service metrics lint =="
 # DESIGN.md's §10 metrics table.
 scripts/check_service_metrics.sh
 
-echo "== tier 1: test_engine + test_verify + test_resilience + test_obs + test_pass + test_service under ThreadSanitizer =="
+echo "== tier 1: test_engine + test_verify + test_resilience + test_obs + test_pass + test_service + test_chaos under ThreadSanitizer =="
 cmake -B build-tsan -S . -DQMAP_SANITIZE=thread
-cmake --build build-tsan -j "${JOBS}" --target test_engine test_verify test_resilience test_obs test_pass test_service
+cmake --build build-tsan -j "${JOBS}" --target test_engine test_verify test_resilience test_obs test_pass test_service test_chaos
 # TSAN_OPTIONS makes the run fail loudly on the first race report.
 # test_verify's fuzzer tests fan compiles across the engine ThreadPool, so
 # they double as a race check of the whole compile pipeline;
@@ -83,5 +95,9 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_route \
 # blocking followers, LRU under byte pressure), the round-robin dispatch
 # queues, and disconnect-driven cancellation from concurrent clients.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_service
+# test_chaos re-runs the full wire-fault matrix and the overload/breaker/
+# drain machinery under TSan: brownout hysteresis under the queue lock,
+# breaker transitions from dispatcher threads, and drain racing serve().
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_chaos
 
 echo "tier 1 OK"

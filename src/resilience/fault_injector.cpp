@@ -13,9 +13,15 @@
 namespace qmap::resilience {
 
 const std::vector<std::string>& known_fault_points() {
+  // The service.* points are transport faults: they are armed through the
+  // same FaultSpec/registry machinery (so a typo fails at registration and
+  // the probability/seed determinism is shared), but they are delivered by
+  // the ChaosTransport wire harness (src/service/chaos.hpp), not by
+  // at_stage() — a stage hook cannot corrupt bytes on a socket.
   static const std::vector<std::string> names = {
       "throw-in-placer", "throw-in-router", "stall-ms", "corrupt-result",
-      "oom-simulate"};
+      "oom-simulate", "service.truncate-line", "service.garbage-bytes",
+      "service.oversize-line", "service.disconnect", "service.stall-write"};
   return names;
 }
 

@@ -16,6 +16,12 @@
 //   corrupt-result   — sabotages the *finished* CompilationResult with a
 //                      verify::FaultInjection primitive; only post-compile
 //                      validation can catch this one.
+//   service.*        — transport faults (truncate-line, garbage-bytes,
+//                      oversize-line, disconnect, stall-write) delivered by
+//                      the service's ChaosTransport wire harness
+//                      (src/service/chaos.hpp) rather than at_stage();
+//                      registered here so arming shares the same validated
+//                      FaultSpec machinery and seeded fire decisions.
 //
 // Stage faults are delivered through CompilerOptions::stage_hook /
 // PortfolioOptions::stage_hook — the injector never patches a pass. The

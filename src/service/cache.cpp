@@ -157,13 +157,13 @@ void ResultCache::insert_locked(Shard& shard, const std::string& key,
 }
 
 void ResultCache::complete(const std::shared_ptr<Flight>& flight,
-                           CachedOutcome outcome) {
+                           CachedOutcome outcome, bool store) {
   auto value = std::make_shared<const CachedOutcome>(std::move(outcome));
   {
     Shard& shard = *shards_[flight->shard_];
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.flights.erase(flight->key_);
-    if (value->ok || config_.negative_ttl_ms > 0.0) {
+    if (store && (value->ok || config_.negative_ttl_ms > 0.0)) {
       insert_locked(shard, flight->key_, value);
     }
   }

@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.hpp"
 #include "engine/cancel.hpp"
 #include "obs/obs.hpp"
 
@@ -61,6 +62,14 @@ struct CachedOutcome {
   bool validated = false;
   /// Failure detail when !ok (negative entry).
   std::string error;
+  /// Recovery classification of the failure when !ok — the terminal
+  /// attempt's ErrorClass (Transient for cancellations). The service's
+  /// per-device circuit breaker counts only Permanent ones.
+  ErrorClass error_class = ErrorClass::Permanent;
+  /// True when the outcome was produced by a brownout-down-tiered compile.
+  /// Brownout outcomes are never stored (complete(..., store=false)), so a
+  /// degraded answer cannot be replayed after the overload clears.
+  bool brownout = false;
 
   /// Approximate heap footprint used for the byte budget.
   [[nodiscard]] std::size_t bytes() const;
@@ -144,8 +153,11 @@ class ResultCache {
 
   /// Publishes the leader's outcome: stores it (positive always, negative
   /// only when negative_ttl_ms > 0), wakes every follower with the shared
-  /// value, and retires the flight.
-  void complete(const std::shared_ptr<Flight>& flight, CachedOutcome outcome);
+  /// value, and retires the flight. `store` = false delivers the value to
+  /// the followers but keeps it out of the cache — the service uses this
+  /// for brownout-degraded outcomes that must not outlive the overload.
+  void complete(const std::shared_ptr<Flight>& flight, CachedOutcome outcome,
+                bool store = true);
 
   /// Retires the flight without a value (e.g. the compile was cancelled):
   /// followers wake with nullptr and nothing is cached, so the next

@@ -1,0 +1,256 @@
+#include "service/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "qasm/openqasm.hpp"
+#include "service/service.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap::service {
+
+ChaosTransport::ChaosTransport(ChaosConfig config)
+    : config_(std::move(config)) {
+  const auto& names = resilience::known_fault_points();
+  for (const auto& spec : config_.faults) {
+    const bool known =
+        std::find(names.begin(), names.end(), spec.point) != names.end();
+    if (!known || !starts_with(spec.point, "service.")) {
+      throw MappingError("ChaosTransport: '" + spec.point +
+                         "' is not a service.* fault point (valid: "
+                         "service.truncate-line, service.garbage-bytes, "
+                         "service.oversize-line, service.disconnect, "
+                         "service.stall-write)");
+    }
+  }
+}
+
+std::uint64_t ChaosTransport::draw_(std::size_t spec_index,
+                                    std::size_t line_index,
+                                    std::uint64_t salt) const {
+  // Same chaining discipline as FaultInjector::fires_: a pure function of
+  // (seed, spec, line, salt), so the corruption pattern is replayable from
+  // the config alone.
+  std::uint64_t h = Rng::derive_stream(config_.seed, spec_index);
+  h = Rng::derive_stream(h, line_index + 1);
+  return Rng::derive_stream(h, salt);
+}
+
+bool ChaosTransport::fires_(std::size_t spec_index, double probability,
+                            std::size_t line_index) const {
+  if (probability >= 1.0) return true;
+  if (probability <= 0.0) return false;
+  const std::uint64_t h = draw_(spec_index, line_index, 0);
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+  return u < probability;
+}
+
+std::vector<ChaosTransport::LineFate> ChaosTransport::corrupt(
+    const std::vector<std::string>& lines) const {
+  std::vector<LineFate> fates;
+  fates.reserve(lines.size());
+  bool disconnected = false;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    LineFate fate;
+    fate.original = lines[li];
+    fate.wire = lines[li];
+    if (disconnected) {
+      fate.delivered = false;
+      fate.intact = false;
+      fates.push_back(std::move(fate));
+      continue;
+    }
+    for (std::size_t si = 0; si < config_.faults.size(); ++si) {
+      const resilience::FaultSpec& spec = config_.faults[si];
+      if (spec.point == "service.stall-write") continue;  // output-side
+      if (!fires_(si, spec.probability, li)) continue;
+      fate.faults.push_back(spec.point);
+      fate.intact = false;
+      if (spec.point == "service.truncate-line") {
+        // Cut somewhere strictly inside the line (keeps the newline, so
+        // framing continues and the stub must be answered as one line).
+        const std::size_t cut =
+            fate.wire.empty() ? 0 : draw_(si, li, 1) % fate.wire.size();
+        fate.wire.resize(cut);
+      } else if (spec.point == "service.garbage-bytes") {
+        // Splice high-bit bytes (never '\n', never whitespace) into the
+        // middle so the line stays one non-empty frame of invalid UTF-8.
+        std::string garbage;
+        for (std::size_t g = 0; g < config_.garbage_bytes; ++g) {
+          garbage.push_back(
+              static_cast<char>(0x80 + (draw_(si, li, 2 + g) % 0x7F)));
+        }
+        const std::size_t at =
+            fate.wire.empty() ? 0 : draw_(si, li, 1) % fate.wire.size();
+        fate.wire.insert(at, garbage);
+      } else if (spec.point == "service.oversize-line") {
+        if (fate.wire.size() < config_.oversize_bytes) {
+          fate.wire.append(config_.oversize_bytes - fate.wire.size(), 'x');
+        }
+      } else if (spec.point == "service.disconnect") {
+        // Send a prefix of the line and then nothing, ever again.
+        const std::size_t cut =
+            fate.wire.empty() ? 0 : draw_(si, li, 1) % fate.wire.size();
+        fate.wire.resize(cut);
+        fate.cut_here = true;
+        disconnected = true;
+      }
+      break;  // at most one wire fault per line, like at_stage
+    }
+    fates.push_back(std::move(fate));
+    if (disconnected) continue;
+  }
+  return fates;
+}
+
+std::string ChaosTransport::wire(const std::vector<LineFate>& fates) {
+  std::string out;
+  for (const LineFate& fate : fates) {
+    if (!fate.delivered) break;
+    out += fate.wire;
+    if (fate.cut_here) break;  // mid-line EOF: no trailing newline
+    out += '\n';
+  }
+  return out;
+}
+
+int ChaosTransport::expected_lines(const std::string& wire_text) {
+  // Mirror of the serve() loop: getline-split, skip lines that trim to
+  // empty, count the rest (a trailing unterminated fragment still counts).
+  int lines = 0;
+  std::size_t begin = 0;
+  while (begin <= wire_text.size()) {
+    const std::size_t end = wire_text.find('\n', begin);
+    const std::size_t stop = end == std::string::npos ? wire_text.size() : end;
+    if (!trim(wire_text.substr(begin, stop - begin)).empty()) ++lines;
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return lines;
+}
+
+// ------------------------------------------------------- StallingStream --
+
+struct StallingStream::Buf : std::streambuf {
+  Buf(std::ostream& sink, double stall_ms, int stall_every)
+      : sink_(sink), stall_ms_(stall_ms),
+        stall_every_(std::max(1, stall_every)) {}
+
+  int_type overflow(int_type ch) override {
+    if (ch == traits_type::eof()) return traits_type::not_eof(ch);
+    sink_.put(static_cast<char>(ch));
+    return ch;
+  }
+
+  std::streamsize xsputn(const char* data, std::streamsize n) override {
+    sink_.write(data, n);
+    return n;
+  }
+
+  int sync() override {
+    if (++flushes_ % stall_every_ == 0 && stall_ms_ > 0.0) {
+      ++stalls_;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(stall_ms_));
+    }
+    sink_.flush();
+    return 0;
+  }
+
+  std::ostream& sink_;
+  double stall_ms_;
+  int stall_every_;
+  int flushes_ = 0;
+  int stalls_ = 0;
+};
+
+StallingStream::StallingStream(std::ostream& sink, double stall_ms,
+                               int stall_every)
+    : std::ostream(nullptr), buf_(new Buf(sink, stall_ms, stall_every)) {
+  rdbuf(buf_);
+}
+
+StallingStream::~StallingStream() {
+  rdbuf(nullptr);
+  delete buf_;
+}
+
+int StallingStream::stalls() const noexcept { return buf_->stalls_; }
+
+// -------------------------------------------------------- RequestFuzzer --
+
+RequestFuzzer::RequestFuzzer(std::uint64_t seed) : seed_(seed) {}
+
+std::vector<FuzzItem> RequestFuzzer::generate(int n) {
+  // A small pool of (circuit, device) pairs so the request mix is heavy on
+  // repeats — the regime the cache exists for — and the cold-compile count
+  // stays bounded no matter how many lines the matrix asks for.
+  static const std::vector<std::pair<std::string, std::string>> kPool = [] {
+    std::vector<std::pair<std::string, std::string>> pool;
+    pool.emplace_back(to_openqasm(workloads::ghz(3)), "ibm_qx4");
+    pool.emplace_back(to_openqasm(workloads::ghz(4)), "ibm_qx4");
+    pool.emplace_back(to_openqasm(workloads::qft(4, false)), "ibm_qx5");
+    pool.emplace_back(to_openqasm(workloads::fig1_example()), "ibm_qx5");
+    return pool;
+  }();
+
+  std::vector<FuzzItem> items;
+  items.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    Rng rng(Rng::derive_stream(seed_, static_cast<std::uint64_t>(k)));
+    FuzzItem item;
+    item.id = "f" + std::to_string(next_id_++);
+    const int shape = rng.integer(0, 9);  // 0-6 well-formed, 7-9 malformed
+    if (shape <= 4) {
+      // Valid compile from the pool; few distinct seeds so most repeat.
+      const auto& [qasm, device] = kPool[rng.index(kPool.size())];
+      ServiceRequest request;
+      request.op = "compile";
+      request.id = item.id;
+      request.client = "fuzz" + std::to_string(rng.integer(0, 2));
+      request.device = device;
+      request.qasm = qasm;
+      request.seed = static_cast<std::uint64_t>(rng.integer(1, 2));
+      item.line = request.to_json().dump();
+      item.well_formed = true;
+      item.is_compile = true;
+    } else if (shape == 5) {
+      item.line = "{\"op\":\"ping\",\"id\":\"" + item.id + "\"}";
+      item.well_formed = true;
+    } else if (shape == 6) {
+      item.line = "{\"op\":\"stats\",\"id\":\"" + item.id + "\"}";
+      item.well_formed = true;
+    } else if (shape == 7) {
+      // Structurally broken: not JSON at all / wrong top-level type /
+      // unknown field or op — all must bounce as status:"error" without
+      // wedging the connection.
+      switch (rng.integer(0, 3)) {
+        case 0: item.line = "!!! not json at all #" + item.id; break;
+        case 1: item.line = "[1,2,3]"; break;
+        case 2:
+          item.line = "{\"op\":\"ping\",\"sead\":1,\"id\":\"x\"}";
+          break;
+        default: item.line = "{\"op\":\"explode\",\"id\":\"x\"}"; break;
+      }
+      item.id.clear();  // parse fails before the id is extracted
+    } else if (shape == 8) {
+      // Parses fine, fails semantically: unknown device (answers with id).
+      item.line = "{\"op\":\"compile\",\"id\":\"" + item.id +
+                  "\",\"device\":\"no_such_chip\",\"qasm\":\"OPENQASM 2.0;\"}";
+    } else {
+      // Parses fine, QASM does not.
+      item.line = "{\"op\":\"compile\",\"id\":\"" + item.id +
+                  "\",\"device\":\"ibm_qx4\",\"qasm\":\"qreg q[2]; woops\"}";
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace qmap::service

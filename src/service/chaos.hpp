@@ -1,0 +1,162 @@
+// Chaos harness for the compile service's JSON-lines transport.
+//
+// The serve() loop's contract — every accepted request gets exactly one
+// response, malformed bytes get a structured error, the process never
+// dies — is only worth stating if it survives hostile wire conditions.
+// This header provides the two seeded generators the chaos tests drive:
+//
+//   ChaosTransport  — a fault-injecting wire transformer. Takes clean
+//                     request lines plus FaultSpecs drawn from the
+//                     service.* points of the resilience FaultInjector
+//                     registry and produces the corrupted byte stream a
+//                     misbehaving client would send:
+//                       service.truncate-line — cut the line short;
+//                       service.garbage-bytes — splice non-UTF8 bytes in;
+//                       service.oversize-line — inflate past the request
+//                                               line cap;
+//                       service.disconnect    — stop mid-line (EOF), the
+//                                               rest of the stream is
+//                                               never delivered;
+//                       service.stall-write   — not a wire corruption:
+//                                               honored by StallingStream
+//                                               below, which models a slow
+//                                               client draining responses.
+//                     Decisions are pure functions of (seed, spec index,
+//                     line index) via the same splitmix chaining the
+//                     FaultInjector uses, so a fixed seed corrupts the
+//                     same lines in the same way on every run and thread
+//                     count — which is what lets the tests diff chaos-run
+//                     cache fingerprints against fault-free runs.
+//
+//   RequestFuzzer   — a seeded generator of mixed-validity JSON-lines
+//                     traffic: valid compiles (drawn from a small circuit
+//                     x device x seed pool so the cache absorbs repeats),
+//                     pings/stats, and the classic malformed shapes
+//                     (non-JSON bytes, unknown fields, unknown ops,
+//                     unknown devices, unparseable QASM, wrong types).
+//                     Each item records whether a conforming service must
+//                     answer it with a non-error status, so the matrix
+//                     can assert exact per-request outcomes.
+//
+// Both are deterministic, allocation-only (no clocks, no global state),
+// and live in the service library so the chaos tests, the tier-1 chaos
+// leg, and future soak tools share one definition.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "resilience/fault_injector.hpp"
+
+namespace qmap::service {
+
+struct ChaosConfig {
+  /// Armed wire faults. Points must be service.* names from
+  /// resilience::known_fault_points(); anything else throws at
+  /// construction (same contract as FaultInjector::add).
+  std::vector<resilience::FaultSpec> faults;
+  /// Seed for every fire/offset decision.
+  std::uint64_t seed = 0x5EED;
+  /// Bytes an oversize-line fault inflates the line to (must exceed the
+  /// service's max_request_line_bytes to matter).
+  std::size_t oversize_bytes = 1 << 16;
+  /// Garbage bytes spliced in by garbage-bytes.
+  std::size_t garbage_bytes = 16;
+};
+
+class ChaosTransport {
+ public:
+  /// One input line's fate on the corrupted wire.
+  struct LineFate {
+    std::string original;
+    /// Bytes actually sent for this line (no trailing '\n'). Meaningless
+    /// when !delivered.
+    std::string wire;
+    /// Names of the faults applied to this line (at most one today).
+    std::vector<std::string> faults;
+    /// True when the line reached the service byte-identical to the
+    /// original — only these may be asserted against fault-free runs.
+    bool intact = true;
+    /// False once a disconnect fault cut the stream upstream of this line.
+    bool delivered = true;
+    /// True when the line is the disconnect point itself (a prefix was
+    /// sent, then EOF with no newline).
+    bool cut_here = false;
+  };
+
+  explicit ChaosTransport(ChaosConfig config);
+
+  [[nodiscard]] const ChaosConfig& config() const noexcept { return config_; }
+
+  /// Applies the armed faults to each line in order; deterministic for a
+  /// fixed seed.
+  [[nodiscard]] std::vector<LineFate> corrupt(
+      const std::vector<std::string>& lines) const;
+
+  /// Serializes the fates back into the byte stream the service reads:
+  /// delivered lines joined with '\n', stopping (without a newline) at a
+  /// disconnect cut.
+  [[nodiscard]] static std::string wire(const std::vector<LineFate>& fates);
+
+  /// Lines the service will actually consume from this wire text: every
+  /// line whose trimmed content is non-empty gets exactly one response.
+  [[nodiscard]] static int expected_lines(const std::string& wire_text);
+
+ private:
+  [[nodiscard]] bool fires_(std::size_t spec_index, double probability,
+                            std::size_t line_index) const;
+  [[nodiscard]] std::uint64_t draw_(std::size_t spec_index,
+                                    std::size_t line_index,
+                                    std::uint64_t salt) const;
+
+  ChaosConfig config_;
+};
+
+/// An ostream whose streambuf sleeps `stall_ms` every `stall_every`
+/// flushed responses — the service.stall-write fault: a client that
+/// accepts bytes slowly. Writes are never lost, only delayed, so the
+/// one-response-per-request accounting still holds; the harness asserts
+/// the dispatchers tolerate the backpressure without deadlock.
+class StallingStream : public std::ostream {
+ public:
+  StallingStream(std::ostream& sink, double stall_ms, int stall_every = 8);
+  ~StallingStream() override;
+
+  /// Number of times the stall fired.
+  [[nodiscard]] int stalls() const noexcept;
+
+ private:
+  struct Buf;
+  Buf* buf_;
+};
+
+struct FuzzItem {
+  std::string line;
+  /// Correlation id carried by the request ("" for lines with none, e.g.
+  /// raw garbage).
+  std::string id;
+  /// True when a conforming service must answer with a non-"error" status
+  /// (assuming the line arrives intact).
+  bool well_formed = false;
+  /// True for well-formed compile ops (these have fingerprints to pin).
+  bool is_compile = false;
+};
+
+class RequestFuzzer {
+ public:
+  explicit RequestFuzzer(std::uint64_t seed = 0xFADE);
+
+  /// Generates `n` mixed-validity request lines: ~70% well-formed
+  /// (compile/ping/stats over a small circuit pool so caching absorbs the
+  /// repeats), ~30% malformed in structurally distinct ways. Ids are
+  /// unique ("f<k>"), so responses can be correlated exactly.
+  [[nodiscard]] std::vector<FuzzItem> generate(int n);
+
+ private:
+  std::uint64_t seed_;
+  int next_id_ = 0;
+};
+
+}  // namespace qmap::service

@@ -11,6 +11,12 @@
 //   printf '%s\n' '{"op":"compile","device":"ibm_qx4","qasm":"..."}' |
 //     nc -U /tmp/qmap.sock
 //
+// Lifecycle: SIGTERM/SIGINT trigger a graceful drain — the daemon stops
+// admitting (further submits answer status:"shed"), waits up to
+// --drain-ms for in-flight compiles, cancels stragglers, flushes every
+// response, and exits 0. SIGPIPE is ignored so a client hanging up
+// mid-response surfaces as a short write, never as daemon death.
+//
 // See README "Running the compile service" and DESIGN.md §10.
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +29,8 @@
 #include "service/service.hpp"
 
 #ifndef _WIN32
+#include <csignal>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -42,6 +50,10 @@ void usage(const char* argv0) {
       << "  --cache-shards N     result-cache lock shards (default 8)\n"
       << "  --negative-ttl-ms X  failed-outcome cache TTL (default 2000)\n"
       << "  --deadline-ms X      default per-request deadline (default none)\n"
+      << "  --drain-ms X         graceful-drain deadline on SIGTERM/SIGINT\n"
+      << "                       (default 2000; stragglers are cancelled)\n"
+      << "  --max-queued N       global queue budget; beyond it requests are\n"
+      << "                       shed (default 256, 0 = unlimited)\n"
       << "  --metrics            dump the obs metrics JSON to stderr on exit\n"
       << "  --help               this text\n";
 }
@@ -100,6 +112,8 @@ int serve_unix_socket(qmap::service::CompileService& service,
       const std::string reply = out.str();
       std::size_t written = 0;
       while (written < reply.size()) {
+        // SIGPIPE is ignored process-wide (main), so a client that hung
+        // up surfaces here as n <= 0 (EPIPE) and we just stop writing.
         const ssize_t n =
             ::write(fd, reply.data() + written, reply.size() - written);
         if (n <= 0) break;
@@ -120,6 +134,7 @@ int main(int argc, char** argv) {
   qmap::service::ServiceConfig config;
   std::string socket_path;
   bool dump_metrics = false;
+  double drain_ms = 2000.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -145,6 +160,11 @@ int main(int argc, char** argv) {
       config.cache.negative_ttl_ms = std::atof(next().c_str());
     } else if (arg == "--deadline-ms") {
       config.default_deadline_ms = std::atof(next().c_str());
+    } else if (arg == "--drain-ms") {
+      drain_ms = std::atof(next().c_str());
+    } else if (arg == "--max-queued") {
+      config.overload.max_queued_total =
+          static_cast<std::size_t>(std::atoll(next().c_str()));
     } else if (arg == "--metrics") {
       dump_metrics = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -157,9 +177,49 @@ int main(int argc, char** argv) {
     }
   }
 
+#ifndef _WIN32
+  // SIGPIPE immunity: a client hanging up mid-response must surface as a
+  // short write in the write loops, never kill the daemon. (The stdio
+  // path is covered too: an EPIPE'd std::cout just sets failbit.)
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Block the drain signals before any thread exists, so every thread —
+  // dispatchers, compile pool, socket sessions — inherits the mask and
+  // the dedicated sigwait thread below is their only receiver.
+  sigset_t drain_signals;
+  sigemptyset(&drain_signals);
+  sigaddset(&drain_signals, SIGTERM);
+  sigaddset(&drain_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &drain_signals, nullptr);
+#endif
+
   qmap::obs::Observer observer;
   config.obs = &observer;
   qmap::service::CompileService service(std::move(config));
+
+#ifndef _WIN32
+  // Graceful drain: first SIGTERM/SIGINT stops admission, finishes (or
+  // past the deadline, cancels) in-flight work, flushes responses, and
+  // exits 0. Detached: on a normal EOF exit the thread is still parked in
+  // sigwait and dies with the process.
+  std::thread([&service, &observer, drain_signals, drain_ms,
+               dump_metrics] {
+    int signal_number = 0;
+    sigset_t signals = drain_signals;
+    if (sigwait(&signals, &signal_number) != 0) return;
+    std::cerr << "qmap_serve: caught "
+              << (signal_number == SIGTERM ? "SIGTERM" : "SIGINT")
+              << ", draining (deadline " << drain_ms << "ms)\n";
+    const qmap::service::DrainReport report = service.drain(drain_ms);
+    std::cerr << "qmap_serve: drained in " << report.wall_ms << "ms"
+              << (report.clean ? "" : " (stragglers cancelled)") << "\n";
+    if (dump_metrics) {
+      std::cerr << observer.metrics().to_json().dump(2) << "\n";
+    }
+    std::cout.flush();
+    std::exit(0);
+  }).detach();
+#endif
 
   int rc = 0;
   if (!socket_path.empty()) {

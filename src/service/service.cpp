@@ -100,6 +100,8 @@ Json ServiceResponse::to_json() const {
   if (rung >= 0) object["validated"] = validated;
   object["wall_ms"] = wall_ms;
   if (!error.empty()) object["error"] = error;
+  if (retry_after_ms > 0.0) object["retry_after_ms"] = retry_after_ms;
+  if (!mode.empty()) object["mode"] = mode;
   if (!payload.is_null()) object["payload"] = payload;
   return Json(std::move(object));
 }
@@ -132,6 +134,7 @@ CompileService::CompileService(ServiceConfig config)
       }()),
       compile_pool_(config_.num_compile_threads) {
   config_.num_workers = std::max(1, config_.num_workers);
+  cost_estimate_ms_ = std::max(0.0, config_.overload.initial_cost_ms);
   if (config_.register_builtin_devices) {
     register_device(devices::ibm_qx4());
     register_device(devices::ibm_qx5());
@@ -158,10 +161,33 @@ void CompileService::register_device(Device device) {
   policy.obs = config_.obs;
   auto supervisor = std::make_unique<resilience::ResilientCompiler>(
       device, std::move(policy));
-  std::lock_guard<std::mutex> lock(devices_mutex_);
   std::string name = device.name();
+  auto breaker =
+      std::make_unique<resilience::CircuitBreaker>(config_.breaker);
+  breaker->on_transition = [this, name](resilience::BreakerState state) {
+    // Counters are aggregation-point increments (byte-deterministic for a
+    // deterministic failure sequence); the per-device gauge is the live
+    // dashboard view: 0 closed, 1 half-open, 2 open.
+    switch (state) {
+      case resilience::BreakerState::Open:
+        obs::add(config_.obs, "service.breaker_open");
+        break;
+      case resilience::BreakerState::HalfOpen:
+        obs::add(config_.obs, "service.breaker_half_open");
+        break;
+      case resilience::BreakerState::Closed:
+        obs::add(config_.obs, "service.breaker_closed");
+        break;
+    }
+    obs::set_gauge(config_.obs, "service.breaker." + name + ".state",
+                   state == resilience::BreakerState::Closed   ? 0.0
+                   : state == resilience::BreakerState::HalfOpen ? 1.0
+                                                                 : 2.0);
+  };
+  std::lock_guard<std::mutex> lock(devices_mutex_);
   devices_.insert_or_assign(
-      std::move(name), DeviceEntry{std::move(device), std::move(supervisor)});
+      std::move(name), DeviceEntry{std::move(device), std::move(supervisor),
+                                   std::move(breaker)});
 }
 
 std::vector<std::string> CompileService::device_names() const {
@@ -204,6 +230,8 @@ ServiceResponse CompileService::handle(const ServiceRequest& request) {
     obs::add(config_.obs, "service.requests.rejected");
   } else if (response.status == "cancelled") {
     obs::add(config_.obs, "service.requests.cancelled");
+  } else if (response.status == "unavailable") {
+    obs::add(config_.obs, "service.requests.unavailable");
   } else {
     obs::add(config_.obs, "service.requests.failed");
   }
@@ -250,9 +278,22 @@ void fill_from_outcome(ServiceResponse& response, const CachedOutcome& value,
   response.winner = value.winner_label;
   response.validated = value.validated;
   response.error = value.error;
+  if (value.brownout) response.mode = "brownout";
   if (verbose && !value.outcome_json.empty()) {
     response.payload = Json::parse(value.outcome_json);
   }
+}
+
+/// Settles the breaker verdict for a finished compile. Admission
+/// rejections are per-request verdicts (too many qubits), not device
+/// health — they release the acquisition instead of counting.
+void settle_breaker(resilience::CircuitBreaker& breaker,
+                    const CachedOutcome& value) {
+  if (!value.ok && starts_with(value.error, "rejected")) {
+    breaker.release();
+    return;
+  }
+  breaker.record(value.ok, value.error_class);
 }
 
 }  // namespace
@@ -290,10 +331,23 @@ ServiceResponse CompileService::handle_compile(const ServiceRequest& request) {
                                            ? request.deadline_ms
                                            : config_.default_deadline_ms;
 
+  resilience::CircuitBreaker& breaker = *entry->breaker;
+
   if (request.no_cache) {
+    if (!breaker.try_acquire()) {
+      obs::add(config_.obs, "service.breaker_fast_fail");
+      response.status = "unavailable";
+      response.error =
+          "device '" + request.device + "' circuit breaker open";
+      response.retry_after_ms = std::max(breaker.retry_after_ms(),
+                                         config_.overload.retry_after_ms);
+      return response;
+    }
     obs::add(config_.obs, "service.cache.bypass");
-    const CachedOutcome value = run_compile(*entry, request, circuit,
-                                            effective_deadline_ms, nullptr);
+    const CachedOutcome value =
+        guarded_compile(*entry, request, circuit, effective_deadline_ms,
+                        &drain_token_, brownout_active());
+    settle_breaker(breaker, value);
     fill_from_outcome(response, value, request.verbose);
     response.cache = "bypass";
     return response;
@@ -301,15 +355,35 @@ ServiceResponse CompileService::handle_compile(const ServiceRequest& request) {
 
   const std::string key = content_digest(
       canonical_request_text(request, circuit, effective_deadline_ms));
+
+  if (!breaker.try_acquire()) {
+    // Open breaker: cached answers (positive or negative — both are
+    // deterministic replays) still serve; only fresh work at the sick
+    // device fast-fails.
+    if (const auto cached = cache_.lookup(key)) {
+      fill_from_outcome(response, *cached, request.verbose);
+      response.cache = cached->ok ? "hit" : "negative-hit";
+      return response;
+    }
+    obs::add(config_.obs, "service.breaker_fast_fail");
+    response.status = "unavailable";
+    response.error = "device '" + request.device + "' circuit breaker open";
+    response.retry_after_ms = std::max(breaker.retry_after_ms(),
+                                       config_.overload.retry_after_ms);
+    return response;
+  }
+
   ResultCache::Lookup lookup = cache_.acquire(key);
 
   switch (lookup.kind) {
     case ResultCache::Lookup::Kind::Hit: {
+      breaker.release();  // no fresh work ran; verdict is neutral
       fill_from_outcome(response, *lookup.value, request.verbose);
       response.cache = lookup.value->ok ? "hit" : "negative-hit";
       return response;
     }
     case ResultCache::Lookup::Kind::Follower: {
+      breaker.release();  // the leader owns this compile's verdict
       track_flight(request.client, lookup.flight);
       const auto value = cache_.wait(lookup.flight);
       if (value == nullptr) {
@@ -330,19 +404,20 @@ ServiceResponse CompileService::handle_compile(const ServiceRequest& request) {
       break;
   }
 
+  // Drain cancels stragglers through this parent link; the flight's own
+  // token still fires on total client disinterest as before.
+  lookup.flight->token().link_parent(&drain_token_);
+
   track_flight(request.client, lookup.flight);
-  CachedOutcome value;
-  try {
-    value = run_compile(*entry, request, circuit, effective_deadline_ms,
-                        &lookup.flight->token());
-  } catch (const std::exception& e) {
-    value.ok = false;
-    value.error = std::string("compile threw: ") + e.what();
-  }
+  const CachedOutcome value =
+      guarded_compile(*entry, request, circuit, effective_deadline_ms,
+                      &lookup.flight->token(), brownout_active());
 
   if (!value.ok && lookup.flight->token().cancelled()) {
-    // Every interested client hung up mid-compile; don't poison the cache
-    // with a cancellation artifact.
+    // Every interested client hung up mid-compile (or drain fired); don't
+    // poison the cache with a cancellation artifact, and don't count it
+    // against the device either.
+    breaker.release();
     cache_.abandon(lookup.flight);
     untrack_flight(request.client, lookup.flight.get());
     response.status = "cancelled";
@@ -351,18 +426,46 @@ ServiceResponse CompileService::handle_compile(const ServiceRequest& request) {
     return response;
   }
 
-  cache_.complete(lookup.flight, value);
+  settle_breaker(breaker, value);
+  // Brownout answers are delivered (to this client and every follower)
+  // but never stored: a degraded rung-2 result must not be replayed as a
+  // hit after the overload clears.
+  cache_.complete(lookup.flight, value, /*store=*/!value.brownout);
   untrack_flight(request.client, lookup.flight.get());
   fill_from_outcome(response, value, request.verbose);
   response.cache = "miss";
   return response;
 }
 
+CachedOutcome CompileService::guarded_compile(const DeviceEntry& entry,
+                                              const ServiceRequest& request,
+                                              const Circuit& circuit,
+                                              double effective_deadline_ms,
+                                              const CancelToken* cancel,
+                                              bool brownout) {
+  const auto start = std::chrono::steady_clock::now();
+  CachedOutcome value;
+  try {
+    value = run_compile(entry, request, circuit, effective_deadline_ms,
+                        cancel, brownout);
+  } catch (const std::exception& e) {
+    // An exception that escaped the shielded ladder indicts the device's
+    // pipeline as hard as any Permanent failure.
+    value.ok = false;
+    value.error = std::string("compile threw: ") + e.what();
+    value.error_class = ErrorClass::Permanent;
+    value.brownout = brownout;
+  }
+  record_cost(wall_since(start));
+  return value;
+}
+
 CachedOutcome CompileService::run_compile(const DeviceEntry& entry,
                                           const ServiceRequest& request,
                                           const Circuit& circuit,
                                           double effective_deadline_ms,
-                                          const CancelToken* cancel) {
+                                          const CancelToken* cancel,
+                                          bool brownout) {
   CachedOutcome out;
 
   // Shared admission path: the same supervisor assess() that
@@ -390,6 +493,13 @@ CachedOutcome CompileService::run_compile(const DeviceEntry& entry,
     policy.rung1_pipeline = request.pipeline->canonical();
     policy.first_rung = std::max(policy.first_rung, 1);
   }
+  if (brownout) {
+    // Sustained overload: skip straight to the cheap never-fails rung so
+    // the queue keeps moving. The answer is marked and never cached.
+    policy.first_rung = std::max(policy.first_rung, 2);
+    out.brownout = true;
+    obs::add(config_.obs, "service.brownout_compiles");
+  }
 
   const resilience::ResilientCompiler compiler(entry.device,
                                                std::move(policy));
@@ -405,6 +515,20 @@ CachedOutcome CompileService::run_compile(const DeviceEntry& entry,
   out.rung = outcome.rung;
   out.validated = outcome.validated;
   out.error = outcome.error;
+  if (!out.ok) {
+    // Terminal recovery class for the breaker: the last rung that actually
+    // attempted work decides; cancellations are Transient whatever the
+    // rung reported (a hung-up client says nothing about the device).
+    out.error_class = ErrorClass::Permanent;
+    for (auto it = outcome.rungs.rbegin(); it != outcome.rungs.rend(); ++it) {
+      if (it->skipped || it->attempts.empty()) continue;
+      out.error_class = it->attempts.back().error_class;
+      break;
+    }
+    if (out.error.find("cancel") != std::string::npos) {
+      out.error_class = ErrorClass::Transient;
+    }
+  }
   return out;
 }
 
@@ -451,6 +575,7 @@ void CompileService::disconnect(const std::string& client) {
       queued_ -= flushed.size();
       obs::set_gauge(config_.obs, "service.queue_depth",
                      static_cast<double>(queued_));
+      update_brownout_locked();
     }
   }
   for (auto& pending : flushed) {
@@ -480,12 +605,82 @@ void CompileService::disconnect(const std::string& client) {
   for (const auto& flight : dropped) flight->drop_interest();
 }
 
+LoadDecision CompileService::assess_load(double deadline_ms) const {
+  LoadDecision decision;
+  std::size_t queued = 0;
+  bool draining = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queued = queued_;
+    draining = draining_ || stopping_;
+  }
+  std::size_t outstanding = 0;
+  {
+    std::lock_guard<std::mutex> lock(outstanding_mutex_);
+    outstanding = outstanding_;
+  }
+  double cost_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(cost_mutex_);
+    cost_ms = cost_estimate_ms_;
+  }
+  // Outstanding (queued + executing) over the dispatcher width: the wait a
+  // request admitted *now* would see if every request ahead of it costs
+  // the EMA estimate.
+  decision.predicted_wait_ms = static_cast<double>(outstanding) * cost_ms /
+                               static_cast<double>(
+                                   std::max(1, config_.num_workers));
+  decision.brownout = brownout_.load(std::memory_order_relaxed);
+  if (draining) {
+    decision.shed = true;
+    decision.reason = "service draining";
+  } else if (config_.overload.max_queued_total > 0 &&
+             queued >= config_.overload.max_queued_total) {
+    decision.shed = true;
+    decision.reason =
+        "queue budget exhausted (max " +
+        std::to_string(config_.overload.max_queued_total) + ")";
+  } else if (deadline_ms > 0.0 &&
+             decision.predicted_wait_ms > deadline_ms) {
+    decision.shed = true;
+    decision.reason = "predicted queue wait " +
+                      format_double(decision.predicted_wait_ms) +
+                      "ms exceeds deadline " + format_double(deadline_ms) +
+                      "ms";
+  }
+  if (decision.shed) {
+    decision.retry_after_ms = std::max(config_.overload.retry_after_ms,
+                                       decision.predicted_wait_ms);
+  }
+  return decision;
+}
+
 void CompileService::submit(ServiceRequest request,
                             std::function<void(ServiceResponse)> done) {
+  // Overload admission before the queue lock: shedding is deliberately a
+  // read-only decision (a racing submit may slip one request past the
+  // budget; the budget is a watermark, not an invariant).
+  const double effective_deadline_ms = request.deadline_ms > 0.0
+                                           ? request.deadline_ms
+                                           : config_.default_deadline_ms;
+  const LoadDecision decision = assess_load(effective_deadline_ms);
+  if (decision.shed) {
+    obs::add(config_.obs, "service.requests");
+    obs::add(config_.obs, "service.shed");
+    ServiceResponse response;
+    response.id = request.id;
+    response.client = request.client;
+    response.status = "shed";
+    response.error = decision.reason;
+    response.retry_after_ms = decision.retry_after_ms;
+    if (done) done(std::move(response));
+    return;
+  }
+
   bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (stopping_) {
+    if (stopping_ || draining_) {
       rejected = true;
     } else {
       ClientQueue& queue = queues_[request.client];
@@ -499,6 +694,7 @@ void CompileService::submit(ServiceRequest request,
         ++queued_;
         obs::set_gauge(config_.obs, "service.queue_depth",
                        static_cast<double>(queued_));
+        update_brownout_locked();
         {
           std::lock_guard<std::mutex> outstanding_lock(outstanding_mutex_);
           ++outstanding_;
@@ -562,6 +758,7 @@ void CompileService::worker_loop() {
       --queued_;
       obs::set_gauge(config_.obs, "service.queue_depth",
                      static_cast<double>(queued_));
+      update_brownout_locked();
     }
     ServiceResponse response = handle(pending.request);
     if (pending.done) pending.done(std::move(response));
@@ -580,6 +777,126 @@ void CompileService::wait_idle() {
   outstanding_cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
+void CompileService::update_brownout_locked() {
+  if (!config_.overload.brownout_enabled ||
+      config_.overload.max_queued_total == 0) {
+    return;
+  }
+  const double total =
+      static_cast<double>(config_.overload.max_queued_total);
+  const double depth = static_cast<double>(queued_);
+  const bool active = brownout_.load(std::memory_order_relaxed);
+  if (!active &&
+      depth >= config_.overload.brownout_enter_fraction * total) {
+    brownout_.store(true, std::memory_order_relaxed);
+    obs::add(config_.obs, "service.brownout_entered");
+    obs::set_gauge(config_.obs, "service.brownout", 1.0);
+  } else if (active &&
+             depth <= config_.overload.brownout_exit_fraction * total) {
+    brownout_.store(false, std::memory_order_relaxed);
+    obs::add(config_.obs, "service.brownout_exited");
+    obs::set_gauge(config_.obs, "service.brownout", 0.0);
+  }
+}
+
+bool CompileService::brownout_active() const noexcept {
+  return brownout_.load(std::memory_order_relaxed);
+}
+
+void CompileService::record_cost(double wall_ms) {
+  std::lock_guard<std::mutex> lock(cost_mutex_);
+  const double alpha =
+      std::min(1.0, std::max(0.0, config_.overload.cost_ema_alpha));
+  cost_estimate_ms_ = (1.0 - alpha) * cost_estimate_ms_ + alpha * wall_ms;
+  obs::set_gauge(config_.obs, "service.cost_estimate_ms", cost_estimate_ms_);
+}
+
+resilience::BreakerState CompileService::breaker_state(
+    const std::string& device) const {
+  std::lock_guard<std::mutex> lock(devices_mutex_);
+  const auto it = devices_.find(device);
+  if (it == devices_.end()) return resilience::BreakerState::Closed;
+  return it->second.breaker->state();
+}
+
+bool CompileService::draining() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return draining_;
+}
+
+DrainReport CompileService::drain(double deadline_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    draining_ = true;
+  }
+  DrainReport report;
+  {
+    std::unique_lock<std::mutex> lock(outstanding_mutex_);
+    if (deadline_ms > 0.0) {
+      report.clean = outstanding_cv_.wait_for(
+          lock, std::chrono::duration<double, std::milli>(deadline_ms),
+          [this] { return outstanding_ == 0; });
+    } else {
+      outstanding_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    }
+  }
+  if (!report.clean) {
+    // Deadline passed with work still in flight: fire the drain token —
+    // every leader/bypass compile is parent-linked to it — and wait for
+    // the cancellations to flush. Each request still gets its response
+    // (status "cancelled"), just not its result.
+    obs::add(config_.obs, "service.drain_forced");
+    drain_token_.cancel();
+    std::unique_lock<std::mutex> lock(outstanding_mutex_);
+    outstanding_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+  report.wall_ms = wall_since(start);
+  obs::observe(config_.obs, "service.drain_ms", report.wall_ms);
+  return report;
+}
+
+namespace {
+
+enum class LineRead { Eof, Ok, OverCap };
+
+/// getline with a byte cap: an over-cap line is discarded (the bytes are
+/// drained up to the newline but never accumulated, so one hostile line
+/// cannot balloon memory) and reported so the caller can answer it.
+/// `has_content` mirrors the serve() loop's blank-line skip: over-cap
+/// whitespace runs are ignored exactly like short ones.
+[[nodiscard]] LineRead read_request_line(std::istream& in, std::string& line,
+                                         std::size_t cap, bool& has_content) {
+  line.clear();
+  has_content = false;
+  std::streambuf* buf = in.rdbuf();
+  bool over = false;
+  bool any = false;
+  for (;;) {
+    const int ch = buf->sbumpc();
+    if (ch == std::char_traits<char>::eof()) {
+      in.setstate(std::ios::eofbit);
+      if (!any) return LineRead::Eof;
+      return over ? LineRead::OverCap : LineRead::Ok;
+    }
+    any = true;
+    if (ch == '\n') return over ? LineRead::OverCap : LineRead::Ok;
+    const char c = static_cast<char>(ch);
+    if (c != ' ' && c != '\t' && c != '\r' && c != '\v' && c != '\f') {
+      has_content = true;
+    }
+    if (over) continue;  // draining the rest of an over-cap line
+    line.push_back(c);
+    if (cap > 0 && line.size() > cap) {
+      over = true;
+      line.clear();
+      line.shrink_to_fit();
+    }
+  }
+}
+
+}  // namespace
+
 int CompileService::serve(std::istream& in, std::ostream& out) {
   // Workers answer concurrently; one mutex keeps response lines whole.
   // serve() outlives every pending done-callback (wait_idle below), so
@@ -593,9 +910,23 @@ int CompileService::serve(std::istream& in, std::ostream& out) {
 
   int lines = 0;
   std::string line;
-  while (std::getline(in, line)) {
-    if (trim(line).empty()) continue;
+  for (;;) {
+    bool has_content = false;
+    const LineRead read = read_request_line(
+        in, line, config_.max_request_line_bytes, has_content);
+    if (read == LineRead::Eof) break;
+    if (!has_content) continue;
     ++lines;
+    if (read == LineRead::OverCap) {
+      obs::add(config_.obs, "service.requests.invalid");
+      ServiceResponse response;
+      response.status = "error";
+      response.error =
+          "request line exceeds " +
+          std::to_string(config_.max_request_line_bytes) + "-byte cap";
+      write_line(response);
+      continue;
+    }
     ServiceRequest request;
     try {
       request = ServiceRequest::from_json(Json::parse(line));

@@ -35,13 +35,31 @@
 //   * disconnects: disconnect(client) flushes the client's queued
 //     requests and drops its interest in in-flight compiles; a compile no
 //     other client is waiting on is cancelled through the engine's
-//     CancelToken parent-links (engine/cancel.hpp) and never cached.
+//     CancelToken parent-links (engine/cancel.hpp) and never cached;
+//   * overload control: a global queue budget on top of the per-client
+//     cap, deadline-aware shedding (a request whose predicted queue wait
+//     already exceeds its deadline is answered `status:"shed"` with a
+//     `retry_after_ms` hint instead of compiling doomed work), and a
+//     brownout mode that down-tiers cold compiles to the cheap rung-2
+//     pipeline while the queue stays hot — degraded answers are delivered
+//     but never cached, so they cannot outlive the overload;
+//   * circuit breakers: each device owns a resilience::CircuitBreaker;
+//     consecutive Permanent/crash outcomes open it and further compiles
+//     fast-fail `status:"unavailable"` (cache hits still serve) until
+//     timed half-open probes succeed;
+//   * graceful drain: drain(deadline_ms) stops admission, waits for
+//     in-flight work, then cancels stragglers through the drain token —
+//     qmap_serve wires SIGTERM/SIGINT to it so a supervisor restart never
+//     drops an accepted request on the floor.
 //
 // Transport is a JSON-lines loop over any std::istream/std::ostream
 // (serve()); the qmap_serve binary wires it to stdin/stdout or a Unix
-// socket. Metrics land under service.* (DESIGN.md §10, linted).
+// socket. Request lines are read under a byte cap (max_request_line_bytes)
+// so a hostile client cannot balloon memory with one endless line.
+// Metrics land under service.* (DESIGN.md §10, linted).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -61,6 +79,7 @@
 #include "engine/thread_pool.hpp"
 #include "ir/circuit.hpp"
 #include "pass/spec.hpp"
+#include "resilience/breaker.hpp"
 #include "resilience/resilience.hpp"
 #include "service/cache.hpp"
 
@@ -100,7 +119,10 @@ struct ServiceRequest {
 struct ServiceResponse {
   std::string id;
   std::string client;
-  /// "ok" | "error" | "rejected" | "cancelled" | "pong" | "stats".
+  /// "ok" | "error" | "rejected" | "cancelled" | "pong" | "stats" |
+  /// "shed" (overload admission refused the request; retry after
+  /// `retry_after_ms`) | "unavailable" (the device's circuit breaker is
+  /// open; retry after `retry_after_ms`).
   std::string status;
   /// Compile ops: "hit" | "negative-hit" | "miss" | "coalesced" | "bypass".
   std::string cache;
@@ -113,10 +135,57 @@ struct ServiceResponse {
   /// Service-side latency (queue wait + compile or cache lookup).
   double wall_ms = 0.0;
   std::string error;
+  /// Client backoff hint, serialized only when > 0 (shed/unavailable).
+  double retry_after_ms = 0.0;
+  /// "brownout" when the answer came from an overload-down-tiered compile
+  /// (rung 2, never cached); empty otherwise.
+  std::string mode;
   /// stats op: cache/queue stats. verbose compile: full outcome JSON.
   Json payload;
 
   [[nodiscard]] Json to_json() const;
+};
+
+/// Overload-control knobs. The global budget and the predicted-wait model
+/// gate admission in submit(); brownout is hysteresis on the global queue
+/// depth. All of it is disabled by max_queued_total = 0.
+struct OverloadConfig {
+  /// Global cap on queued requests across all clients (0 = unlimited,
+  /// which also disables brownout).
+  std::size_t max_queued_total = 256;
+  /// Floor for the retry_after_ms hint on shed/unavailable responses.
+  double retry_after_ms = 100.0;
+  /// Cold-start per-compile cost estimate feeding the predicted-wait
+  /// model before any compile has been observed.
+  double initial_cost_ms = 50.0;
+  /// EMA weight for observed cold-compile cost (0 pins the estimate).
+  double cost_ema_alpha = 0.2;
+  /// Brownout enters when queued >= enter_fraction * max_queued_total...
+  double brownout_enter_fraction = 0.75;
+  /// ...and exits when queued <= exit_fraction * max_queued_total.
+  double brownout_exit_fraction = 0.25;
+  bool brownout_enabled = true;
+};
+
+/// One admission verdict from CompileService::assess_load().
+struct LoadDecision {
+  bool shed = false;
+  /// Human-readable shed reason (becomes the response error).
+  std::string reason;
+  /// outstanding * cost_estimate / num_workers at decision time.
+  double predicted_wait_ms = 0.0;
+  /// Backoff hint (max of the configured floor and the predicted wait).
+  double retry_after_ms = 0.0;
+  /// True when brownout mode was active at decision time.
+  bool brownout = false;
+};
+
+/// Result of CompileService::drain().
+struct DrainReport {
+  /// True when every outstanding request finished inside the deadline;
+  /// false when the drain token had to cancel stragglers.
+  bool clean = true;
+  double wall_ms = 0.0;
 };
 
 struct ServiceConfig {
@@ -139,6 +208,15 @@ struct ServiceConfig {
   /// Base policy for every compile; per-request seed/deadline/pipeline/
   /// cancellation are overlaid per request.
   resilience::Policy policy;
+  /// Overload admission / brownout knobs.
+  OverloadConfig overload;
+  /// Per-device circuit breaker shape (breaker.failure_threshold <= 0
+  /// disables breakers entirely).
+  resilience::BreakerConfig breaker;
+  /// serve(): longest request line accepted, in bytes (0 = unlimited).
+  /// Over-cap lines are discarded and answered status:"error" without
+  /// wedging the connection.
+  std::size_t max_request_line_bytes = std::size_t(1) << 20;
   /// Register qx4/qx5/surface7/surface17 at construction.
   bool register_builtin_devices = true;
   /// Metrics/trace sink (not owned; null disables recording).
@@ -184,6 +262,27 @@ class CompileService {
   /// interested client is cancelled and not cached.
   void disconnect(const std::string& client);
 
+  /// Overload admission verdict for a request carrying `deadline_ms`
+  /// (0 = no deadline). submit() consults this before enqueueing; exposed
+  /// so tools/benches can probe the shed decision without side effects.
+  [[nodiscard]] LoadDecision assess_load(double deadline_ms) const;
+
+  /// Graceful drain: stop admitting (further submits are shed with
+  /// "service draining"), wait up to `deadline_ms` for outstanding
+  /// requests, then cancel stragglers through the drain token and wait for
+  /// them to flush. Every accepted request still gets its one response.
+  /// Idempotent; deadline_ms <= 0 waits without forcing. qmap_serve calls
+  /// this from its SIGTERM/SIGINT handler thread.
+  DrainReport drain(double deadline_ms);
+
+  /// True once drain() has begun (new submits are being shed).
+  [[nodiscard]] bool draining() const;
+  /// True while brownout mode is down-tiering cold compiles.
+  [[nodiscard]] bool brownout_active() const noexcept;
+  /// The named device's breaker state (Closed for unknown devices).
+  [[nodiscard]] resilience::BreakerState breaker_state(
+      const std::string& device) const;
+
   /// JSON-lines loop: one request per line from `in`, one response per
   /// line to `out` in completion order (correlate by id). Returns once
   /// `in` hits EOF and every accepted request was answered. Returns the
@@ -205,6 +304,8 @@ class CompileService {
     /// Base-policy supervisor: its assess() is the one admission path
     /// (shared with resilience::compile/compile_batch by construction).
     std::unique_ptr<resilience::ResilientCompiler> supervisor;
+    /// Per-device breaker; cheap no-op when failure_threshold <= 0.
+    std::unique_ptr<resilience::CircuitBreaker> breaker;
   };
 
   struct Pending {
@@ -223,12 +324,26 @@ class CompileService {
                                           const ServiceRequest& request,
                                           const Circuit& circuit,
                                           double effective_deadline_ms,
-                                          const CancelToken* cancel);
+                                          const CancelToken* cancel,
+                                          bool brownout);
+  /// Leader/bypass compile with crash containment and cost accounting;
+  /// settles the breaker verdict is left to the caller (the cancelled
+  /// path needs release(), not record()).
+  [[nodiscard]] CachedOutcome guarded_compile(const DeviceEntry& entry,
+                                              const ServiceRequest& request,
+                                              const Circuit& circuit,
+                                              double effective_deadline_ms,
+                                              const CancelToken* cancel,
+                                              bool brownout);
   void track_flight(const std::string& client,
                     const std::shared_ptr<ResultCache::Flight>& flight);
   void untrack_flight(const std::string& client,
                       const ResultCache::Flight* flight);
   void finish_one();
+  /// Re-evaluates brownout hysteresis; requires queue_mutex_ held.
+  void update_brownout_locked();
+  /// Folds an observed cold-compile cost into the EMA estimate.
+  void record_cost(double wall_ms);
 
   ServiceConfig config_;
   ResultCache cache_;
@@ -238,13 +353,15 @@ class CompileService {
   std::map<std::string, DeviceEntry> devices_;
 
   // Dispatch state: per-client FIFO queues drained round-robin.
-  std::mutex queue_mutex_;
+  // (mutable: assess_load() is logically const but reads queued_.)
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::map<std::string, ClientQueue> queues_;
   /// Round-robin rotation of client names with waiting requests.
   std::deque<std::string> rotation_;
   std::size_t queued_ = 0;
   bool stopping_ = false;
+  bool draining_ = false;
   std::vector<std::thread> workers_;
 
   // In-flight interest: client -> flights it is waiting on.
@@ -252,9 +369,18 @@ class CompileService {
   std::multimap<std::string, std::weak_ptr<ResultCache::Flight>> flights_;
 
   // Outstanding = queued + executing; serve()/wait_idle() block on zero.
-  std::mutex outstanding_mutex_;
+  mutable std::mutex outstanding_mutex_;
   std::condition_variable outstanding_cv_;
   std::size_t outstanding_ = 0;
+
+  // Overload state: EMA of cold-compile cost + brownout latch.
+  mutable std::mutex cost_mutex_;
+  double cost_estimate_ms_ = 0.0;  // seeded from overload.initial_cost_ms
+  std::atomic<bool> brownout_{false};
+
+  /// Parent token every leader/bypass compile links to; drain() fires it
+  /// to cancel stragglers past the drain deadline.
+  CancelToken drain_token_;
 };
 
 }  // namespace qmap::service

@@ -19,6 +19,7 @@
 #include "layout/placers.hpp"
 #include "resilience/admission.hpp"
 #include "resilience/backoff.hpp"
+#include "resilience/breaker.hpp"
 #include "resilience/fault_injector.hpp"
 #include "resilience/resilience.hpp"
 #include "verify/shrink.hpp"
@@ -405,7 +406,8 @@ TEST(FaultInjectorRegistry, DecisionsAreDeterministicPerCoordinates) {
 TEST(FaultInjectorRegistry, KnownPointsAreStable) {
   const std::vector<std::string> expected = {
       "throw-in-placer", "throw-in-router", "stall-ms", "corrupt-result",
-      "oom-simulate"};
+      "oom-simulate", "service.truncate-line", "service.garbage-bytes",
+      "service.oversize-line", "service.disconnect", "service.stall-write"};
   EXPECT_EQ(resilience::known_fault_points(), expected);
 }
 
@@ -656,6 +658,146 @@ TEST(Resilience, DefaultRungsMatchTheirPipelineSpecForm) {
   ASSERT_TRUE(implicit.ok);
   ASSERT_TRUE(explicit_spec.ok);
   EXPECT_EQ(implicit.fingerprint(), explicit_spec.fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker (fake clock; no sleeping).
+// ---------------------------------------------------------------------------
+
+using resilience::BreakerConfig;
+using resilience::BreakerState;
+using resilience::CircuitBreaker;
+
+namespace {
+
+BreakerConfig fast_breaker(std::int64_t* clock_us) {
+  BreakerConfig config;
+  config.failure_threshold = 3;
+  config.open_ms = 100.0;
+  config.now_us = [clock_us] { return *clock_us; };
+  return config;
+}
+
+}  // namespace
+
+TEST(CircuitBreaker, ConsecutivePermanentFailuresOpenIt) {
+  std::int64_t clock_us = 0;
+  CircuitBreaker breaker(fast_breaker(&clock_us));
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.try_acquire());
+    breaker.on_failure();
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  }
+  ASSERT_TRUE(breaker.try_acquire());
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_FALSE(breaker.try_acquire());
+  EXPECT_GT(breaker.retry_after_ms(), 0.0);
+  EXPECT_LE(breaker.retry_after_ms(), 100.0);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheConsecutiveCount) {
+  std::int64_t clock_us = 0;
+  CircuitBreaker breaker(fast_breaker(&clock_us));
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(breaker.try_acquire());
+    breaker.on_failure();
+    ASSERT_TRUE(breaker.try_acquire());
+    breaker.on_failure();
+    ASSERT_TRUE(breaker.try_acquire());
+    breaker.on_success();  // the streak never reaches 3
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreaker, TransientAndResourceOutcomesNeverCount) {
+  std::int64_t clock_us = 0;
+  CircuitBreaker breaker(fast_breaker(&clock_us));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(breaker.try_acquire());
+    breaker.record(false, i % 2 == 0 ? ErrorClass::Transient
+                                     : ErrorClass::ResourceExhausted);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeClosesOnSuccess) {
+  std::int64_t clock_us = 0;
+  CircuitBreaker breaker(fast_breaker(&clock_us));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.try_acquire());
+    breaker.on_failure();
+  }
+  ASSERT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_FALSE(breaker.try_acquire());
+
+  clock_us += 100 * 1000;  // open window lapses
+  ASSERT_TRUE(breaker.try_acquire());  // the probe
+  EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+  // Only one concurrent probe is admitted.
+  EXPECT_FALSE(breaker.try_acquire());
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  EXPECT_TRUE(breaker.try_acquire());
+  breaker.release();
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopensWithFreshWindow) {
+  std::int64_t clock_us = 0;
+  CircuitBreaker breaker(fast_breaker(&clock_us));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.try_acquire());
+    breaker.on_failure();
+  }
+  clock_us += 100 * 1000;
+  ASSERT_TRUE(breaker.try_acquire());
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  // Fresh window: still denied until another open_ms passes.
+  clock_us += 50 * 1000;
+  EXPECT_FALSE(breaker.try_acquire());
+  clock_us += 50 * 1000;
+  EXPECT_TRUE(breaker.try_acquire());
+  EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+  breaker.release();  // neutral verdict frees the probe slot
+  EXPECT_TRUE(breaker.try_acquire());
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+}
+
+TEST(CircuitBreaker, TransitionCallbackSeesEveryState) {
+  std::int64_t clock_us = 0;
+  CircuitBreaker breaker(fast_breaker(&clock_us));
+  std::vector<BreakerState> seen;
+  breaker.on_transition = [&seen](BreakerState state) {
+    seen.push_back(state);
+  };
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.try_acquire());
+    breaker.on_failure();
+  }
+  clock_us += 100 * 1000;
+  ASSERT_TRUE(breaker.try_acquire());
+  breaker.on_success();
+  const std::vector<BreakerState> expected = {
+      BreakerState::Open, BreakerState::HalfOpen, BreakerState::Closed};
+  EXPECT_EQ(seen, expected);
+  EXPECT_STREQ(resilience::breaker_state_name(BreakerState::HalfOpen),
+               "half-open");
+}
+
+TEST(CircuitBreaker, ZeroThresholdDisablesEntirely) {
+  BreakerConfig config;
+  config.failure_threshold = 0;
+  CircuitBreaker breaker(config);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(breaker.try_acquire());
+    breaker.on_failure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  EXPECT_EQ(breaker.retry_after_ms(), 0.0);
 }
 
 }  // namespace

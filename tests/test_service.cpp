@@ -199,6 +199,55 @@ TEST(ResultCache, NegativeEntryExpiresAfterTtlOnFakeClock) {
   cache.abandon(after.flight);
 }
 
+TEST(ResultCache, RePoisoningAfterExpiryGetsAFreshTtl) {
+  std::int64_t fake_now_us = 0;
+  CacheConfig config;
+  config.shards = 1;
+  config.negative_ttl_ms = 5.0;
+  config.now_us = [&fake_now_us] { return fake_now_us; };
+  ResultCache cache(config);
+
+  cache.insert("poison", make_outcome("bad", /*ok=*/false));
+  fake_now_us += 5000;  // first poisoning expires
+  auto leader = cache.acquire("poison");
+  ASSERT_EQ(leader.kind, ResultCache::Lookup::Kind::Leader);
+  EXPECT_EQ(cache.stats().expired, 1u);
+  // The fresh failure re-poisons the key: its TTL is stamped now, not
+  // inherited from the dead entry.
+  cache.complete(leader.flight, make_outcome("bad-again", /*ok=*/false));
+
+  fake_now_us += 4999;  // one tick inside the new window: still served
+  auto inside = cache.acquire("poison");
+  ASSERT_EQ(inside.kind, ResultCache::Lookup::Kind::Hit);
+  EXPECT_FALSE(inside.value->ok);
+  EXPECT_EQ(cache.stats().negative_hits, 1u);
+
+  fake_now_us += 1;  // the new window lapses too
+  auto fresh = cache.acquire("poison");
+  EXPECT_EQ(fresh.kind, ResultCache::Lookup::Kind::Leader);
+  EXPECT_EQ(cache.stats().expired, 2u);
+  cache.abandon(fresh.flight);
+}
+
+TEST(ResultCache, LookupPathExpiresNegativeEntriesToo) {
+  // lookup() — the read-only path the open-breaker fast-lane uses — must
+  // apply the same TTL as acquire(), not resurrect stale poison.
+  std::int64_t fake_now_us = 0;
+  CacheConfig config;
+  config.shards = 1;
+  config.negative_ttl_ms = 5.0;
+  config.now_us = [&fake_now_us] { return fake_now_us; };
+  ResultCache cache(config);
+
+  cache.insert("poison", make_outcome("bad", /*ok=*/false));
+  ASSERT_NE(cache.lookup("poison"), nullptr);
+
+  fake_now_us += 5000;
+  EXPECT_EQ(cache.lookup("poison"), nullptr);
+  EXPECT_EQ(cache.stats().expired, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
 TEST(ResultCache, NegativeTtlZeroDisablesNegativeCaching) {
   CacheConfig config;
   config.negative_ttl_ms = 0.0;
