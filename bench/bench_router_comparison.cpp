@@ -83,13 +83,20 @@ void BM_Router(benchmark::State& state) {
   if (workload == 0) {
     Rng rng(99);
     program = workloads::random_circuit(10, 80, rng, 0.45);
-  } else {
+  } else if (workload == 1) {
     // The paper's Fig. 1 example on QX5: the front-layer CX at distance 2
     // is exactly the shape BRIDGE exists for — sabre pays two SWAPs where
     // bridge pays one 4-CX template and keeps the placement.
     device = devices::ibm_qx5();
     program = workloads::fig1_example();
     workload_label = "fig1@qx5";
+  } else {
+    // QFT(8) on QX5: the dense controlled-phase ladder keeps every router's
+    // front layer busy — the headline workload for RouteIR's route-time
+    // gate in scripts/bench_snapshot.sh.
+    device = devices::ibm_qx5();
+    program = workloads::qft(8);
+    workload_label = "qft8@qx5";
   }
   const Circuit circuit = lower_to_device(program, device, true);
   const Placement initial = GreedyPlacer().place(circuit, device);
@@ -107,7 +114,7 @@ void BM_Router(benchmark::State& state) {
   state.SetLabel(std::string(router) + "/" + workload_label);
 }
 BENCHMARK(BM_Router)
-    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}});
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1, 2}});
 
 void BM_GreedyPlacement(benchmark::State& state) {
   const Device device = devices::surface17();

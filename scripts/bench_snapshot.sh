@@ -26,13 +26,18 @@ for bench in ${BENCHES}; do
   name="${bench#bench_}"
   raw="${BUILD}/${bench}.raw.json"
   out="BENCH_${name}.json"
+  # The router bench carries the perf-regression gate, so it runs with 3
+  # repetitions and the snapshot stores the per-benchmark *median* —
+  # single-shot numbers are too noisy to diff across PRs.
+  reps=1
+  if [ "${name}" = "router_comparison" ]; then reps=3; fi
   # The binaries print their paper-figure prose to stdout, so take the
   # JSON via --benchmark_out instead of mixing both streams.
   "./${BUILD}/bench/${bench}" \
     --benchmark_out="${raw}" --benchmark_out_format=json \
-    --benchmark_repetitions=1 >/dev/null
+    --benchmark_repetitions="${reps}" >/dev/null
   python3 - "${raw}" "${out}" "${name}" <<'PY'
-import json, sys
+import json, os, statistics, sys
 
 raw_path, out_path, name = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(raw_path) as f:
@@ -48,20 +53,36 @@ STANDARD_KEYS = {
     "family_index", "per_family_instance_index", "aggregate_name",
 }
 
-benchmarks = []
+# Group repetitions by benchmark name; each snapshot entry is the median
+# over its repetitions (a single run is its own median), so the schema is
+# one entry per benchmark regardless of the repetition count.
+grouped = {}
+order = []
 for bench in raw.get("benchmarks", []):
     if bench.get("run_type") == "aggregate":
         continue
+    if bench["name"] not in grouped:
+        grouped[bench["name"]] = []
+        order.append(bench["name"])
+    grouped[bench["name"]].append(bench)
+
+benchmarks = []
+for bench_name in order:
+    reps = grouped[bench_name]
+    first = reps[0]
     entry = {
-        "name": bench["name"],
-        "label": bench.get("label", ""),
-        "real_time_ms": round(to_ms(bench["real_time"], bench["time_unit"]), 6),
-        "cpu_time_ms": round(to_ms(bench["cpu_time"], bench["time_unit"]), 6),
-        "iterations": bench["iterations"],
+        "name": bench_name,
+        "label": first.get("label", ""),
+        "real_time_ms": round(statistics.median(
+            to_ms(r["real_time"], r["time_unit"]) for r in reps), 6),
+        "cpu_time_ms": round(statistics.median(
+            to_ms(r["cpu_time"], r["time_unit"]) for r in reps), 6),
+        "iterations": first["iterations"],
     }
     # User counters (quality metrics like added_cx/depth) appear as extra
-    # numeric keys in the raw JSON; carry them into the snapshot.
-    counters = {k: v for k, v in bench.items()
+    # numeric keys in the raw JSON; carry them into the snapshot. They are
+    # deterministic per benchmark, so the first repetition's values stand.
+    counters = {k: v for k, v in first.items()
                 if k not in STANDARD_KEYS and isinstance(v, (int, float))}
     if counters:
         entry["counters"] = counters
@@ -74,7 +95,7 @@ if name == "router_comparison":
     # against sabre per workload. Negative added_cx delta = fewer inserted
     # CXs than sabre (the BRIDGE router's reason to exist).
     routers = ["naive", "sabre", "bridge", "astar", "qmap"]
-    workloads = {"0": "random10", "1": "fig1_qx5"}
+    workloads = {"0": "random10", "1": "fig1_qx5", "2": "qft8_qx5"}
     for arg, workload in workloads.items():
         sabre = by_name.get(f"BM_Router/1/{arg}", {}).get("counters")
         if not sabre:
@@ -89,6 +110,31 @@ if name == "router_comparison":
                 counters.get("added_cx", 0) - sabre.get("added_cx", 0)
             derived[f"{router}_vs_sabre_depth_delta_{workload}"] = \
                 counters.get("depth", 0) - sabre.get("depth", 0)
+    # RouteIR conversion overhead: BM_RouteIRConvert/<workload> measures the
+    # Circuit -> RouteIR (SoA + CSR + front layer) build alone; it must stay
+    # a small fraction of the matching sabre route time or the conversion at
+    # the pass boundary is eating the inner-loop win.
+    for arg, workload in workloads.items():
+        convert = by_name.get(f"BM_RouteIRConvert/{arg}")
+        route = by_name.get(f"BM_Router/1/{arg}")
+        if convert and route and route["real_time_ms"] > 0:
+            derived[f"route_ir_convert_pct_of_sabre_route_{workload}"] = round(
+                100.0 * convert["real_time_ms"] / route["real_time_ms"], 3)
+    # Route-time trajectory: ratio of the previous committed snapshot's
+    # median to this run's median (> 1 means this run is faster). The
+    # regression gate below consumes the same numbers.
+    if os.path.exists(out_path):
+        with open(out_path) as f:
+            previous = {b["name"]: b
+                        for b in json.load(f).get("benchmarks", [])}
+        for arg, workload in workloads.items():
+            for idx, router in enumerate(routers):
+                bench_name = f"BM_Router/{idx}/{arg}"
+                new = by_name.get(bench_name)
+                old = previous.get(bench_name)
+                if new and old and new["real_time_ms"] > 0:
+                    derived[f"route_time_speedup_vs_previous_{router}_{workload}"] = \
+                        round(old["real_time_ms"] / new["real_time_ms"], 2)
 if name == "service":
     cold = by_name.get("BM_ServiceColdCompile")
     warm = by_name.get("BM_ServiceWarmHit")
@@ -116,6 +162,40 @@ snapshot = {
     "benchmarks": benchmarks,
     "derived": derived,
 }
+
+# Perf-regression gate (router_comparison only): any route-time median more
+# than 10% slower than the previous committed snapshot rejects the run —
+# the new numbers land in BENCH_*.json.rejected for inspection, the
+# committed baseline stays untouched, and the script exits nonzero.
+# QMAP_BENCH_ALLOW_REGRESSION=1 accepts an intentional slowdown.
+regressions = []
+if name == "router_comparison" and os.path.exists(out_path) \
+        and not os.environ.get("QMAP_BENCH_ALLOW_REGRESSION"):
+    with open(out_path) as f:
+        previous = {b["name"]: b for b in json.load(f).get("benchmarks", [])}
+    for bench in benchmarks:
+        if not bench["name"].startswith("BM_Router"):
+            continue
+        old = previous.get(bench["name"])
+        if not old or old.get("real_time_ms", 0) <= 0:
+            continue
+        ratio = bench["real_time_ms"] / old["real_time_ms"]
+        if ratio > 1.10:
+            regressions.append(
+                f"{bench['name']} ({bench.get('label', '')}): "
+                f"{old['real_time_ms']}ms -> {bench['real_time_ms']}ms "
+                f"({100.0 * (ratio - 1.0):.1f}% slower)")
+if regressions:
+    with open(out_path + ".rejected", "w") as f:
+        json.dump(snapshot, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_snapshot: route-time regression >10% vs committed {out_path}"
+          f" — new numbers in {out_path}.rejected, baseline kept")
+    for line in regressions:
+        print(f"bench_snapshot:   {line}")
+    sys.exit("bench_snapshot: perf-regression gate failed "
+             "(QMAP_BENCH_ALLOW_REGRESSION=1 overrides)")
+
 with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=2, sort_keys=True)
     f.write("\n")
@@ -162,4 +242,32 @@ if min(deltas.values()) >= 0:
     sys.exit(f"bench_snapshot: bridge never beat sabre on added CX: {deltas}")
 for key, value in sorted(deltas.items()):
     print(f"bench_snapshot: {key} = {value:+g}")
+PY
+
+# RouteIR economics: converting a Circuit into the SoA/CSR routing IR must
+# stay under 5% of the matching sabre route time (else the data-oriented
+# rewrite just moved the cost to the pass boundary), and the route-time
+# speedups vs the previous snapshot are printed as the PR's trajectory.
+python3 - <<'PY'
+import json, sys
+with open("BENCH_router_comparison.json") as f:
+    snapshot = json.load(f)
+derived = snapshot.get("derived", {})
+convert = {k: v for k, v in derived.items()
+           if k.startswith("route_ir_convert_pct_of_sabre_route_")}
+if any(b["name"].startswith("BM_RouteIRConvert")
+       for b in snapshot.get("benchmarks", [])):
+    if not convert:
+        sys.exit("bench_snapshot: BM_RouteIRConvert ran but no conversion "
+                 "overhead was derived")
+    for key, pct in sorted(convert.items()):
+        if pct >= 5.0:
+            sys.exit(f"bench_snapshot: {key} = {pct}% (gate: < 5%)")
+        print(f"bench_snapshot: {key} = {pct}% (gate: < 5%)")
+else:
+    print("bench_snapshot: no BM_RouteIRConvert entries; conversion gate "
+          "skipped")
+for key, value in sorted(derived.items()):
+    if key.startswith("route_time_speedup_vs_previous_"):
+        print(f"bench_snapshot: {key} = {value}x")
 PY

@@ -1,0 +1,117 @@
+// RouteIR byte-parity and structural tests.
+//
+// The data-oriented routing core (src/route/route_ir.hpp) re-implements
+// the sabre/bridge/astar/qmap inner loops over flat SoA arrays and a CSR
+// dependency DAG. The refactor's contract is *byte identity*: every
+// RouteIR-backed router must produce exactly the CompilationResult the
+// pointer-chasing implementation produced, for every device and seed.
+//
+// The parity matrix below pins that contract against golden fingerprint
+// digests generated from the PRE-refactor routers and checked in under
+// tests/golden/route_ir_fingerprints.txt. Do not regenerate them after a
+// router change unless the change is an intentional behavior change:
+//   QMAP_REGEN_GOLDEN=1 ./build/tests/test_route_ir
+// then review and commit the diff.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/digest.hpp"
+#include "common/rng.hpp"
+#include "core/compiler.hpp"
+#include "verify/reproducer.hpp"
+#include "workloads/workloads.hpp"
+
+namespace qmap {
+namespace {
+
+// --- Parity matrix: router x device x seed -> fingerprint digest ---
+
+const char* const kParityRouters[] = {"sabre", "sabre+commute", "bridge",
+                                      "astar", "qmap"};
+const char* const kParityDevices[] = {"ibm_qx4", "ibm_qx5", "surface17"};
+const std::uint64_t kParitySeeds[] = {1, 2, 3};
+
+// One random workload per seed, wide enough to stress routing on the
+// 5-qubit QX4 and identical across all devices.
+Circuit parity_circuit(std::uint64_t seed) {
+  Rng rng(Rng::derive_stream(0x50A17E, seed));
+  return workloads::random_circuit(5, 60, rng, 0.5);
+}
+
+std::string parity_case_id(const std::string& router,
+                           const std::string& device, std::uint64_t seed) {
+  std::string id = router + "@" + device + "#" + std::to_string(seed);
+  for (char& c : id) {
+    if (c == '+') c = 'P';
+  }
+  return id;
+}
+
+std::string parity_digest(const std::string& router, const std::string& device,
+                          std::uint64_t seed) {
+  CompilerOptions options;
+  // The annealing placer consumes the seed, so each seed exercises the
+  // router from a genuinely different starting placement.
+  options.placer = "annealing";
+  options.router = router;
+  options.seed = seed;
+  const Circuit circuit = parity_circuit(seed);
+  const CompilationResult result =
+      Compiler(verify::device_by_name(device), options).compile(circuit);
+  return content_digest(result.fingerprint());
+}
+
+std::string golden_fingerprint_path() {
+  return std::string(QMAP_GOLDEN_DIR) + "/route_ir_fingerprints.txt";
+}
+
+std::map<std::string, std::string> load_golden_fingerprints() {
+  std::map<std::string, std::string> out;
+  std::ifstream in(golden_fingerprint_path());
+  std::string id;
+  std::string digest;
+  while (in >> id >> digest) out[id] = digest;
+  return out;
+}
+
+TEST(RouteIrParity, MatchesPreRefactorGoldenFingerprints) {
+  std::map<std::string, std::string> actual;
+  for (const char* router : kParityRouters) {
+    for (const char* device : kParityDevices) {
+      for (const std::uint64_t seed : kParitySeeds) {
+        actual[parity_case_id(router, device, seed)] =
+            parity_digest(router, device, seed);
+      }
+    }
+  }
+
+  const char* regen = std::getenv("QMAP_REGEN_GOLDEN");
+  if (regen != nullptr && *regen != '\0') {
+    std::ofstream out(golden_fingerprint_path(), std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << golden_fingerprint_path();
+    for (const auto& [id, digest] : actual) out << id << ' ' << digest << '\n';
+    GTEST_SKIP() << "regenerated " << golden_fingerprint_path();
+  }
+
+  const std::map<std::string, std::string> golden = load_golden_fingerprints();
+  ASSERT_FALSE(golden.empty())
+      << "no golden fingerprints at " << golden_fingerprint_path()
+      << " (QMAP_REGEN_GOLDEN=1 generates them)";
+  ASSERT_EQ(actual.size(), golden.size());
+  for (const auto& [id, digest] : actual) {
+    const auto it = golden.find(id);
+    ASSERT_NE(it, golden.end()) << "missing golden for " << id;
+    EXPECT_EQ(digest, it->second)
+        << id << ": RouteIR-backed router output drifted from the "
+        << "pre-refactor fingerprint";
+  }
+}
+
+}  // namespace
+}  // namespace qmap
