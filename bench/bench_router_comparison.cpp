@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
+#include "route/route_ir.hpp"
 #include "schedule/constraints.hpp"
 
 namespace {
@@ -115,6 +116,28 @@ void BM_Router(benchmark::State& state) {
 }
 BENCHMARK(BM_Router)
     ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1, 2}});
+
+// Conversion overhead at the pass boundary: Circuit -> RouteIR (SoA gate
+// records + CSR dependency DAG) + FrontLayer init, alone. The argument is
+// the BM_Router workload index (1 = fig1@qx5, 2 = qft8@qx5) so
+// bench_snapshot.sh can express this as a percentage of the matching sabre
+// route time; its gate fails the snapshot when conversion exceeds 5%.
+void BM_RouteIRConvert(benchmark::State& state) {
+  const Device device = devices::ibm_qx5();
+  const Circuit program =
+      state.range(0) == 1 ? workloads::fig1_example() : workloads::qft(8);
+  const Circuit circuit = lower_to_device(program, device, true);
+  RouteArena& arena = RouteArena::scratch();
+  for (auto _ : state) {
+    const ArenaScope scope(arena);
+    const RouteIR ir = RouteIR::build(circuit, DagMode::Sequential, arena);
+    const FrontLayer front(ir, arena);
+    benchmark::DoNotOptimize(ir.num_edges() + front.ready_size());
+  }
+  state.SetLabel(std::string("convert/") +
+                 (state.range(0) == 1 ? "fig1@qx5" : "qft8@qx5"));
+}
+BENCHMARK(BM_RouteIRConvert)->Arg(1)->Arg(2);
 
 void BM_GreedyPlacement(benchmark::State& state) {
   const Device device = devices::surface17();

@@ -248,19 +248,34 @@ PY
 # stay under 5% of the matching sabre route time (else the data-oriented
 # rewrite just moved the cost to the pass boundary), and the route-time
 # speedups vs the previous snapshot are printed as the PR's trajectory.
+# Sub-microsecond conversions pass outright: on toy circuits the whole
+# route is a few microseconds, so the ratio pits one ~100ns measurement
+# against another and flaps with scheduler noise while the absolute cost
+# is trivially unable to eat any win.
 python3 - <<'PY'
 import json, sys
 with open("BENCH_router_comparison.json") as f:
     snapshot = json.load(f)
+benchmarks = {b["name"]: b for b in snapshot.get("benchmarks", [])}
 derived = snapshot.get("derived", {})
 convert = {k: v for k, v in derived.items()
            if k.startswith("route_ir_convert_pct_of_sabre_route_")}
-if any(b["name"].startswith("BM_RouteIRConvert")
-       for b in snapshot.get("benchmarks", [])):
+WORKLOAD_ARG = {"random10": "0", "fig1_qx5": "1", "qft8_qx5": "2"}
+ABS_FLOOR_MS = 0.0005  # 0.5us
+if any(name.startswith("BM_RouteIRConvert") for name in benchmarks):
     if not convert:
         sys.exit("bench_snapshot: BM_RouteIRConvert ran but no conversion "
                  "overhead was derived")
     for key, pct in sorted(convert.items()):
+        workload = key.rsplit("route_", 1)[-1]
+        arg = WORKLOAD_ARG.get(workload)
+        entry = benchmarks.get(f"BM_RouteIRConvert/{arg}") if arg else None
+        abs_ms = entry["real_time_ms"] if entry else None
+        if abs_ms is not None and abs_ms < ABS_FLOOR_MS:
+            print(f"bench_snapshot: {key} = {pct}% "
+                  f"({abs_ms * 1e3:.3f}us absolute, below the "
+                  f"{ABS_FLOOR_MS * 1e3}us floor — gate passes)")
+            continue
         if pct >= 5.0:
             sys.exit(f"bench_snapshot: {key} = {pct}% (gate: < 5%)")
         print(f"bench_snapshot: {key} = {pct}% (gate: < 5%)")

@@ -61,6 +61,14 @@ echo "== tier 1: bridge router + token-swap finisher leg =="
 # and the finisher's end-to-end placement-restoration contract.
 (cd build && ctest --output-on-failure -R 'Bridge|TokenSwap')
 
+echo "== tier 1: route_ir label =="
+# The data-oriented routing core suite (tests/test_route_ir.cpp): the
+# byte-parity matrix pinning every RouteIR-backed router against golden
+# pre-refactor fingerprints across devices and seeds, CSR structural
+# properties vs DependencyDag, arena rewind semantics, and the
+# 1/2/8-thread fingerprint pin.
+(cd build && ctest --output-on-failure -L route_ir)
+
 echo "== tier 1: pass registry lint =="
 # Every registered pass name must be documented in DESIGN.md's pass table.
 scripts/check_pass_registry.sh
@@ -99,5 +107,22 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_service
 # drain machinery under TSan: brownout hysteresis under the queue lock,
 # breaker transitions from dispatcher threads, and drain racing serve().
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_chaos
+# The RouteIR thread tests re-run under TSan: per-route thread_local
+# arena reuse across portfolio-style worker threads, all routers sharing
+# one warmed distance cache — a race here would corrupt routing state
+# silently (the fingerprint pin only catches it after the fact).
+cmake --build build-tsan -j "${JOBS}" --target test_route_ir
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_route_ir \
+    --gtest_filter='RouteIrThreads.*'
+
+echo "== tier 1: test_route_ir under ASan+UBSan =="
+# The arena hands out raw pointers with manual lifetime (marker rewind,
+# block reuse); ASan+UBSan over the full RouteIR suite — parity matrix
+# included — catches out-of-bounds SoA/CSR indexing, use-after-rewind,
+# and misaligned loads that plain tests cannot see.
+cmake -B build-asan -S . -DQMAP_SANITIZE=address
+cmake --build build-asan -j "${JOBS}" --target test_route_ir
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/test_route_ir
 
 echo "tier 1 OK"

@@ -39,6 +39,12 @@ class ArchArtifacts {
   /// Hop distance over the undirected coupling graph; -1 when disconnected.
   [[nodiscard]] int distance(int a, int b) const;
 
+  /// Raw row-major matrix behind distance(): data[a * num_qubits + b].
+  /// RouteIR-backed router inner loops index this directly.
+  [[nodiscard]] const int* distance_data() const noexcept {
+    return dist_.data();
+  }
+
   /// Max pairwise distance; -1 when the graph is disconnected.
   [[nodiscard]] int diameter() const noexcept { return diameter_; }
 

@@ -10,6 +10,9 @@ namespace qmap {
 CouplingGraph::CouplingGraph(int num_qubits) : num_qubits_(num_qubits) {
   if (num_qubits < 0) throw DeviceError("negative qubit count");
   adjacency_.resize(static_cast<std::size_t>(num_qubits));
+  link_.assign(static_cast<std::size_t>(num_qubits) *
+                   static_cast<std::size_t>(num_qubits),
+               0);
 }
 
 CouplingGraph::CouplingGraph(const CouplingGraph& other) { *this = other; }
@@ -24,6 +27,7 @@ CouplingGraph& CouplingGraph::operator=(const CouplingGraph& other) {
   num_qubits_ = other.num_qubits_;
   adjacency_ = other.adjacency_;
   edges_ = other.edges_;
+  link_ = other.link_;
   distances_ = other.distances_;
   distances_valid_.store(other.distances_valid_.load(std::memory_order_acquire),
                          std::memory_order_release);
@@ -36,6 +40,7 @@ CouplingGraph& CouplingGraph::operator=(CouplingGraph&& other) noexcept {
   num_qubits_ = other.num_qubits_;
   adjacency_ = std::move(other.adjacency_);
   edges_ = std::move(other.edges_);
+  link_ = std::move(other.link_);
   distances_ = std::move(other.distances_);
   distances_valid_.store(other.distances_valid_.load(std::memory_order_acquire),
                          std::memory_order_release);
@@ -55,6 +60,12 @@ void CouplingGraph::add_edge(int a, int b, bool directed) {
   check_qubit(a);
   check_qubit(b);
   if (a == b) throw DeviceError("self-loop edge on Q" + std::to_string(a));
+  const auto m = static_cast<std::size_t>(num_qubits_);
+  const auto ab = static_cast<std::size_t>(a) * m + static_cast<std::size_t>(b);
+  const auto ba = static_cast<std::size_t>(b) * m + static_cast<std::size_t>(a);
+  link_[ab] |= kLinkConnected | kLinkOriented;
+  link_[ba] |= kLinkConnected;
+  if (!directed) link_[ba] |= kLinkOriented;
   const int lo = std::min(a, b);
   const int hi = std::max(a, b);
   for (Edge& edge : edges_) {
@@ -93,21 +104,19 @@ void CouplingGraph::add_edge(int a, int b, bool directed) {
 bool CouplingGraph::connected(int a, int b) const {
   check_qubit(a);
   check_qubit(b);
-  const auto& adj = adjacency_[static_cast<std::size_t>(a)];
-  return std::binary_search(adj.begin(), adj.end(), b);
+  return (link_[static_cast<std::size_t>(a) *
+                    static_cast<std::size_t>(num_qubits_) +
+                static_cast<std::size_t>(b)] &
+          kLinkConnected) != 0;
 }
 
 bool CouplingGraph::orientation_allowed(int control, int target) const {
   check_qubit(control);
   check_qubit(target);
-  const int lo = std::min(control, target);
-  const int hi = std::max(control, target);
-  for (const Edge& edge : edges_) {
-    if (edge.a == lo && edge.b == hi) {
-      return control == lo ? edge.a_to_b : edge.b_to_a;
-    }
-  }
-  return false;
+  return (link_[static_cast<std::size_t>(control) *
+                    static_cast<std::size_t>(num_qubits_) +
+                static_cast<std::size_t>(target)] &
+          kLinkOriented) != 0;
 }
 
 const std::vector<int>& CouplingGraph::neighbors(int q) const {

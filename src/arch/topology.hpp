@@ -69,6 +69,14 @@ class CouplingGraph {
   /// construction precomputes eagerly, so device users never pay lazily.
   void precompute_distances() const;
 
+  /// The full all-pairs matrix behind distance(), row per source qubit,
+  /// warmed on first use. Routers without attached ArchArtifacts flatten
+  /// this once per route instead of paying the per-pair accessor.
+  [[nodiscard]] const std::vector<std::vector<int>>& distance_rows() const {
+    ensure_distances();
+    return distances_;
+  }
+
   /// One shortest undirected path from a to b (inclusive of endpoints).
   /// Empty when disconnected.
   [[nodiscard]] std::vector<int> shortest_path(int a, int b) const;
@@ -86,6 +94,15 @@ class CouplingGraph {
   void compute_distances() const;
   // Double-checked fill of the cache; cheap acquire-load once warm.
   void ensure_distances() const;
+
+  // Flat num_qubits x num_qubits link matrix behind the O(1) queries:
+  // bit 0 = connected in some orientation, bit 1 = (row=control,
+  // col=target) orientation allowed. Maintained by add_edge so
+  // connected()/orientation_allowed() — the per-emitted-gate checks on
+  // every router's hot path — never scan the edge list.
+  static constexpr std::uint8_t kLinkConnected = 1;
+  static constexpr std::uint8_t kLinkOriented = 2;
+  std::vector<std::uint8_t> link_;
 
   int num_qubits_ = 0;
   std::vector<std::vector<int>> adjacency_;

@@ -37,6 +37,23 @@ class Circuit {
   /// Append a gate, validating qubit ranges. Returns the gate index.
   std::size_t add(Gate gate);
 
+  /// Append without the operand range check, for trusted producers (the
+  /// routing emitter) whose own invariants already guarantee validity —
+  /// the emitter verifies adjacency against the device coupling graph,
+  /// which subsumes the range check. Classical-register tracking matches
+  /// add().
+  std::size_t add_unchecked(Gate gate) {
+    if (gate.kind == GateKind::Measure && gate.cbit >= num_cbits_) {
+      num_cbits_ = gate.cbit + 1;
+    }
+    gates_.push_back(std::move(gate));
+    return gates_.size() - 1;
+  }
+
+  /// Pre-sizes the gate list; producers that know an output bound
+  /// (routing emitters) skip the growth reallocations.
+  void reserve(std::size_t gates) { gates_.reserve(gates); }
+
   // Fluent single-gate builders. Each returns *this for chaining.
   Circuit& i(int q) { return emit(GateKind::I, {q}); }
   Circuit& x(int q) { return emit(GateKind::X, {q}); }

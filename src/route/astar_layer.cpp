@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <map>
+#include <cstring>
 #include <queue>
+#include <unordered_map>
 
 #include "common/error.hpp"
+#include "route/route_ir.hpp"
 
 namespace qmap {
 namespace {
@@ -38,12 +40,42 @@ std::vector<std::vector<int>> build_layers(const Circuit& circuit) {
   return layers;
 }
 
+/// A program->physical map in the arena; nodes reference, never copy.
 struct SearchNode {
-  std::vector<int> program_to_phys;
+  const int* program_to_phys = nullptr;
   int parent = -1;
   int swap_a = -1;
   int swap_b = -1;
   int g = 0;
+};
+
+/// Hash-map key over an arena-resident map. Arena blocks never move, so
+/// the pointers stay valid for the whole per-layer search. Replaces the
+/// old std::map<std::vector<int>, int>: the search only ever does point
+/// lookups and overwrites, never ordered iteration, so the container swap
+/// cannot change any routing decision.
+struct MapKey {
+  const int* data = nullptr;
+  std::size_t size = 0;
+};
+
+struct MapKeyHash {
+  std::size_t operator()(const MapKey& key) const noexcept {
+    // FNV-1a over the raw entries.
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < key.size; ++i) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.data[i]));
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct MapKeyEq {
+  bool operator()(const MapKey& x, const MapKey& y) const noexcept {
+    return x.size == y.size &&
+           std::memcmp(x.data, y.data, x.size * sizeof(int)) == 0;
+  }
 };
 
 }  // namespace
@@ -55,32 +87,42 @@ RoutingResult AStarLayerRouter::route(const Circuit& circuit,
   check_routable(circuit, device);
   const CouplingGraph& coupling = device.coupling();
   const std::vector<std::vector<int>> layers = build_layers(circuit);
+  RouteArena& arena = RouteArena::scratch();
+  const ArenaScope scope(arena);
+  // RouteCore supplies the SoA gate records (layer pair extraction), the
+  // flat distance matrix, and the program->physical mirror; the CSR DAG is
+  // unused here (layers are the schedule).
+  RouteCore core(circuit, device, artifacts(), DagMode::Sequential, initial,
+                 arena);
   RoutingEmitter emitter(device, initial,
                          circuit.name() + "@" + device.name());
+  // Output bound: every program gate plus room for SWAPs and direction
+  // fixes; generous slack beats mid-route growth reallocations.
+  emitter.reserve(circuit.size() * 3 + 16);
   const int n = circuit.num_qubits();
+  const std::size_t nsize = static_cast<std::size_t>(n);
 
-  // Two-qubit gates of one layer as program-qubit pairs.
-  const auto layer_pairs = [&](std::size_t layer_index) {
-    std::vector<std::pair<int, int>> pairs;
-    if (layer_index >= layers.size()) return pairs;
+  // Two-qubit gates of one layer as (program, program) pairs, flat.
+  std::vector<std::pair<int, int>> pairs;
+  std::vector<std::pair<int, int>> lookahead_pairs;
+  const auto append_layer_pairs = [&](std::size_t layer_index,
+                                      std::vector<std::pair<int, int>>& out) {
+    if (layer_index >= layers.size()) return;
     for (const int node : layers[layer_index]) {
-      const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
-      if (gate.is_two_qubit()) {
-        pairs.emplace_back(gate.qubits[0], gate.qubits[1]);
+      const auto u = static_cast<std::uint32_t>(node);
+      if (core.ir.is_two_qubit(u)) {
+        out.emplace_back(static_cast<int>(core.ir.q0[u]),
+                         static_cast<int>(core.ir.q1[u]));
       }
     }
-    return pairs;
   };
 
   const auto pairs_distance_sum =
-      [&](const std::vector<std::pair<int, int>>& pairs,
-          const std::vector<int>& program_to_phys) {
+      [&](const std::vector<std::pair<int, int>>& which,
+          const int* program_to_phys) {
         int sum = 0;
-        for (const auto& [a, b] : pairs) {
-          sum += phys_distance(
-                     device, program_to_phys[static_cast<std::size_t>(a)],
-                     program_to_phys[static_cast<std::size_t>(b)]) -
-                 1;
+        for (const auto& [a, b] : which) {
+          sum += core.dist(program_to_phys[a], program_to_phys[b]) - 1;
         }
         return sum;
       };
@@ -90,24 +132,22 @@ RoutingResult AStarLayerRouter::route(const Circuit& circuit,
 
   for (std::size_t layer_index = 0; layer_index < layers.size();
        ++layer_index) {
-    const std::vector<std::pair<int, int>> pairs = layer_pairs(layer_index);
+    pairs.clear();
+    append_layer_pairs(layer_index, pairs);
 
     // Current program -> physical map.
-    std::vector<int> current(static_cast<std::size_t>(n));
-    for (int k = 0; k < n; ++k) {
-      current[static_cast<std::size_t>(k)] =
-          emitter.placement().phys_of_program(k);
-    }
+    const ArenaScope layer_scope(arena);
+    int* current = arena.alloc<int>(nsize);
+    for (int k = 0; k < n; ++k) current[k] = core.phys_of(k);
 
     if (!pairs.empty() && pairs_distance_sum(pairs, current) > 0) {
       // A* over placements to make the whole layer executable.
-      std::vector<std::pair<int, int>> lookahead_pairs;
+      lookahead_pairs.clear();
       for (int ahead = 1; ahead <= options_.lookahead_layers; ++ahead) {
-        const auto next = layer_pairs(layer_index + static_cast<std::size_t>(ahead));
-        lookahead_pairs.insert(lookahead_pairs.end(), next.begin(),
-                               next.end());
+        append_layer_pairs(layer_index + static_cast<std::size_t>(ahead),
+                           lookahead_pairs);
       }
-      const auto heuristic = [&](const std::vector<int>& program_to_phys) {
+      const auto heuristic = [&](const int* program_to_phys) {
         const int base = pairs_distance_sum(pairs, program_to_phys);
         double h = std::ceil(static_cast<double>(base) / 2.0);
         if (options_.lookahead_weight > 0.0 && !lookahead_pairs.empty()) {
@@ -117,15 +157,16 @@ RoutingResult AStarLayerRouter::route(const Circuit& circuit,
         return h;
       };
 
-      std::vector<SearchNode> arena;
-      arena.push_back(SearchNode{current, -1, -1, -1, 0});
-      using QueueEntry = std::pair<double, int>;  // (f, arena index)
+      std::vector<SearchNode> nodes;
+      nodes.push_back(SearchNode{current, -1, -1, -1, 0});
+      using QueueEntry = std::pair<double, int>;  // (f, node index)
       std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                           std::greater<>>
           open;
       open.emplace(heuristic(current), 0);
-      std::map<std::vector<int>, int> best_g;
-      best_g[current] = 0;
+      std::unordered_map<MapKey, int, MapKeyHash, MapKeyEq> best_g;
+      best_g[MapKey{current, nsize}] = 0;
+      int* staged = arena.alloc<int>(nsize);  // candidate scratch map
 
       int goal = -1;
       std::size_t expansions = 0;
@@ -133,8 +174,9 @@ RoutingResult AStarLayerRouter::route(const Circuit& circuit,
         check_cancelled();
         const auto [f, index] = open.top();
         open.pop();
-        const SearchNode node = arena[static_cast<std::size_t>(index)];
-        const auto seen = best_g.find(node.program_to_phys);
+        // Copy: pushing into `nodes` below invalidates references.
+        const SearchNode node = nodes[static_cast<std::size_t>(index)];
+        const auto seen = best_g.find(MapKey{node.program_to_phys, nsize});
         if (seen != best_g.end() && seen->second < node.g) continue;
         if (pairs_distance_sum(pairs, node.program_to_phys) == 0) {
           goal = index;
@@ -143,40 +185,46 @@ RoutingResult AStarLayerRouter::route(const Circuit& circuit,
         if (++expansions > options_.max_expansions) break;
         ++total_expansions;
         for (const auto& edge : coupling.edges()) {
-          std::vector<int> next = node.program_to_phys;
-          for (int& phys : next) {
-            if (phys == edge.a) phys = edge.b;
-            else if (phys == edge.b) phys = edge.a;
+          std::memcpy(staged, node.program_to_phys, nsize * sizeof(int));
+          for (std::size_t k = 0; k < nsize; ++k) {
+            if (staged[k] == edge.a) staged[k] = edge.b;
+            else if (staged[k] == edge.b) staged[k] = edge.a;
           }
           const int g = node.g + 1;
-          const auto it = best_g.find(next);
-          if (it != best_g.end() && it->second <= g) continue;
-          best_g[next] = g;
-          arena.push_back(SearchNode{std::move(next), index, edge.a, edge.b, g});
-          open.emplace(g + heuristic(arena.back().program_to_phys),
-                       static_cast<int>(arena.size() - 1));
+          const auto it = best_g.find(MapKey{staged, nsize});
+          if (it != best_g.end()) {
+            if (it->second <= g) continue;
+            it->second = g;  // the existing key's contents equal staged
+          }
+          int* stored = arena.alloc<int>(nsize);
+          std::memcpy(stored, staged, nsize * sizeof(int));
+          if (it == best_g.end()) best_g.emplace(MapKey{stored, nsize}, g);
+          nodes.push_back(SearchNode{stored, index, edge.a, edge.b, g});
+          open.emplace(g + heuristic(stored),
+                       static_cast<int>(nodes.size() - 1));
         }
       }
 
       if (goal >= 0) {
         // Reconstruct and emit the SWAP chain.
         std::vector<std::pair<int, int>> swaps;
-        for (int index = goal; arena[static_cast<std::size_t>(index)].parent >= 0;
-             index = arena[static_cast<std::size_t>(index)].parent) {
-          swaps.emplace_back(arena[static_cast<std::size_t>(index)].swap_a,
-                             arena[static_cast<std::size_t>(index)].swap_b);
+        for (int index = goal;
+             nodes[static_cast<std::size_t>(index)].parent >= 0;
+             index = nodes[static_cast<std::size_t>(index)].parent) {
+          swaps.emplace_back(nodes[static_cast<std::size_t>(index)].swap_a,
+                             nodes[static_cast<std::size_t>(index)].swap_b);
         }
         std::reverse(swaps.begin(), swaps.end());
-        for (const auto& [a, b] : swaps) emitter.emit_swap(a, b);
+        for (const auto& [a, b] : swaps) core.emit_swap(emitter, a, b);
       } else {
         ++fallback_layers;
         // Budget exhausted: fall back to shortest-path walking per pair.
         for (const auto& [qa, qb] : pairs) {
-          const int pa = emitter.placement().phys_of_program(qa);
-          const int pb = emitter.placement().phys_of_program(qb);
-          const std::vector<int> path = phys_shortest_path(device, pa, pb);
+          const int pa = core.phys_of(static_cast<std::uint32_t>(qa));
+          const int pb = core.phys_of(static_cast<std::uint32_t>(qb));
+          const std::vector<int> path = core.shortest_path(pa, pb);
           for (std::size_t i = 0; i + 2 < path.size(); ++i) {
-            emitter.emit_swap(path[i], path[i + 1]);
+            core.emit_swap(emitter, path[i], path[i + 1]);
           }
         }
       }

@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
-#include "ir/dag.hpp"
+#include "route/route_ir.hpp"
 
 namespace qmap {
 
@@ -14,113 +14,84 @@ RoutingResult BridgeRouter::route(const Circuit& circuit, const Device& device,
   const auto start_time = std::chrono::steady_clock::now();
   check_routable(circuit, device);
   const CouplingGraph& coupling = device.coupling();
-  DependencyDag dag(circuit, DagMode::Sequential);
+  RouteArena& arena = RouteArena::scratch();
+  const ArenaScope scope(arena);
+  RouteCore core(circuit, device, artifacts(), DagMode::Sequential, initial,
+                 arena);
   RoutingEmitter emitter(device, initial,
                          circuit.name() + "@" + device.name());
+  // Output bound: every program gate plus room for SWAPs and direction
+  // fixes; generous slack beats mid-route growth reallocations.
+  emitter.reserve(circuit.size() * 3 + 16);
 
-  std::vector<double> decay(static_cast<std::size_t>(device.num_qubits()),
-                            1.0);
+  const int num_phys = device.num_qubits();
+  double* decay = arena.alloc<double>(num_phys);
+  std::fill(decay, decay + num_phys, 1.0);
+  std::uint8_t* relevant = arena.alloc<std::uint8_t>(num_phys);
+  const std::size_t ext_cap =
+      std::min(static_cast<std::size_t>(options_.extended_window),
+               static_cast<std::size_t>(core.ir.num_two_qubit));
+  std::uint32_t* extended = arena.alloc<std::uint32_t>(ext_cap);
+  std::uint32_t* to_bridge = arena.alloc<std::uint32_t>(core.ir.num_two_qubit);
+  // Endpoint pairs of the front/extended gates, recollected per swap
+  // decision: invariant across candidate edges and across the bridge
+  // decisions below (pure reads, placement untouched).
+  const std::size_t front_cap = core.ir.num_two_qubit;
+  std::int32_t* front_pa = arena.alloc<std::int32_t>(front_cap);
+  std::int32_t* front_pb = arena.alloc<std::int32_t>(front_cap);
+  std::int32_t* ext_pa = arena.alloc<std::int32_t>(ext_cap);
+  std::int32_t* ext_pb = arena.alloc<std::int32_t>(ext_cap);
   int swaps_since_reset = 0;
   int swaps_since_progress = 0;
-  const int stall_limit = 10 * std::max(1, device.num_qubits());
-
-  const auto executable = [&](int node) {
-    const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
-    if (!gate.is_two_qubit()) return true;
-    return coupling.connected(
-        emitter.placement().phys_of_program(gate.qubits[0]),
-        emitter.placement().phys_of_program(gate.qubits[1]));
-  };
-
-  const auto flush_executable = [&] {
-    bool progressed = true;
-    bool any = false;
-    while (progressed) {
-      progressed = false;
-      // Copy: mark_scheduled mutates the ready list.
-      const std::vector<int> ready = dag.ready();
-      for (const int node : ready) {
-        if (!executable(node)) continue;
-        emitter.emit_program_gate(circuit.gate(static_cast<std::size_t>(node)));
-        dag.mark_scheduled(node);
-        progressed = true;
-        any = true;
-      }
-    }
-    return any;
-  };
-
-  // Distance of a (program-qubit) two-qubit gate under a placement.
-  const auto gate_distance = [&](int node, const Placement& placement) {
-    const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
-    return phys_distance(device, placement.phys_of_program(gate.qubits[0]),
-                         placement.phys_of_program(gate.qubits[1]));
-  };
+  const int stall_limit = 10 * std::max(1, num_phys);
 
   std::uint64_t iterations = 0;
   std::uint64_t rescues = 0;
   std::uint64_t swaps_avoided = 0;
 
-  while (!dag.all_scheduled()) {
+  while (!core.front.all_scheduled()) {
     check_cancelled();
     ++iterations;
-    if (flush_executable()) {
+    if (core.flush_executable(emitter, [](std::uint32_t) {})) {
       swaps_since_progress = 0;
       continue;
     }
-    const std::vector<int> front = dag.ready_two_qubit();
-    if (front.empty()) {
+    core.refresh_front();
+    if (core.front_size == 0) {
       throw MappingError("bridge: stalled with no ready two-qubit gate");
     }
 
     // Extended lookahead: the next unscheduled 2q gates in program order
     // beyond the front layer.
-    std::vector<int> extended;
-    for (std::size_t i = 0;
-         i < circuit.size() &&
-         extended.size() < static_cast<std::size_t>(options_.extended_window);
-         ++i) {
-      const int node = static_cast<int>(i);
-      if (dag.color(node) == NodeColor::Scheduled) continue;
-      if (std::find(front.begin(), front.end(), node) != front.end()) continue;
-      if (circuit.gate(i).is_two_qubit()) extended.push_back(node);
-    }
+    const std::uint32_t num_extended = core.collect_extended(ext_cap, extended);
 
     // Candidate SWAPs: edges touching a physical qubit that currently holds
     // an operand of a front-layer gate.
-    std::vector<bool> relevant(static_cast<std::size_t>(device.num_qubits()),
-                               false);
-    for (const int node : front) {
-      const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
-      for (const int q : gate.qubits) {
-        relevant[static_cast<std::size_t>(
-            emitter.placement().phys_of_program(q))] = true;
-      }
-    }
+    core.mark_relevant(relevant);
+    core.collect_endpoints(core.front_gates, core.front_size, front_pa,
+                           front_pb);
+    core.collect_endpoints(extended, num_extended, ext_pa, ext_pb);
 
     double best_score = std::numeric_limits<double>::infinity();
     int best_a = -1;
     int best_b = -1;
     for (const auto& edge : coupling.edges()) {
-      if (!relevant[static_cast<std::size_t>(edge.a)] &&
-          !relevant[static_cast<std::size_t>(edge.b)]) {
-        continue;
-      }
-      Placement trial = emitter.placement();
-      trial.apply_swap(edge.a, edge.b);
+      if (!relevant[edge.a] && !relevant[edge.b]) continue;
       double front_term = 0.0;
-      for (const int node : front) front_term += gate_distance(node, trial);
-      front_term /= static_cast<double>(front.size());
-      double extended_term = 0.0;
-      if (!extended.empty()) {
-        for (const int node : extended) {
-          extended_term += gate_distance(node, trial);
-        }
-        extended_term /= static_cast<double>(extended.size());
+      for (std::uint32_t k = 0; k < core.front_size; ++k) {
+        front_term += core.dist_pair_swapped(front_pa[k], front_pb[k],
+                                             edge.a, edge.b);
       }
-      const double decay_factor =
-          std::max(decay[static_cast<std::size_t>(edge.a)],
-                   decay[static_cast<std::size_t>(edge.b)]);
+      front_term /= static_cast<double>(core.front_size);
+      double extended_term = 0.0;
+      if (num_extended > 0) {
+        for (std::uint32_t k = 0; k < num_extended; ++k) {
+          extended_term += core.dist_pair_swapped(ext_pa[k], ext_pb[k],
+                                                  edge.a, edge.b);
+        }
+        extended_term /= static_cast<double>(num_extended);
+      }
+      const double decay_factor = std::max(decay[edge.a], decay[edge.b]);
       const double score =
           decay_factor *
           (front_term + options_.extended_weight * extended_term);
@@ -140,42 +111,39 @@ RoutingResult BridgeRouter::route(const Circuit& circuit, const Device& device,
     // was this gate, and the bridge gets it for free without perturbing
     // the placement. Decisions are pure reads, emission follows, so one
     // round may bridge several front gates (placement never changes).
-    Placement swapped = emitter.placement();
-    swapped.apply_swap(best_a, best_b);
-    std::vector<int> to_bridge;
-    for (const int node : front) {
-      const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
-      if (gate.kind != GateKind::CX) continue;
-      const int phys_c = emitter.placement().phys_of_program(gate.qubits[0]);
-      const int phys_t = emitter.placement().phys_of_program(gate.qubits[1]);
-      if (phys_distance(device, phys_c, phys_t) != 2) continue;
+    std::uint32_t num_to_bridge = 0;
+    for (std::uint32_t k = 0; k < core.front_size; ++k) {
+      const std::uint32_t node = core.front_gates[k];
+      if (core.ir.gate_kind(node) != GateKind::CX) continue;
+      if (core.gate_dist(node) != 2) continue;
       double rest_now = 0.0;
       double rest_swapped = 0.0;
-      for (const int other : front) {
-        if (other == node) continue;
-        rest_now += gate_distance(other, emitter.placement());
-        rest_swapped += gate_distance(other, swapped);
+      for (std::uint32_t j = 0; j < core.front_size; ++j) {
+        if (core.front_gates[j] == node) continue;
+        rest_now += core.dist_pair(front_pa[j], front_pb[j]);
+        rest_swapped +=
+            core.dist_pair_swapped(front_pa[j], front_pb[j], best_a, best_b);
       }
-      for (const int other : extended) {
-        rest_now += options_.extended_weight *
-                    gate_distance(other, emitter.placement());
+      for (std::uint32_t j = 0; j < num_extended; ++j) {
+        rest_now +=
+            options_.extended_weight * core.dist_pair(ext_pa[j], ext_pb[j]);
         rest_swapped += options_.extended_weight *
-                        gate_distance(other, swapped);
+                        core.dist_pair_swapped(ext_pa[j], ext_pb[j], best_a,
+                                               best_b);
       }
       if (rest_swapped < rest_now) continue;  // the SWAP helps others too
-      to_bridge.push_back(node);
+      to_bridge[num_to_bridge++] = node;
     }
-    if (!to_bridge.empty()) {
-      for (const int node : to_bridge) {
-        const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
-        const int phys_c = emitter.placement().phys_of_program(gate.qubits[0]);
-        const int phys_t = emitter.placement().phys_of_program(gate.qubits[1]);
-        const std::vector<int> path =
-            phys_shortest_path(device, phys_c, phys_t);
+    if (num_to_bridge > 0) {
+      for (std::uint32_t k = 0; k < num_to_bridge; ++k) {
+        const std::uint32_t node = to_bridge[k];
+        const int phys_c = core.phys_of(core.ir.q0[node]);
+        const int phys_t = core.phys_of(core.ir.q1[node]);
+        const std::vector<int> path = core.shortest_path(phys_c, phys_t);
         emitter.emit_bridge(phys_c, path[1], phys_t);
-        dag.mark_scheduled(node);
+        core.front.mark_scheduled(node);
       }
-      swaps_avoided += to_bridge.size();
+      swaps_avoided += num_to_bridge;
       swaps_since_progress = 0;
       continue;
     }
@@ -184,24 +152,23 @@ RoutingResult BridgeRouter::route(const Circuit& circuit, const Device& device,
     if (swaps_since_progress > stall_limit) {
       // Safeguard: force progress by walking the first front gate together
       // along a shortest path (the naive step). Guarantees termination.
-      const Gate& gate =
-          circuit.gate(static_cast<std::size_t>(front.front()));
-      const int pa = emitter.placement().phys_of_program(gate.qubits[0]);
-      const int pb = emitter.placement().phys_of_program(gate.qubits[1]);
-      const std::vector<int> path = phys_shortest_path(device, pa, pb);
+      const std::uint32_t gate = core.front_gates[0];
+      const int pa = core.phys_of(core.ir.q0[gate]);
+      const int pb = core.phys_of(core.ir.q1[gate]);
+      const std::vector<int> path = core.shortest_path(pa, pb);
       for (std::size_t i = 0; i + 2 < path.size(); ++i) {
-        emitter.emit_swap(path[i], path[i + 1]);
+        core.emit_swap(emitter, path[i], path[i + 1]);
       }
       ++rescues;
       swaps_since_progress = 0;
       continue;
     }
 
-    emitter.emit_swap(best_a, best_b);
-    decay[static_cast<std::size_t>(best_a)] += options_.decay_increment;
-    decay[static_cast<std::size_t>(best_b)] += options_.decay_increment;
+    core.emit_swap(emitter, best_a, best_b);
+    decay[best_a] += options_.decay_increment;
+    decay[best_b] += options_.decay_increment;
     if (++swaps_since_reset >= options_.decay_reset_interval) {
-      std::fill(decay.begin(), decay.end(), 1.0);
+      std::fill(decay, decay + num_phys, 1.0);
       swaps_since_reset = 0;
     }
   }

@@ -53,6 +53,13 @@ Circuit relocate_measurements(const Circuit& circuit, const Device& device,
   }
   std::vector<bool> used(static_cast<std::size_t>(m), false);
 
+  // Distance reads in the candidate scan below go through a flat row
+  // pointer — the attached artifacts matrix when present, else the
+  // device's warmed cache — instead of the per-call accessor (which pays
+  // an atomic check plus nested-vector indexing per candidate).
+  const std::vector<std::vector<int>>* fallback_rows =
+      artifacts == nullptr ? &device.coupling().distance_rows() : nullptr;
+
   Circuit out(m, circuit.name());
   bool relocated = false;
   const auto emit_swap = [&](int a, int b) {
@@ -88,14 +95,17 @@ Circuit relocate_measurements(const Circuit& circuit, const Device& device,
     // Find the nearest free measurable qubit.
     int best = -1;
     int best_distance = std::numeric_limits<int>::max();
+    const int* distance_row =
+        artifacts != nullptr
+            ? artifacts->distance_data() + static_cast<std::size_t>(location) *
+                                               static_cast<std::size_t>(m)
+            : (*fallback_rows)[static_cast<std::size_t>(location)].data();
     for (int candidate = 0; candidate < m; ++candidate) {
       if (!device.measurable(candidate) ||
           used[static_cast<std::size_t>(candidate)]) {
         continue;
       }
-      const int d = artifacts != nullptr
-                        ? artifacts->distance(location, candidate)
-                        : device.coupling().distance(location, candidate);
+      const int d = distance_row[candidate];
       if (d >= 0 && d < best_distance) {
         best_distance = d;
         best = candidate;

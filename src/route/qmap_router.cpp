@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
-#include "ir/dag.hpp"
+#include "route/route_ir.hpp"
 
 namespace qmap {
 
@@ -14,100 +15,74 @@ RoutingResult QmapRouter::route(const Circuit& circuit, const Device& device,
   const auto start_time = std::chrono::steady_clock::now();
   check_routable(circuit, device);
   const CouplingGraph& coupling = device.coupling();
-  DependencyDag dag(circuit);
+  RouteArena& arena = RouteArena::scratch();
+  const ArenaScope scope(arena);
+  RouteCore core(circuit, device, artifacts(), DagMode::Sequential, initial,
+                 arena);
   RoutingEmitter emitter(device, initial,
                          circuit.name() + "@" + device.name());
+  // Output bound: every program gate plus room for SWAPs and direction
+  // fixes; generous slack beats mid-route growth reallocations.
+  emitter.reserve(circuit.size() * 3 + 16);
 
+  const int num_phys = device.num_qubits();
   // Look-back state: when each physical qubit becomes free, in cycles.
-  std::vector<double> busy_until(
-      static_cast<std::size_t>(device.num_qubits()), 0.0);
+  double* busy_until = arena.alloc<double>(num_phys);
+  std::fill(busy_until, busy_until + num_phys, 0.0);
   const double swap_cycles =
       device.cycles_for(make_gate(GateKind::SWAP, {0, 1}));
 
-  const auto occupy = [&](const std::vector<int>& phys_qubits,
-                          double cycles) {
+  const auto occupy_pair = [&](int phys_a, int phys_b, double cycles) {
+    const double start = std::max(busy_until[phys_a], busy_until[phys_b]);
+    busy_until[phys_a] = start + cycles;
+    busy_until[phys_b] = start + cycles;
+  };
+  const auto occupy_gate = [&](std::uint32_t node) {
+    const Gate& gate = circuit.gate(node);
+    const double cycles = device.cycles_for(gate);
     double start = 0.0;
-    for (const int p : phys_qubits) {
-      start = std::max(start, busy_until[static_cast<std::size_t>(p)]);
+    for (const int q : gate.qubits) {
+      start = std::max(start, busy_until[core.phys_of(q)]);
     }
-    for (const int p : phys_qubits) {
-      busy_until[static_cast<std::size_t>(p)] = start + cycles;
+    for (const int q : gate.qubits) {
+      busy_until[core.phys_of(q)] = start + cycles;
     }
   };
 
-  const auto executable = [&](int node) {
-    const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
-    if (!gate.is_two_qubit()) return true;
-    return coupling.connected(
-        emitter.placement().phys_of_program(gate.qubits[0]),
-        emitter.placement().phys_of_program(gate.qubits[1]));
-  };
-
-  const auto flush_executable = [&] {
-    bool progressed = true;
-    bool any = false;
-    while (progressed) {
-      progressed = false;
-      const std::vector<int> ready = dag.ready();
-      for (const int node : ready) {
-        if (!executable(node)) continue;
-        const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
-        std::vector<int> phys;
-        phys.reserve(gate.qubits.size());
-        for (const int q : gate.qubits) {
-          phys.push_back(emitter.placement().phys_of_program(q));
-        }
-        emitter.emit_program_gate(gate);
-        occupy(phys, device.cycles_for(gate));
-        dag.mark_scheduled(node);
-        progressed = true;
-        any = true;
-      }
-    }
-    return any;
-  };
-
-  const auto gate_distance = [&](int node, const Placement& placement) {
-    const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
-    return phys_distance(device, placement.phys_of_program(gate.qubits[0]),
-                         placement.phys_of_program(gate.qubits[1]));
-  };
+  std::uint8_t* relevant = arena.alloc<std::uint8_t>(num_phys);
+  const std::size_t ext_cap =
+      std::min(static_cast<std::size_t>(options_.extended_window),
+               static_cast<std::size_t>(core.ir.num_two_qubit));
+  std::uint32_t* extended = arena.alloc<std::uint32_t>(ext_cap);
+  // Endpoint pairs of the front/extended gates, recollected per swap
+  // decision (invariant across candidate edges).
+  const std::size_t front_cap = core.ir.num_two_qubit;
+  std::int32_t* front_pa = arena.alloc<std::int32_t>(front_cap);
+  std::int32_t* front_pb = arena.alloc<std::int32_t>(front_cap);
+  std::int32_t* ext_pa = arena.alloc<std::int32_t>(ext_cap);
+  std::int32_t* ext_pb = arena.alloc<std::int32_t>(ext_cap);
 
   int stall_guard = 0;
-  const int stall_limit = 10 * std::max(1, device.num_qubits());
+  const int stall_limit = 10 * std::max(1, num_phys);
   std::uint64_t iterations = 0;
   std::uint64_t rescues = 0;
-  while (!dag.all_scheduled()) {
+  while (!core.front.all_scheduled()) {
     check_cancelled();
     ++iterations;
-    if (flush_executable()) {
+    if (core.flush_executable(emitter, occupy_gate)) {
       stall_guard = 0;
       continue;
     }
-    const std::vector<int> front = dag.ready_two_qubit();
-    if (front.empty()) {
+    core.refresh_front();
+    if (core.front_size == 0) {
       throw MappingError("qmap router: stalled without ready two-qubit gate");
     }
-    std::vector<int> extended;
-    for (std::size_t i = 0;
-         i < circuit.size() &&
-         extended.size() < static_cast<std::size_t>(options_.extended_window);
-         ++i) {
-      const int node = static_cast<int>(i);
-      if (dag.color(node) == NodeColor::Scheduled) continue;
-      if (std::find(front.begin(), front.end(), node) != front.end()) continue;
-      if (circuit.gate(i).is_two_qubit()) extended.push_back(node);
-    }
+    const std::uint32_t num_extended = core.collect_extended(ext_cap, extended);
 
-    std::vector<bool> relevant(static_cast<std::size_t>(device.num_qubits()),
-                               false);
-    for (const int node : front) {
-      const Gate& gate = circuit.gate(static_cast<std::size_t>(node));
-      for (const int q : gate.qubits) {
-        relevant[static_cast<std::size_t>(
-            emitter.placement().phys_of_program(q))] = true;
-      }
-    }
+    core.mark_relevant(relevant);
+    core.collect_endpoints(core.front_gates, core.front_size, front_pa,
+                           front_pb);
+    core.collect_endpoints(extended, num_extended, ext_pa, ext_pb);
 
     // Primary: distance improvement over front + lookahead. Secondary
     // (latency look-back): earliest finish time of the SWAP itself.
@@ -116,25 +91,23 @@ RoutingResult QmapRouter::route(const Circuit& circuit, const Device& device,
     int best_a = -1;
     int best_b = -1;
     for (const auto& edge : coupling.edges()) {
-      if (!relevant[static_cast<std::size_t>(edge.a)] &&
-          !relevant[static_cast<std::size_t>(edge.b)]) {
-        continue;
-      }
-      Placement trial = emitter.placement();
-      trial.apply_swap(edge.a, edge.b);
+      if (!relevant[edge.a] && !relevant[edge.b]) continue;
       double primary = 0.0;
-      for (const int node : front) primary += gate_distance(node, trial);
-      primary /= static_cast<double>(front.size());
-      if (!extended.empty()) {
+      for (std::uint32_t k = 0; k < core.front_size; ++k) {
+        primary += core.dist_pair_swapped(front_pa[k], front_pb[k], edge.a,
+                                          edge.b);
+      }
+      primary /= static_cast<double>(core.front_size);
+      if (num_extended > 0) {
         double ext = 0.0;
-        for (const int node : extended) ext += gate_distance(node, trial);
+        for (std::uint32_t k = 0; k < num_extended; ++k) {
+          ext += core.dist_pair_swapped(ext_pa[k], ext_pb[k], edge.a, edge.b);
+        }
         primary +=
-            options_.extended_weight * ext / static_cast<double>(extended.size());
+            options_.extended_weight * ext / static_cast<double>(num_extended);
       }
       const double finish =
-          std::max(busy_until[static_cast<std::size_t>(edge.a)],
-                   busy_until[static_cast<std::size_t>(edge.b)]) +
-          swap_cycles;
+          std::max(busy_until[edge.a], busy_until[edge.b]) + swap_cycles;
       if (primary < best_primary - 1e-12 ||
           (std::abs(primary - best_primary) <= 1e-12 &&
            finish < best_finish)) {
@@ -147,21 +120,21 @@ RoutingResult QmapRouter::route(const Circuit& circuit, const Device& device,
     if (best_a < 0) throw MappingError("qmap router: no candidate SWAP");
 
     if (++stall_guard > stall_limit) {
-      const Gate& gate = circuit.gate(static_cast<std::size_t>(front.front()));
-      const int pa = emitter.placement().phys_of_program(gate.qubits[0]);
-      const int pb = emitter.placement().phys_of_program(gate.qubits[1]);
-      const std::vector<int> path = phys_shortest_path(device, pa, pb);
+      const std::uint32_t gate = core.front_gates[0];
+      const int pa = core.phys_of(core.ir.q0[gate]);
+      const int pb = core.phys_of(core.ir.q1[gate]);
+      const std::vector<int> path = core.shortest_path(pa, pb);
       for (std::size_t i = 0; i + 2 < path.size(); ++i) {
-        emitter.emit_swap(path[i], path[i + 1]);
-        occupy({path[i], path[i + 1]}, swap_cycles);
+        core.emit_swap(emitter, path[i], path[i + 1]);
+        occupy_pair(path[i], path[i + 1], swap_cycles);
       }
       ++rescues;
       stall_guard = 0;
       continue;
     }
 
-    emitter.emit_swap(best_a, best_b);
-    occupy({best_a, best_b}, swap_cycles);
+    core.emit_swap(emitter, best_a, best_b);
+    occupy_pair(best_a, best_b, swap_cycles);
   }
 
   const double runtime_ms =

@@ -6,6 +6,28 @@
 
 namespace qmap {
 
+namespace {
+
+// Gate construction for the emit hot path: the emitter's own adjacency /
+// occupancy checks subsume make_gate's and Circuit::add's validation, so
+// these build the Gate directly and append unchecked. One allocation per
+// stored gate (the operand vector) is the floor imposed by Gate's layout.
+void push1(Circuit& circuit, GateKind kind, int q) {
+  Gate gate;
+  gate.kind = kind;
+  gate.qubits = {q};
+  circuit.add_unchecked(std::move(gate));
+}
+
+void push2(Circuit& circuit, GateKind kind, int a, int b) {
+  Gate gate;
+  gate.kind = kind;
+  gate.qubits = {a, b};
+  circuit.add_unchecked(std::move(gate));
+}
+
+}  // namespace
+
 std::string RoutingResult::to_string() const {
   char buffer[200];
   std::snprintf(buffer, sizeof(buffer),
@@ -26,7 +48,7 @@ void RoutingEmitter::emit_program_gate(const Gate& gate) {
   Gate physical = gate;
   for (int& q : physical.qubits) q = placement_.phys_of_program(q);
   if (!physical.is_two_qubit()) {
-    circuit_.add(std::move(physical));
+    circuit_.add_unchecked(std::move(physical));
     return;
   }
   const int a = physical.qubits[0];
@@ -42,11 +64,15 @@ void RoutingEmitter::emit_program_gate(const Gate& gate) {
       throw MappingError("cannot invert direction of non-CX gate");
     }
     // Sec. IV: flip control/target with Hadamards.
-    circuit_.h(a).h(b).cx(b, a).h(a).h(b);
+    push1(circuit_, GateKind::H, a);
+    push1(circuit_, GateKind::H, b);
+    push2(circuit_, GateKind::CX, b, a);
+    push1(circuit_, GateKind::H, a);
+    push1(circuit_, GateKind::H, b);
     ++direction_fixes_;
     return;
   }
-  circuit_.add(std::move(physical));
+  circuit_.add_unchecked(std::move(physical));
 }
 
 void RoutingEmitter::emit_swap(int phys_a, int phys_b) {
@@ -55,7 +81,7 @@ void RoutingEmitter::emit_swap(int phys_a, int phys_b) {
                        std::to_string(phys_a) + ", Q" +
                        std::to_string(phys_b));
   }
-  circuit_.swap(phys_a, phys_b);
+  push2(circuit_, GateKind::SWAP, phys_a, phys_b);
   placement_.apply_swap(phys_a, phys_b);
   ++added_swaps_;
 }
@@ -109,15 +135,15 @@ void RoutingEmitter::emit_bridge(int phys_c, int phys_m, int phys_t) {
 void RoutingEmitter::emit_physical_cx(int phys_control, int phys_target) {
   if (!device_->coupling().orientation_allowed(phys_control, phys_target)) {
     // Sec. IV: flip control/target with Hadamards.
-    circuit_.h(phys_control)
-        .h(phys_target)
-        .cx(phys_target, phys_control)
-        .h(phys_control)
-        .h(phys_target);
+    push1(circuit_, GateKind::H, phys_control);
+    push1(circuit_, GateKind::H, phys_target);
+    push2(circuit_, GateKind::CX, phys_target, phys_control);
+    push1(circuit_, GateKind::H, phys_control);
+    push1(circuit_, GateKind::H, phys_target);
     ++direction_fixes_;
     return;
   }
-  circuit_.cx(phys_control, phys_target);
+  push2(circuit_, GateKind::CX, phys_control, phys_target);
 }
 
 RoutingResult RoutingEmitter::finish(const Placement& initial,

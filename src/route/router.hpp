@@ -110,6 +110,11 @@ class RoutingEmitter {
   }
   [[nodiscard]] const Device& device() const noexcept { return *device_; }
 
+  /// Pre-sizes the output gate list. Routers call this with an estimate
+  /// of the final gate count (program gates + inserted SWAPs + direction
+  /// fixes); over-estimating only costs slack capacity.
+  void reserve(std::size_t gates) { circuit_.reserve(gates); }
+
   /// Emits a program-qubit gate at its current physical location.
   /// Two-qubit gates must be physically adjacent; directional gates with a
   /// forbidden orientation are wrapped in Hadamards. Throws MappingError on

@@ -10,8 +10,13 @@
 // the exact stabilizer-tableau oracle checks equivalence at full width.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "arch/builtin.hpp"
 #include "verify/fuzzer.hpp"
+#include "verify/reproducer.hpp"
+#include "verify/shrink.hpp"
+#include "workloads/workloads.hpp"
 
 namespace qmap::verify {
 namespace {
@@ -143,6 +148,103 @@ TEST(DifferentialFuzz, FingerprintCapturesPlantedFailures) {
   EXPECT_FALSE(faulty1.ok()) << "planted SWAP drop went unnoticed";
   EXPECT_NE(clean.fingerprint(), faulty1.fingerprint());
   EXPECT_EQ(faulty1.fingerprint(), faulty2.fingerprint());
+}
+
+// --- RouteIR-backed routers vs the oracles ----------------------------------
+
+TEST(DifferentialFuzz, RouteIrRoutersZeroMismatchesStateVector) {
+  // All five routers whose inner loops run on RouteIR (SoA gates + CSR
+  // DAG + flat distance reads), pinned explicitly so this test keeps
+  // covering them even if the default enumeration changes. Non-Clifford
+  // circuits on QX4 put the state-vector oracle behind every route.
+  FuzzOptions options;
+  options.num_circuits = 10;
+  options.min_qubits = 3;
+  options.max_qubits = 5;
+  options.min_gates = 8;
+  options.max_gates = 30;
+  options.two_qubit_fraction = 0.5;
+  options.base_seed = 0x5017E1;
+  options.trials = 2;
+  options.placers = {"greedy", "annealing"};
+  options.routers = {"sabre", "sabre+commute", "bridge", "astar", "qmap"};
+  options.num_threads = 2;
+
+  const DifferentialFuzzer fuzzer({devices::ibm_qx4()}, options);
+  const FuzzReport report = fuzzer.run();
+  EXPECT_TRUE(report.ok()) << report.report();
+  EXPECT_EQ(report.failures.size(), 0u);
+  for (const StrategyTally& tally : report.tallies) {
+    EXPECT_GT(tally.runs, 0u) << tally.strategy.label();
+    EXPECT_EQ(tally.equivalence_skipped, 0u)
+        << tally.strategy.label() << ": oracle must never be width-capped";
+  }
+}
+
+TEST(DifferentialFuzz, RouteIrRoutersZeroMismatchesCliffordWide) {
+  // Same RouteIR router set at QX5 width, where the flat 16x16 distance
+  // matrix and larger front layers exercise different code paths; the
+  // stabilizer tableau keeps the oracle exact at full width.
+  FuzzOptions options;
+  options.num_circuits = 8;
+  options.min_qubits = 4;
+  options.max_qubits = 9;
+  options.min_gates = 10;
+  options.max_gates = 40;
+  options.clifford_only = true;
+  options.base_seed = 0x5017E2;
+  options.trials = 2;
+  options.placers = {"greedy"};
+  options.routers = {"sabre", "sabre+commute", "bridge", "astar", "qmap"};
+  options.num_threads = 2;
+
+  const FuzzReport report =
+      DifferentialFuzzer({devices::ibm_qx5()}, options).run();
+  EXPECT_TRUE(report.ok()) << report.report();
+}
+
+TEST(DifferentialFuzz, RouteIrFailureShrinksAndRoundTripsReproducer) {
+  // ddmin round-trip on a RouteIR route: plant a dropped SWAP behind the
+  // sabre route of a random circuit, shrink the failure to a minimal
+  // circuit with the same deterministic predicate, dump a reproducer to
+  // disk, reload it, and replay — the replay must reproduce the same
+  // failure kind from the shrunk circuit alone.
+  const Device device = devices::ibm_qx4();
+  const FuzzStrategy strategy{"greedy", "sabre", false};
+  Rng rng(41);
+  const Circuit original = workloads::random_circuit(5, 24, rng, 0.6);
+
+  const auto fails = [&](const Circuit& candidate) {
+    const RunOutcome outcome =
+        run_strategy(candidate, device, strategy, 7, /*trials=*/2,
+                     FaultInjection::DropLastSwap);
+    return outcome.kind == FailureKind::Equivalence;
+  };
+  ASSERT_TRUE(fails(original)) << "planted fault must fail on the original";
+
+  const Shrinker::Result shrunk = Shrinker().shrink(original, fails);
+  EXPECT_LT(shrunk.circuit.size(), original.size());
+  EXPECT_TRUE(fails(shrunk.circuit));
+
+  Reproducer repro;
+  repro.circuit = shrunk.circuit;
+  repro.device = device.name();
+  repro.strategy = strategy;
+  repro.seed = 7;
+  repro.trials = 2;
+  repro.fault = FaultInjection::DropLastSwap;
+  repro.kind = failure_kind_name(FailureKind::Equivalence);
+  repro.message = "dropped routing SWAP (planted)";
+
+  const std::string dir =
+      (std::filesystem::path(testing::TempDir()) / "qmap_route_ir_repro")
+          .string();
+  const std::string path = save_reproducer(repro, dir, "route_ir_case");
+  const Reproducer loaded = load_reproducer(path);
+  EXPECT_EQ(loaded.circuit.size(), shrunk.circuit.size());
+  const RunOutcome replayed = replay(loaded);
+  EXPECT_EQ(replayed.kind, FailureKind::Equivalence) << replayed.message;
+  EXPECT_EQ(failure_kind_name(replayed.kind), loaded.kind);
 }
 
 }  // namespace

@@ -19,11 +19,15 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/digest.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/compiler.hpp"
+#include "ir/dag.hpp"
+#include "route/route_ir.hpp"
 #include "verify/reproducer.hpp"
 #include "workloads/workloads.hpp"
 
@@ -111,6 +115,259 @@ TEST(RouteIrParity, MatchesPreRefactorGoldenFingerprints) {
         << id << ": RouteIR-backed router output drifted from the "
         << "pre-refactor fingerprint";
   }
+}
+
+// --- CSR property tests: RouteIR vs DependencyDag on random circuits ---
+
+Circuit property_circuit(std::uint64_t seed, int num_qubits = 6,
+                         int num_gates = 80) {
+  Rng rng(Rng::derive_stream(0xC5A11, seed));
+  return workloads::random_circuit(num_qubits, num_gates, rng, 0.5);
+}
+
+void expect_csr_matches_dag(const Circuit& circuit, DagMode mode) {
+  RouteArena arena;
+  const ArenaScope scope(arena);
+  const RouteIR ir = RouteIR::build(circuit, mode, arena);
+  const DependencyDag dag(circuit, mode);
+  ASSERT_EQ(ir.num_gates, dag.num_nodes());
+
+  std::size_t total_edges = 0;
+  for (std::uint32_t node = 0; node < ir.num_gates; ++node) {
+    const std::vector<int>& succs = dag.successors(static_cast<int>(node));
+    const std::uint32_t begin = ir.succ_offsets[node];
+    const std::uint32_t end = ir.succ_offsets[node + 1];
+    ASSERT_EQ(end - begin, succs.size()) << "successor count of " << node;
+    for (std::size_t k = 0; k < succs.size(); ++k) {
+      EXPECT_EQ(ir.succ[begin + k], static_cast<std::uint32_t>(succs[k]))
+          << "successor " << k << " of node " << node;
+    }
+    EXPECT_EQ(ir.pred_count[node],
+              dag.predecessors(static_cast<int>(node)).size())
+        << "in-degree of " << node;
+    total_edges += succs.size();
+  }
+  EXPECT_EQ(ir.num_edges(), total_edges);
+
+  // Topological consistency: every edge points forward in program order.
+  for (std::uint32_t node = 0; node < ir.num_gates; ++node) {
+    for (std::uint32_t e = ir.succ_offsets[node]; e < ir.succ_offsets[node + 1];
+         ++e) {
+      EXPECT_GT(ir.succ[e], node) << "edge must point forward";
+    }
+  }
+
+  // SoA records match the circuit, two-qubit index list is ascending.
+  for (std::uint32_t node = 0; node < ir.num_gates; ++node) {
+    const Gate& gate = circuit.gate(node);
+    EXPECT_EQ(ir.gate_kind(node), gate.kind);
+    EXPECT_EQ(ir.is_two_qubit(node), gate.is_two_qubit());
+    if (!gate.qubits.empty()) {
+      EXPECT_EQ(ir.q0[node], static_cast<std::uint32_t>(gate.qubits[0]));
+    }
+    if (gate.qubits.size() >= 2) {
+      EXPECT_EQ(ir.q1[node], static_cast<std::uint32_t>(gate.qubits[1]));
+    }
+  }
+  for (std::uint32_t k = 1; k < ir.num_two_qubit; ++k) {
+    EXPECT_LT(ir.two_qubit[k - 1], ir.two_qubit[k]);
+  }
+
+  // Front layer == the in-degree-0 set, ascending, exactly dag.ready().
+  FrontLayer front(ir, arena);
+  ASSERT_EQ(front.ready_size(), dag.ready().size());
+  for (std::uint32_t k = 0; k < front.ready_size(); ++k) {
+    EXPECT_EQ(front.ready()[k], static_cast<std::uint32_t>(dag.ready()[k]));
+    EXPECT_EQ(ir.pred_count[front.ready()[k]], 0u);
+  }
+}
+
+TEST(RouteIrCsr, MatchesDependencyDagSequential) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_csr_matches_dag(property_circuit(seed), DagMode::Sequential);
+  }
+}
+
+TEST(RouteIrCsr, MatchesDependencyDagCommutation) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_csr_matches_dag(property_circuit(seed), DagMode::Commutation);
+  }
+}
+
+TEST(RouteIrCsr, HandlesEmptyAndSingleGateCircuits) {
+  RouteArena arena;
+  const ArenaScope scope(arena);
+  const Circuit empty(3);
+  const RouteIR ir_empty = RouteIR::build(empty, DagMode::Sequential, arena);
+  EXPECT_EQ(ir_empty.num_gates, 0u);
+  EXPECT_EQ(ir_empty.num_edges(), 0u);
+
+  Circuit one(2);
+  one.cx(0, 1);
+  const RouteIR ir_one = RouteIR::build(one, DagMode::Sequential, arena);
+  EXPECT_EQ(ir_one.num_gates, 1u);
+  EXPECT_EQ(ir_one.num_edges(), 0u);
+  EXPECT_EQ(ir_one.num_two_qubit, 1u);
+  FrontLayer front(ir_one, arena);
+  EXPECT_EQ(front.ready_size(), 1u);
+}
+
+// The scheduling walk: drive DependencyDag and FrontLayer through the same
+// random schedule and demand identical ready lists at every step, in both
+// dependency modes.
+void expect_schedule_parity(const Circuit& circuit, DagMode mode,
+                            std::uint64_t seed) {
+  RouteArena arena;
+  const ArenaScope scope(arena);
+  const RouteIR ir = RouteIR::build(circuit, mode, arena);
+  FrontLayer front(ir, arena);
+  DependencyDag dag(circuit, mode);
+  Rng rng(Rng::derive_stream(0xF207, seed));
+
+  const auto expect_ready_equal = [&] {
+    ASSERT_EQ(front.ready_size(), dag.ready().size());
+    for (std::uint32_t k = 0; k < front.ready_size(); ++k) {
+      ASSERT_EQ(front.ready()[k], static_cast<std::uint32_t>(dag.ready()[k]));
+    }
+    std::vector<std::uint32_t> two(ir.num_two_qubit);
+    const std::uint32_t count = front.ready_two_qubit(two.data());
+    const std::vector<int> dag_two = dag.ready_two_qubit();
+    ASSERT_EQ(count, dag_two.size());
+    for (std::uint32_t k = 0; k < count; ++k) {
+      ASSERT_EQ(two[k], static_cast<std::uint32_t>(dag_two[k]));
+    }
+  };
+
+  expect_ready_equal();
+  while (!dag.all_scheduled()) {
+    const std::size_t pick = rng.index(dag.ready().size());
+    const int node = dag.ready()[pick];
+    dag.mark_scheduled(node);
+    front.mark_scheduled(static_cast<std::uint32_t>(node));
+    expect_ready_equal();
+    ASSERT_EQ(front.num_scheduled(), dag.num_scheduled());
+  }
+  EXPECT_TRUE(front.all_scheduled());
+
+  // reset() restores the post-construction state.
+  front.reset();
+  dag.reset();
+  expect_ready_equal();
+}
+
+TEST(RouteIrFront, TracksDependencyDagThroughRandomSchedules) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    expect_schedule_parity(property_circuit(seed), DagMode::Sequential, seed);
+    expect_schedule_parity(property_circuit(seed), DagMode::Commutation, seed);
+  }
+}
+
+TEST(RouteIrFront, MarkScheduledRejectsNonReadyNodes) {
+  RouteArena arena;
+  const ArenaScope scope(arena);
+  Circuit circuit(2);
+  circuit.h(0).cx(0, 1);
+  const RouteIR ir = RouteIR::build(circuit, DagMode::Sequential, arena);
+  FrontLayer front(ir, arena);
+  // Node 1 depends on node 0: pending, not ready.
+  EXPECT_THROW(front.mark_scheduled(1), CircuitError);
+  front.mark_scheduled(0);
+  EXPECT_THROW(front.mark_scheduled(0), CircuitError);  // already scheduled
+  front.mark_scheduled(1);
+  EXPECT_TRUE(front.all_scheduled());
+}
+
+// --- RouteArena ---
+
+TEST(RouteArenaTest, MarkerRewindReusesBlocks) {
+  RouteArena arena;
+  void* first = nullptr;
+  {
+    const ArenaScope scope(arena);
+    first = arena.alloc<std::uint64_t>(100);
+  }
+  std::size_t reserved = 0;
+  for (int round = 0; round < 50; ++round) {
+    const ArenaScope scope(arena);
+    void* again = arena.alloc<std::uint64_t>(100);
+    EXPECT_EQ(again, first) << "rewound arena must hand back the same block";
+    (void)arena.alloc<double>(1000);
+    if (round == 0) reserved = arena.bytes_reserved();
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved)
+      << "steady-state reuse must not grow the arena";
+}
+
+TEST(RouteArenaTest, AlignmentAndLargeBlocks) {
+  RouteArena arena;
+  const ArenaScope scope(arena);
+  for (int i = 0; i < 32; ++i) {
+    auto* b = arena.alloc<std::uint8_t>(3);
+    auto* d = arena.alloc<double>(5);
+    auto* u = arena.alloc<std::uint32_t>(7);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(std::uint8_t), 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(u) % alignof(std::uint32_t),
+              0u);
+    b[0] = 1;
+    d[4] = 2.0;
+    u[6] = 3;
+  }
+  // Larger than any default block: must still succeed (fresh block).
+  auto* big = arena.alloc<std::uint64_t>(1 << 20);
+  big[0] = 1;
+  big[(1 << 20) - 1] = 2;
+  EXPECT_GE(arena.bytes_reserved(), (std::size_t{1} << 23));
+}
+
+TEST(RouteArenaTest, NestedScopesRewindInLifoOrder) {
+  RouteArena arena;
+  const ArenaScope outer(arena);
+  auto* keep = arena.alloc<int>(8);
+  keep[0] = 42;
+  void* inner_ptr = nullptr;
+  {
+    const ArenaScope inner(arena);
+    inner_ptr = arena.alloc<int>(8);
+  }
+  // The inner allocation is reclaimed; the next alloc reuses its space and
+  // the outer allocation is untouched.
+  auto* again = arena.alloc<int>(8);
+  EXPECT_EQ(static_cast<void*>(again), inner_ptr);
+  EXPECT_EQ(keep[0], 42);
+}
+
+// --- Concurrent arena reuse: thread-local scratch arenas must make the
+// same decisions no matter how many threads route at once. This is the
+// test tier1.sh re-runs under TSan. ---
+
+std::vector<std::string> thread_pool_digests(int num_threads) {
+  // Each task is one full compile; tasks are striped over the threads so
+  // every thread's scratch arena serves several different circuits
+  // back-to-back (exercising marker rewind + block reuse between routes).
+  const char* const routers[] = {"sabre", "sabre+commute", "bridge", "qmap",
+                                 "astar"};
+  constexpr int kTasks = 10;
+  std::vector<std::string> digests(kTasks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([t, num_threads, &routers, &digests] {
+      for (int task = t; task < kTasks; task += num_threads) {
+        digests[static_cast<std::size_t>(task)] = parity_digest(
+            routers[task % 5], "ibm_qx5",
+            static_cast<std::uint64_t>(task % 3) + 1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return digests;
+}
+
+TEST(RouteIrThreads, FingerprintsIdenticalAcross1_2_8Threads) {
+  const std::vector<std::string> serial = thread_pool_digests(1);
+  EXPECT_EQ(thread_pool_digests(2), serial);
+  EXPECT_EQ(thread_pool_digests(8), serial);
 }
 
 }  // namespace
