@@ -1,0 +1,115 @@
+// Streaming demo: compile a million-gate circuit from a .qasm file
+// without ever holding the circuit in memory.
+//
+// The demo generates a ~1M-gate Cuccaro ripple-carry adder workload and
+// writes it straight to disk through the chunked OpenQASM sink (the
+// generator holds one adder block, the sink holds a ~64 KiB buffer). It
+// then compiles the file through PassManager::run_stream — incremental
+// QASM parse, chunk-wise decompose, windowed sabre routing, token-swap
+// cleanup — and prints the throughput and the process peak RSS, which
+// stays at the routing window, not the circuit.
+//
+// Usage: example_streaming_demo [gate-count]   (default 1000000)
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "arch/builtin.hpp"
+#include "pass/manager.hpp"
+#include "qasm/stream.hpp"
+#include "workloads/stream_workloads.hpp"
+
+namespace {
+
+double peak_rss_mb() {
+  struct rusage usage = {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB on Linux
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qmap;
+  const std::size_t target_gates =
+      argc > 1 ? static_cast<std::size_t>(std::stoull(argv[1])) : 1000000;
+
+  std::cout << "=== Streaming out-of-core compilation ===\n";
+
+  // --- 1. Generate the workload on disk, out-of-core. ---
+  const std::filesystem::path qasm_path =
+      std::filesystem::temp_directory_path() / "streaming_demo_cuccaro.qasm";
+  workloads::RepeatedBlockSource generator =
+      workloads::cuccaro_stream(/*n=*/6, target_gates);
+  {
+    std::ofstream out(qasm_path);
+    QasmStreamSink qasm_sink(out, generator.num_qubits(),
+                             generator.num_cbits());
+    std::vector<Gate> chunk;
+    while (generator.pull(chunk, 4096) > 0) {
+      qasm_sink.put_chunk(chunk);
+      chunk.clear();
+    }
+    qasm_sink.flush();
+    std::cout << "wrote " << qasm_sink.gates_written()
+              << " gates (6-bit Cuccaro adder blocks, "
+              << generator.num_qubits() << " qubits) to " << qasm_path
+              << " (" << std::filesystem::file_size(qasm_path) / (1 << 20)
+              << " MiB)\n";
+  }
+
+  // --- 2. Compile the file through the streaming pipeline. ---
+  // Every stage of this spec is window-capable: chunk-wise decompose,
+  // identity placement, windowed sabre routing, token-swap cleanup at
+  // end-of-stream. Peak memory is O(routing window).
+  PipelineSpec spec;
+  spec.append("decompose");
+  Json placer_options;
+  placer_options["algorithm"] = Json(std::string("identity"));
+  spec.append("placer", std::move(placer_options));
+  Json router_options;
+  router_options["algorithm"] = Json(std::string("sabre"));
+  spec.append("router", std::move(router_options));
+  spec.append("token_swap_finisher");
+  const PassManager manager(spec);
+
+  const Device device = devices::ibm_qx5();
+  std::ifstream in(qasm_path);
+  QasmStreamSource source(in, qasm_path.filename().string());
+  CountingSink sink;  // swap in a QasmStreamSink to write the result
+  const PipelineRuntime runtime;
+  const auto start = std::chrono::steady_clock::now();
+  const StreamReport report =
+      manager.run_stream(source, device, sink, runtime);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::filesystem::remove(qasm_path);
+
+  if (report.stream.materialized_input || !report.stream.streamed_route ||
+      !report.stream.materialized_passes.empty()) {
+    std::cerr << "FATAL: pipeline did not run out-of-core\n";
+    return 1;
+  }
+
+  std::cout << "compiled for " << device.name() << ": "
+            << report.stream.gates_in << " gates in -> "
+            << report.stream.gates_out << " native gates out\n";
+  std::printf("throughput      %.0f gates/sec (%.1f s wall)\n",
+              static_cast<double>(report.stream.gates_in) / seconds, seconds);
+  std::printf("peak RSS        %.1f MiB (window high-water mark: %zu gates)\n",
+              peak_rss_mb(), report.stream.window_peak_gates);
+  std::cout << "added SWAPs     " << report.result.routing.added_swaps
+            << " (incl. " << report.result.routing.added_bridges
+            << " bridges)\n";
+  std::cout << "baseline cycles " << report.result.baseline_cycles << "\n";
+  std::cout << "\nThe circuit never existed in memory: the QASM file was "
+               "parsed, lowered,\nrouted, and counted chunk-by-chunk with "
+               "O(window) resident state.\n";
+  return 0;
+}

@@ -18,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
-BENCHES="bench_router_comparison bench_pipeline bench_service"
+BENCHES="bench_router_comparison bench_pipeline bench_service bench_streaming"
 
 cmake --build "${BUILD}" -j "$(nproc)" --target ${BENCHES}
 
@@ -155,6 +155,30 @@ if name == "service":
                   if b["name"].startswith("BM_ServiceDrain")), None)
     if drain:
         derived["drain_ms"] = round(drain["real_time_ms"], 3)
+if name == "streaming":
+    # Out-of-core claim: compiling 1M gates through the windowed pipeline
+    # must not cost more resident memory than 10k gates at the same
+    # window. ru_maxrss is monotonic and the sizes run ascending, so the
+    # ratio of the recorded high-water marks is exactly the growth the
+    # window failed to bound.
+    def stream_entry(size):
+        return next((b for b in benchmarks
+                     if b["name"].startswith(f"BM_StreamCompile/{size}/")
+                     or b["name"] == f"BM_StreamCompile/{size}"), None)
+    small = stream_entry(10000)
+    big = stream_entry(1000000)
+    if small and big:
+        small_rss = small.get("counters", {}).get("peak_rss_mb", 0)
+        big_rss = big.get("counters", {}).get("peak_rss_mb", 0)
+        if small_rss > 0:
+            derived["peak_rss_ratio_1m_vs_10k"] = round(
+                big_rss / small_rss, 3)
+        derived["peak_rss_mb_10k"] = round(small_rss, 2)
+        derived["peak_rss_mb_1m"] = round(big_rss, 2)
+        derived["gates_per_sec_1m"] = round(
+            big.get("counters", {}).get("gates_per_sec", 0), 1)
+        derived["window_peak_gates_1m"] = \
+            big.get("counters", {}).get("window_peak_gates", 0)
 
 snapshot = {
     "bench": name,
@@ -285,4 +309,27 @@ else:
 for key, value in sorted(derived.items()):
     if key.startswith("route_time_speedup_vs_previous_"):
         print(f"bench_snapshot: {key} = {value}x")
+PY
+
+# Streaming out-of-core gate: compiling a million gates through the
+# windowed pipeline must keep peak RSS within 2x of the 10k-gate run at
+# the same window — the claim the streaming mode exists to make.
+# QMAP_BENCH_ALLOW_REGRESSION=1 accepts an intentional change.
+python3 - <<'PY'
+import json, os, sys
+with open("BENCH_streaming.json") as f:
+    snapshot = json.load(f)
+derived = snapshot.get("derived", {})
+ratio = derived.get("peak_rss_ratio_1m_vs_10k")
+if ratio is None:
+    sys.exit("bench_snapshot: no streaming peak-RSS ratio recorded")
+throughput = derived.get("gates_per_sec_1m", 0)
+print(f"bench_snapshot: streaming 1M-gate compile at {throughput:,.0f} "
+      f"gates/sec, peak RSS {derived.get('peak_rss_mb_1m')}MB (1M) vs "
+      f"{derived.get('peak_rss_mb_10k')}MB (10k), ratio {ratio} "
+      "(gate: <= 2.0)")
+if ratio > 2.0 and not os.environ.get("QMAP_BENCH_ALLOW_REGRESSION"):
+    sys.exit(f"bench_snapshot: streaming peak-RSS ratio {ratio} exceeds "
+             "the 2x out-of-core gate (QMAP_BENCH_ALLOW_REGRESSION=1 "
+             "overrides)")
 PY

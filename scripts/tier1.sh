@@ -69,6 +69,14 @@ echo "== tier 1: route_ir label =="
 # 1/2/8-thread fingerprint pin.
 (cd build && ctest --output-on-failure -L route_ir)
 
+echo "== tier 1: stream label =="
+# The streaming compilation suite (tests/test_stream.cpp): incremental
+# QASM parsing, streamed-vs-materialized route byte parity across the
+# chunk-size matrix, the run_stream golden-fingerprint pin, fallback
+# semantics for non-streamable pipeline shapes, and the allocation audit
+# of the token-swap finisher splice.
+(cd build && ctest --output-on-failure -L stream)
+
 echo "== tier 1: pass registry lint =="
 # Every registered pass name must be documented in DESIGN.md's pass table.
 scripts/check_pass_registry.sh
@@ -114,6 +122,12 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_chaos
 cmake --build build-tsan -j "${JOBS}" --target test_route_ir
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_route_ir \
     --gtest_filter='RouteIrThreads.*'
+# The streaming thread tests re-run under TSan: the bounded PipeStream
+# hand-off between a producer thread and the routing thread (chunked
+# reader -> router), and the 1/2/8-thread streamed-route digest pin.
+cmake --build build-tsan -j "${JOBS}" --target test_stream
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_stream \
+    --gtest_filter='StreamThreads.*'
 
 echo "== tier 1: test_route_ir under ASan+UBSan =="
 # The arena hands out raw pointers with manual lifetime (marker rewind,

@@ -107,6 +107,60 @@ bool is_identity_up_to_phase(const Matrix& m) {
   return m.equal_up_to_global_phase(Matrix::identity(2), 1e-10);
 }
 
+/// Stage B, one gate: convert CX/CZ/SWAP to the target two-qubit kind.
+/// Shared by the batch pass and the streaming lowerer so the rewrite has a
+/// single source of truth.
+void lower_intermediate_gate(const Gate& gate, GateKind target,
+                             bool keep_swaps, Circuit& out) {
+  switch (gate.kind) {
+    case GateKind::CX:
+    case GateKind::CZ:
+      emit_two_qubit(out, gate.kind, target, gate.qubits[0], gate.qubits[1]);
+      break;
+    case GateKind::SWAP: {
+      if (keep_swaps) {
+        out.add(gate);
+        break;
+      }
+      const int a = gate.qubits[0];
+      const int b = gate.qubits[1];
+      emit_two_qubit(out, GateKind::CX, target, a, b);
+      emit_two_qubit(out, GateKind::CX, target, b, a);
+      emit_two_qubit(out, GateKind::CX, target, a, b);
+      break;
+    }
+    default:
+      out.add(gate);
+  }
+}
+
+/// Native-basis rewrite, one gate (the body of lower_single_qubit's loop).
+void lower_single_gate(const Gate& gate, const Device& device, bool has_u,
+                       Circuit& out) {
+  if (!gate.is_unitary() || gate_info(gate.kind).arity != 1 ||
+      device.is_native_kind(gate.kind)) {
+    out.add(gate);
+    return;
+  }
+  const int q = gate.qubits[0];
+  if (has_u) {
+    const EulerAngles angles = zyz_decompose(gate.matrix());
+    out.u(angles.theta, angles.phi, angles.lambda, q);
+    return;
+  }
+  const EulerAngles angles = yxy_decompose(gate.matrix());
+  if (std::abs(angles.lambda) > kAngleTolerance) out.ry(angles.lambda, q);
+  if (std::abs(angles.theta) > kAngleTolerance) out.rx(angles.theta, q);
+  if (std::abs(angles.phi) > kAngleTolerance) out.ry(angles.phi, q);
+}
+
+/// Empties a scratch circuit, keeping its gate-list capacity.
+void clear_gates(Circuit& circuit) {
+  std::vector<Gate> gates = circuit.take_gates();
+  gates.clear();
+  circuit.set_gates(std::move(gates));
+}
+
 }  // namespace
 
 Circuit lower_two_qubit(const Circuit& circuit, GateKind target,
@@ -122,58 +176,44 @@ Circuit lower_two_qubit(const Circuit& circuit, GateKind target,
   // Stage B: convert the two-qubit kinds to the target.
   Circuit out(circuit.num_qubits(), circuit.name());
   for (const Gate& gate : intermediate) {
-    switch (gate.kind) {
-      case GateKind::CX:
-      case GateKind::CZ:
-        emit_two_qubit(out, gate.kind, target, gate.qubits[0],
-                       gate.qubits[1]);
-        break;
-      case GateKind::SWAP: {
-        if (keep_swaps) {
-          out.add(gate);
-          break;
-        }
-        const int a = gate.qubits[0];
-        const int b = gate.qubits[1];
-        emit_two_qubit(out, GateKind::CX, target, a, b);
-        emit_two_qubit(out, GateKind::CX, target, b, a);
-        emit_two_qubit(out, GateKind::CX, target, a, b);
-        break;
-      }
-      default:
-        out.add(gate);
-    }
+    lower_intermediate_gate(gate, target, keep_swaps, out);
   }
   return out;
 }
 
+SingleQubitFuser::SingleQubitFuser(int num_qubits)
+    : pending_(static_cast<std::size_t>(num_qubits)) {}
+
+void SingleQubitFuser::flush(int qubit, Circuit& out) {
+  auto& entry = pending_[static_cast<std::size_t>(qubit)];
+  if (!entry.has_value()) return;
+  if (!is_identity_up_to_phase(*entry)) {
+    const EulerAngles angles = zyz_decompose(*entry);
+    out.u(angles.theta, angles.phi, angles.lambda, qubit);
+  }
+  entry.reset();
+}
+
+void SingleQubitFuser::push(const Gate& gate, Circuit& out) {
+  if (gate.is_unitary() && gate_info(gate.kind).arity == 1) {
+    auto& entry = pending_[static_cast<std::size_t>(gate.qubits[0])];
+    const Matrix m = gate.matrix();
+    entry = entry.has_value() ? m * *entry : m;
+    return;
+  }
+  for (const int q : gate.qubits) flush(q, out);
+  out.add(gate);
+}
+
+void SingleQubitFuser::finish(Circuit& out) {
+  for (int q = 0; q < static_cast<int>(pending_.size()); ++q) flush(q, out);
+}
+
 Circuit fuse_single_qubit(const Circuit& circuit) {
   Circuit out(circuit.num_qubits(), circuit.name());
-  // Pending accumulated single-qubit unitary per qubit.
-  std::vector<std::optional<Matrix>> pending(
-      static_cast<std::size_t>(circuit.num_qubits()));
-
-  const auto flush = [&](int q) {
-    auto& entry = pending[static_cast<std::size_t>(q)];
-    if (!entry.has_value()) return;
-    if (!is_identity_up_to_phase(*entry)) {
-      const EulerAngles angles = zyz_decompose(*entry);
-      out.u(angles.theta, angles.phi, angles.lambda, q);
-    }
-    entry.reset();
-  };
-
-  for (const Gate& gate : circuit) {
-    if (gate.is_unitary() && gate_info(gate.kind).arity == 1) {
-      auto& entry = pending[static_cast<std::size_t>(gate.qubits[0])];
-      const Matrix m = gate.matrix();
-      entry = entry.has_value() ? m * *entry : m;
-      continue;
-    }
-    for (const int q : gate.qubits) flush(q);
-    out.add(gate);
-  }
-  for (int q = 0; q < circuit.num_qubits(); ++q) flush(q);
+  SingleQubitFuser fuser(circuit.num_qubits());
+  for (const Gate& gate : circuit) fuser.push(gate, out);
+  fuser.finish(out);
   return out;
 }
 
@@ -190,23 +230,62 @@ Circuit lower_single_qubit(const Circuit& circuit, const Device& device) {
   }
   Circuit out(circuit.num_qubits(), circuit.name());
   for (const Gate& gate : circuit) {
-    if (!gate.is_unitary() || gate_info(gate.kind).arity != 1 ||
-        device.is_native_kind(gate.kind)) {
-      out.add(gate);
-      continue;
-    }
-    const int q = gate.qubits[0];
-    if (has_u) {
-      const EulerAngles angles = zyz_decompose(gate.matrix());
-      out.u(angles.theta, angles.phi, angles.lambda, q);
-      continue;
-    }
-    const EulerAngles angles = yxy_decompose(gate.matrix());
-    if (std::abs(angles.lambda) > kAngleTolerance) out.ry(angles.lambda, q);
-    if (std::abs(angles.theta) > kAngleTolerance) out.rx(angles.theta, q);
-    if (std::abs(angles.phi) > kAngleTolerance) out.ry(angles.phi, q);
+    lower_single_gate(gate, device, has_u, out);
   }
   return out;
+}
+
+StreamingLowerer::StreamingLowerer(const Device& device, int num_qubits,
+                                   bool keep_swaps)
+    : device_(&device),
+      target_(device.native_two_qubit()),
+      keep_swaps_(keep_swaps),
+      lower_single_(!device.native_single_qubit().empty()),
+      fuser_(num_qubits),
+      stage_a_(num_qubits, "chunk"),
+      stage_b_(num_qubits, "chunk"),
+      fused_(num_qubits, "chunk") {
+  if (target_ != GateKind::CX && target_ != GateKind::CZ) {
+    throw MappingError("two-qubit lowering target must be CX or CZ");
+  }
+  if (lower_single_) {
+    has_u_ = device.is_native_kind(GateKind::U);
+    const bool has_rx = device.is_native_kind(GateKind::Rx);
+    const bool has_ry = device.is_native_kind(GateKind::Ry);
+    if (!has_u_ && !(has_rx && has_ry)) {
+      throw MappingError(
+          "device native single-qubit set must include u or {rx, ry}");
+    }
+  }
+}
+
+void StreamingLowerer::lower_fused(Circuit& fused, Circuit& out) {
+  if (!lower_single_) {
+    for (Gate& gate : fused.take_gates()) out.add(std::move(gate));
+    return;
+  }
+  for (const Gate& gate : fused) {
+    lower_single_gate(gate, *device_, has_u_, out);
+  }
+  clear_gates(fused);
+}
+
+void StreamingLowerer::lower_chunk(const std::vector<Gate>& gates,
+                                   Circuit& out) {
+  StageA stage_a(stage_a_);
+  for (const Gate& gate : gates) stage_a.gate(gate);
+  for (const Gate& gate : stage_a_) {
+    lower_intermediate_gate(gate, target_, keep_swaps_, stage_b_);
+  }
+  clear_gates(stage_a_);
+  for (const Gate& gate : stage_b_) fuser_.push(gate, fused_);
+  clear_gates(stage_b_);
+  lower_fused(fused_, out);
+}
+
+void StreamingLowerer::finish(Circuit& out) {
+  fuser_.finish(fused_);
+  lower_fused(fused_, out);
 }
 
 Circuit lower_to_device(const Circuit& circuit, const Device& device,

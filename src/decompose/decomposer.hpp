@@ -8,7 +8,11 @@
 // the placement is known.
 #pragma once
 
+#include <optional>
+#include <vector>
+
 #include "arch/device.hpp"
+#include "common/matrix.hpp"
 #include "ir/circuit.hpp"
 
 namespace qmap {
@@ -23,6 +27,69 @@ namespace qmap {
 /// Merges maximal runs of adjacent single-qubit gates on each qubit into a
 /// single U(theta, phi, lambda) gate; exact identities are dropped.
 [[nodiscard]] Circuit fuse_single_qubit(const Circuit& circuit);
+
+/// The stateful core of fuse_single_qubit, exposed so the streaming
+/// pipeline can fuse across chunk boundaries: a run of single-qubit gates
+/// is held as an accumulated 2x2 unitary per qubit and emitted (as one U,
+/// identities dropped) only when a multi-qubit/non-unitary gate closes the
+/// run — or at finish(), which flushes every open run in qubit order.
+/// Feeding a circuit gate-by-gate through push() + one finish() produces
+/// exactly fuse_single_qubit's output, regardless of how the gate sequence
+/// was chunked; fuse_single_qubit itself is implemented on this class.
+class SingleQubitFuser {
+ public:
+  explicit SingleQubitFuser(int num_qubits);
+
+  /// Consumes one gate; appends any closed runs (and pass-through gates)
+  /// to `out`.
+  void push(const Gate& gate, Circuit& out);
+
+  /// End of stream: flushes the open run of every qubit, lowest index
+  /// first (matching fuse_single_qubit's end-of-circuit flush).
+  void finish(Circuit& out);
+
+ private:
+  void flush(int qubit, Circuit& out);
+
+  std::vector<std::optional<Matrix>> pending_;
+};
+
+/// Chunk-wise lower_to_device: the placement-independent lowering
+/// (two-qubit target + single-qubit fusion + native single-qubit basis)
+/// as a stateful object fed a bounded chunk at a time. The per-gate stages
+/// are stateless, and cross-chunk fusion state lives in a SingleQubitFuser,
+/// so concatenating the chunks appended by lower_chunk()/finish() yields
+/// byte-for-byte the circuit lower_to_device would produce from the
+/// materialized whole. Peak memory is O(chunk), not O(circuit).
+class StreamingLowerer {
+ public:
+  /// Throws MappingError for unsupported native sets, like the batch
+  /// passes would.
+  StreamingLowerer(const Device& device, int num_qubits,
+                   bool keep_swaps = false);
+
+  /// Lowers `gates` in order, appending the result to `out`. Trailing
+  /// single-qubit runs stay buffered in the fuser until a later chunk (or
+  /// finish()) closes them.
+  void lower_chunk(const std::vector<Gate>& gates, Circuit& out);
+
+  /// End of stream: flushes the fuser's open runs through the native-basis
+  /// stage into `out`.
+  void finish(Circuit& out);
+
+ private:
+  void lower_fused(Circuit& fused, Circuit& out);
+
+  const Device* device_;
+  GateKind target_;
+  bool keep_swaps_;
+  bool lower_single_;  // false when the device's native 1q set is empty
+  bool has_u_ = false;
+  SingleQubitFuser fuser_;
+  Circuit stage_a_;  // recycled per-chunk scratch
+  Circuit stage_b_;
+  Circuit fused_;
+};
 
 /// Re-expresses every single-qubit gate in the device's native basis:
 ///  * IBM-style ({U}): one U gate via ZYZ;

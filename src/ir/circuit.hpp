@@ -54,6 +54,28 @@ class Circuit {
   /// (routing emitters) skip the growth reallocations.
   void reserve(std::size_t gates) { gates_.reserve(gates); }
 
+  /// Moves the gate list out, leaving the circuit empty (register metadata
+  /// intact). Trusted bulk-transfer primitive for the streaming layer: a
+  /// chunked source drains parsed gates without per-gate copies, and the
+  /// splice-style passes take / rewrite / set instead of rebuilding.
+  [[nodiscard]] std::vector<Gate> take_gates() {
+    std::vector<Gate> out = std::move(gates_);
+    gates_.clear();
+    return out;
+  }
+
+  /// Replaces the gate list wholesale, without re-validating operands.
+  /// Counterpart of take_gates() for trusted producers; classical-register
+  /// tracking matches add_unchecked().
+  void set_gates(std::vector<Gate> gates) {
+    gates_ = std::move(gates);
+    for (const Gate& gate : gates_) {
+      if (gate.kind == GateKind::Measure && gate.cbit >= num_cbits_) {
+        num_cbits_ = gate.cbit + 1;
+      }
+    }
+  }
+
   // Fluent single-gate builders. Each returns *this for chaining.
   Circuit& i(int q) { return emit(GateKind::I, {q}); }
   Circuit& x(int q) { return emit(GateKind::X, {q}); }

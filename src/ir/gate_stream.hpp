@@ -1,0 +1,102 @@
+// GateStream: pull/push interfaces for out-of-core compilation.
+//
+// A GateSource yields a circuit's gates in program order, a chunk at a
+// time, without requiring the full circuit to be resident; a GateSink
+// accepts gates in program order. The streaming pass pipeline (pass/
+// streaming.hpp) threads a source through window-capable passes into a
+// sink, keeping peak memory proportional to the routing window rather
+// than the circuit. In-memory adapters (CircuitSource / CircuitSink)
+// bridge to the materialized world so every streaming component can be
+// pinned byte-for-byte against its non-streaming counterpart.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "ir/gate.hpp"
+
+namespace qmap {
+
+/// Pull side of a gate stream. Register metadata (qubit/cbit counts,
+/// name) must be known up front — consumers size their state before the
+/// first chunk arrives. pull() appends up to `max_gates` gates to `out`
+/// and returns how many were appended; 0 means end-of-stream. Sources
+/// are single-pass: once drained they stay drained.
+class GateSource {
+ public:
+  virtual ~GateSource() = default;
+  [[nodiscard]] virtual int num_qubits() const = 0;
+  [[nodiscard]] virtual int num_cbits() const { return 0; }
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual std::size_t pull(std::vector<Gate>& out, std::size_t max_gates) = 0;
+};
+
+/// Push side of a gate stream. put_chunk() consumes the vector's gates
+/// (moving them out; the vector is left with unspecified size — callers
+/// clear() before reuse). flush() signals that no more gates follow.
+class GateSink {
+ public:
+  virtual ~GateSink() = default;
+  virtual void put(Gate gate) = 0;
+  virtual void put_chunk(std::vector<Gate>& gates) {
+    for (Gate& gate : gates) put(std::move(gate));
+  }
+  virtual void flush() {}
+};
+
+/// Streams an in-memory circuit. The circuit is borrowed and must
+/// outlive the source.
+class CircuitSource final : public GateSource {
+ public:
+  explicit CircuitSource(const Circuit& circuit) : circuit_(&circuit) {}
+
+  [[nodiscard]] int num_qubits() const override {
+    return circuit_->num_qubits();
+  }
+  [[nodiscard]] int num_cbits() const override { return circuit_->num_cbits(); }
+  [[nodiscard]] std::string name() const override { return circuit_->name(); }
+
+  std::size_t pull(std::vector<Gate>& out, std::size_t max_gates) override;
+
+ private:
+  const Circuit* circuit_;
+  std::size_t cursor_ = 0;
+};
+
+/// Collects a stream back into an in-memory circuit (gates appended
+/// unchecked — upstream components have already validated operands).
+class CircuitSink final : public GateSink {
+ public:
+  CircuitSink(int num_qubits, std::string name);
+
+  void put(Gate gate) override { circuit_.add_unchecked(std::move(gate)); }
+  void put_chunk(std::vector<Gate>& gates) override;
+
+  [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
+  [[nodiscard]] Circuit take() && { return std::move(circuit_); }
+
+ private:
+  Circuit circuit_;
+};
+
+/// Discards gates, keeping only counts — the measurement sink for
+/// throughput/memory benchmarks where storing the output would itself
+/// be O(circuit).
+class CountingSink final : public GateSink {
+ public:
+  void put(Gate gate) override;
+  void put_chunk(std::vector<Gate>& gates) override;
+
+  [[nodiscard]] std::size_t total_gates() const noexcept { return total_; }
+  [[nodiscard]] std::size_t two_qubit_gates() const noexcept {
+    return two_qubit_;
+  }
+
+ private:
+  std::size_t total_ = 0;
+  std::size_t two_qubit_ = 0;
+};
+
+}  // namespace qmap

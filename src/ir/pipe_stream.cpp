@@ -1,0 +1,106 @@
+#include "ir/pipe_stream.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qmap {
+
+namespace {
+// Producer-side batching granularity: put() calls accumulate into chunks
+// of this size before taking the pipe lock, so the lock is contended per
+// chunk, not per gate.
+constexpr std::size_t kPipeChunkGates = 1024;
+}  // namespace
+
+GatePipe::GatePipe(int num_qubits, std::string name,
+                   std::size_t capacity_gates, int num_cbits)
+    : num_qubits_(num_qubits),
+      num_cbits_(num_cbits),
+      name_(std::move(name)),
+      capacity_gates_(std::max<std::size_t>(1, capacity_gates)) {}
+
+void GatePipe::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  can_pop_.notify_all();
+  can_push_.notify_all();
+}
+
+void GatePipe::push_chunk(std::vector<Gate> chunk) {
+  if (chunk.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  can_push_.wait(lock, [&] {
+    return closed_ || buffered_gates_ < capacity_gates_;
+  });
+  if (closed_) {
+    throw CircuitError("GatePipe: push after close");
+  }
+  buffered_gates_ += chunk.size();
+  chunks_.push_back(std::move(chunk));
+  lock.unlock();
+  can_pop_.notify_one();
+}
+
+std::vector<Gate> GatePipe::pop_chunk() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  can_pop_.wait(lock, [&] { return closed_ || !chunks_.empty(); });
+  if (chunks_.empty()) return {};  // closed and drained
+  std::vector<Gate> chunk = std::move(chunks_.front());
+  chunks_.pop_front();
+  buffered_gates_ -= chunk.size();
+  lock.unlock();
+  can_push_.notify_one();
+  return chunk;
+}
+
+void GatePipe::PipeSink::put(Gate gate) {
+  pending_.push_back(std::move(gate));
+  if (pending_.size() >= kPipeChunkGates) {
+    pipe_->push_chunk(std::move(pending_));
+    pending_.clear();
+  }
+}
+
+void GatePipe::PipeSink::put_chunk(std::vector<Gate>& gates) {
+  if (!pending_.empty()) {
+    pipe_->push_chunk(std::move(pending_));
+    pending_.clear();
+  }
+  pipe_->push_chunk(std::move(gates));
+  gates.clear();
+}
+
+void GatePipe::PipeSink::flush() {
+  if (!pending_.empty()) {
+    pipe_->push_chunk(std::move(pending_));
+    pending_.clear();
+  }
+  pipe_->close();
+}
+
+std::size_t GatePipe::PipeSource::pull(std::vector<Gate>& out,
+                                       std::size_t max_gates) {
+  std::size_t pulled = 0;
+  while (pulled < max_gates) {
+    if (chunk_pos_ == chunk_.size()) {
+      chunk_ = pipe_->pop_chunk();
+      chunk_pos_ = 0;
+      if (chunk_.empty()) break;  // closed and drained
+    }
+    const std::size_t take =
+        std::min(max_gates - pulled, chunk_.size() - chunk_pos_);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(chunk_[chunk_pos_ + i]));
+    }
+    chunk_pos_ += take;
+    pulled += take;
+  }
+  return pulled;
+}
+
+}  // namespace qmap

@@ -1,0 +1,87 @@
+// GatePipe: a bounded buffer connecting a producer thread's GateSink to
+// a consumer thread's GateSource.
+//
+// This is the chunked reader/router handoff for true out-of-core runs:
+// one thread parses OpenQASM (or generates a workload) and pushes chunks
+// into the pipe while another thread routes them, so parse latency and
+// route latency overlap and neither side ever holds more than the pipe
+// capacity plus its own working set. Single producer, single consumer.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ir/gate_stream.hpp"
+
+namespace qmap {
+
+class GatePipe {
+ public:
+  /// Register metadata is fixed at construction (the consumer needs it
+  /// before the first chunk arrives). `capacity_gates` bounds how many
+  /// gates may sit in the pipe before the producer blocks.
+  GatePipe(int num_qubits, std::string name, std::size_t capacity_gates = 16384,
+           int num_cbits = 0);
+
+  [[nodiscard]] GateSink& sink() noexcept { return sink_; }
+  [[nodiscard]] GateSource& source() noexcept { return source_; }
+
+  /// Producer side: no more gates will be pushed. Unblocks a waiting
+  /// consumer. Also called by sink().flush().
+  void close();
+
+ private:
+  class PipeSink final : public GateSink {
+   public:
+    explicit PipeSink(GatePipe& pipe) : pipe_(&pipe) {}
+    void put(Gate gate) override;
+    void put_chunk(std::vector<Gate>& gates) override;
+    void flush() override;
+
+   private:
+    GatePipe* pipe_;
+    std::vector<Gate> pending_;
+  };
+
+  class PipeSource final : public GateSource {
+   public:
+    explicit PipeSource(GatePipe& pipe) : pipe_(&pipe) {}
+    [[nodiscard]] int num_qubits() const override {
+      return pipe_->num_qubits_;
+    }
+    [[nodiscard]] int num_cbits() const override { return pipe_->num_cbits_; }
+    [[nodiscard]] std::string name() const override { return pipe_->name_; }
+    std::size_t pull(std::vector<Gate>& out, std::size_t max_gates) override;
+
+   private:
+    GatePipe* pipe_;
+    std::vector<Gate> chunk_;    // current partially-consumed chunk
+    std::size_t chunk_pos_ = 0;  // next gate to hand out from chunk_
+  };
+
+  void push_chunk(std::vector<Gate> chunk);
+  /// Blocks until a chunk is available or the pipe is closed; returns an
+  /// empty vector on closed-and-drained.
+  std::vector<Gate> pop_chunk();
+
+  int num_qubits_;
+  int num_cbits_;
+  std::string name_;
+  std::size_t capacity_gates_;
+
+  std::mutex mutex_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<std::vector<Gate>> chunks_;
+  std::size_t buffered_gates_ = 0;
+  bool closed_ = false;
+
+  PipeSink sink_{*this};
+  PipeSource source_{*this};
+};
+
+}  // namespace qmap

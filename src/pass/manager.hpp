@@ -14,6 +14,7 @@
 
 #include "pass/context.hpp"
 #include "pass/spec.hpp"
+#include "pass/streaming.hpp"
 
 namespace qmap {
 
@@ -33,6 +34,16 @@ class PassManager {
   [[nodiscard]] CompilationResult run(const Circuit& circuit,
                                       const Device& device,
                                       const PipelineRuntime& runtime) const;
+
+  /// Streaming execution mode (pass/streaming.hpp): pulls program gates
+  /// from `source`, pushes the pipeline's product to `sink`. Window-capable
+  /// passes run chunk-by-chunk; the rest transparently materialize. Stage
+  /// hooks, cancellation checkpoints, and per-pass timings behave as in
+  /// run(). Implemented in streaming.cpp.
+  [[nodiscard]] StreamReport run_stream(
+      GateSource& source, const Device& device, GateSink& sink,
+      const PipelineRuntime& runtime,
+      const StreamPipelineOptions& options = {}) const;
 
  private:
   PipelineSpec spec_;

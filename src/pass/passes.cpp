@@ -1,7 +1,5 @@
 #include "pass/passes.hpp"
 
-#include <numeric>
-
 #include "decompose/decomposer.hpp"
 #include "decompose/peephole.hpp"
 #include "obs/obs.hpp"
@@ -73,50 +71,36 @@ void TokenSwapFinisherPass::run(CompileContext& ctx) {
         "SWAPs are placeholders the postroute pass expands");
   }
   RoutingResult& routing = ctx.result.routing;
-  const TokenSwapPlan plan = plan_token_swaps(routing.final, routing.initial,
-                                              ctx.device(), &ctx.artifacts());
-  obs::add(ctx.obs(), "router.bridge.token_swap_rounds", plan.rounds.size());
-  obs::add(ctx.obs(), "router.bridge.token_swap_swaps", plan.total_swaps());
-  if (plan.rounds.empty()) return;
+  TokenSwapCleanup cleanup = plan_token_swap_cleanup(
+      routing.final, routing.initial, ctx.device(), &ctx.artifacts());
+  obs::add(ctx.obs(), "router.bridge.token_swap_rounds", cleanup.rounds);
+  obs::add(ctx.obs(), "router.bridge.token_swap_swaps",
+           cleanup.total_swaps());
+  if (cleanup.swaps.empty()) return;
 
   // The cleanup SWAPs are unitaries, and relocate_measurements (postroute)
   // rejects unitaries after a deferred measurement — so splice the rounds
   // in *before* the trailing measurement/barrier suffix and route those
-  // terminal operands through the cleanup permutation.
-  const Circuit& routed = routing.circuit;
-  std::size_t split = routed.size();
+  // terminal operands through the cleanup permutation. The gate list is
+  // taken, edited in place, and put back: the prefix (which dominates) is
+  // never copied gate-by-gate.
+  std::vector<Gate> gates = routing.circuit.take_gates();
+  std::size_t split = gates.size();
   while (split > 0) {
-    const GateKind kind = routed.gate(split - 1).kind;
+    const GateKind kind = gates[split - 1].kind;
     if (kind != GateKind::Measure && kind != GateKind::Barrier) break;
     --split;
   }
-  Circuit out(routed.num_qubits(), routed.name());
-  for (std::size_t i = 0; i < split; ++i) out.add(routed.gate(i));
-  // position_of[p]: where the wire sitting on p at the split point ends up
-  // once the cleanup rounds have run.
-  std::vector<int> position_of(static_cast<std::size_t>(routed.num_qubits()));
-  std::vector<int> content_at(position_of.size());
-  std::iota(position_of.begin(), position_of.end(), 0);
-  std::iota(content_at.begin(), content_at.end(), 0);
-  for (const SwapRound& round : plan.rounds) {
-    for (const auto& [a, b] : round) {
-      out.swap(a, b);
-      routing.final.apply_swap(a, b);
-      const int x = content_at[static_cast<std::size_t>(a)];
-      const int y = content_at[static_cast<std::size_t>(b)];
-      std::swap(content_at[static_cast<std::size_t>(a)],
-                content_at[static_cast<std::size_t>(b)]);
-      position_of[static_cast<std::size_t>(x)] = b;
-      position_of[static_cast<std::size_t>(y)] = a;
+  for (std::size_t i = split; i < gates.size(); ++i) {
+    for (int& q : gates[i].qubits) {
+      q = cleanup.position_of[static_cast<std::size_t>(q)];
     }
   }
-  for (std::size_t i = split; i < routed.size(); ++i) {
-    Gate gate = routed.gate(i);
-    for (int& q : gate.qubits) q = position_of[static_cast<std::size_t>(q)];
-    out.add(std::move(gate));
-  }
-  routing.added_swaps += plan.total_swaps();
-  routing.circuit = std::move(out);
+  routing.added_swaps += cleanup.total_swaps();
+  gates.insert(gates.begin() + static_cast<std::ptrdiff_t>(split),
+               std::make_move_iterator(cleanup.swaps.begin()),
+               std::make_move_iterator(cleanup.swaps.end()));
+  routing.circuit.set_gates(std::move(gates));
 }
 
 void PostRoutePass::run(CompileContext& ctx) {

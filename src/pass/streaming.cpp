@@ -1,0 +1,512 @@
+// PassManager::run_stream: the streaming execution mode declared in
+// pass/streaming.hpp.
+//
+// The window-capable chain is assembled as a source→sink pipeline:
+//
+//   GateSource → [LoweringSource: chunk-wise decompose]
+//              → route_stream (bounded window)
+//              → [TokenSwapFinisherSink: cleanup at end-of-stream]
+//              → sink (or a CircuitSink when a materialized tail follows)
+//
+// Stages that cannot stream run exactly as PassManager::run would run them
+// (same Pass objects, same stage hooks/spans/timings), on a circuit
+// materialized at the latest possible point. Parity contract: whatever the
+// mix of streamed and materialized stages, the gates that reach the sink
+// are byte-identical to the materialized pipeline's product (pinned by the
+// `stream` test suite against the golden fingerprint matrix).
+#include "pass/manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "decompose/decomposer.hpp"
+#include "pass/registry.hpp"
+#include "route/token_swap.hpp"
+
+namespace qmap {
+namespace {
+
+/// Slot index of each standard stage in the spec, or -1. `standard` is
+/// false when a pass repeats or appears out of the canonical order — such
+/// pipelines take the full materialized fallback.
+struct StageLayout {
+  int decompose = -1;
+  int placer = -1;
+  int router = -1;
+  int token_swap = -1;
+  int postroute = -1;
+  int schedule = -1;
+  bool standard = true;
+};
+
+StageLayout analyze(const PipelineSpec& spec) {
+  StageLayout layout;
+  int last_rank = -1;
+  for (std::size_t i = 0; i < spec.passes().size(); ++i) {
+    const std::string& name = spec.passes()[i].pass;
+    int rank = -1;
+    int* slot = nullptr;
+    if (name == "decompose") {
+      rank = 0;
+      slot = &layout.decompose;
+    } else if (name == "placer") {
+      rank = 1;
+      slot = &layout.placer;
+    } else if (name == "router") {
+      rank = 2;
+      slot = &layout.router;
+    } else if (name == "token_swap_finisher") {
+      rank = 3;
+      slot = &layout.token_swap;
+    } else if (name == "postroute") {
+      rank = 4;
+      slot = &layout.postroute;
+    } else if (name == "schedule") {
+      rank = 5;
+      slot = &layout.schedule;
+    }
+    if (slot == nullptr || rank <= last_rank) {
+      layout.standard = false;
+      return layout;
+    }
+    *slot = static_cast<int>(i);
+    last_rank = rank;
+  }
+  return layout;
+}
+
+/// Drains a source into an in-memory circuit (the materialization
+/// fallback). Gates are trusted, matching CircuitSink.
+Circuit materialize_source(GateSource& source, std::size_t chunk_gates) {
+  Circuit circuit(source.num_qubits(), source.name());
+  std::vector<Gate> chunk;
+  while (true) {
+    chunk.clear();
+    if (source.pull(chunk, std::max<std::size_t>(chunk_gates, 1)) == 0) break;
+    for (Gate& gate : chunk) circuit.add_unchecked(std::move(gate));
+  }
+  return circuit;
+}
+
+/// Pushes a materialized circuit to the sink in chunks and flushes it.
+std::size_t push_circuit(const Circuit& circuit, GateSink& sink,
+                         std::size_t chunk_gates) {
+  const std::size_t chunk = std::max<std::size_t>(chunk_gates, 1);
+  std::vector<Gate> buf;
+  buf.reserve(std::min(chunk, circuit.size()));
+  for (const Gate& gate : circuit) {
+    buf.push_back(gate);
+    if (buf.size() >= chunk) {
+      sink.put_chunk(buf);
+      buf.clear();
+    }
+  }
+  if (!buf.empty()) sink.put_chunk(buf);
+  sink.flush();
+  return circuit.size();
+}
+
+/// Incremental dependency-only ASAP latency — what
+/// schedule_asap(...).total_cycles() reports, without materializing the
+/// schedule: per-qubit availability plus a running maximum.
+class AsapLatencyTracker {
+ public:
+  AsapLatencyTracker(const Device& device, int num_qubits)
+      : device_(&device),
+        available_(static_cast<std::size_t>(num_qubits), 0) {}
+
+  void push(const Gate& gate) {
+    const int duration = device_->cycles_for(gate);
+    int start = 0;
+    for (const int q : gate.qubits) {
+      start = std::max(start, available_[static_cast<std::size_t>(q)]);
+    }
+    for (const int q : gate.qubits) {
+      available_[static_cast<std::size_t>(q)] = start + duration;
+    }
+    total_ = std::max(total_, start + duration);
+  }
+
+  [[nodiscard]] int total_cycles() const noexcept { return total_; }
+
+ private:
+  const Device* device_;
+  std::vector<int> available_;
+  int total_ = 0;
+};
+
+/// GateSource adapter running the decompose stage chunk-by-chunk: lowers
+/// upstream gates through a StreamingLowerer (byte-identical to
+/// lower_to_device on the whole circuit) and maintains the baseline
+/// latency DecomposePass records (ASAP cycles of the keep_swaps=false
+/// lowering — tracked by a second lowerer so SWAP expansion matches the
+/// materialized pass exactly).
+class LoweringSource final : public GateSource {
+ public:
+  LoweringSource(GateSource& inner, const Device& device, bool lower_to_native,
+                 std::size_t chunk_gates)
+      : inner_(&inner),
+        chunk_gates_(std::max<std::size_t>(chunk_gates, 1)),
+        scratch_(inner.num_qubits(), inner.name()),
+        baseline_scratch_(inner.num_qubits(), inner.name()),
+        tracker_(device, inner.num_qubits()) {
+    if (lower_to_native) {
+      lowerer_.emplace(device, inner.num_qubits(), /*keep_swaps=*/true);
+      baseline_lowerer_.emplace(device, inner.num_qubits(),
+                                /*keep_swaps=*/false);
+    }
+  }
+
+  [[nodiscard]] int num_qubits() const override {
+    return inner_->num_qubits();
+  }
+  [[nodiscard]] int num_cbits() const override { return inner_->num_cbits(); }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  std::size_t pull(std::vector<Gate>& out, std::size_t max_gates) override {
+    std::size_t appended = 0;
+    while (appended < max_gates) {
+      if (pos_ < pending_.size()) {
+        out.push_back(std::move(pending_[pos_++]));
+        ++appended;
+        continue;
+      }
+      if (done_) break;
+      refill();
+    }
+    return appended;
+  }
+
+  /// Gates pulled from the wrapped source (pre-lowering).
+  [[nodiscard]] std::size_t raw_gates_in() const noexcept { return raw_in_; }
+  /// Valid once the stream is drained.
+  [[nodiscard]] int baseline_cycles() const noexcept {
+    return tracker_.total_cycles();
+  }
+
+ private:
+  void refill() {
+    // Recycle the consumed pending buffer as the scratch circuit's storage.
+    pending_.clear();
+    pos_ = 0;
+    scratch_.set_gates(std::move(pending_));
+    raw_.clear();
+    const std::size_t pulled = inner_->pull(raw_, chunk_gates_);
+    if (pulled == 0) {
+      done_ = true;
+      if (lowerer_) {
+        lowerer_->finish(scratch_);
+        baseline_lowerer_->finish(baseline_scratch_);
+        track_baseline_scratch();
+      }
+      pending_ = scratch_.take_gates();
+      return;
+    }
+    raw_in_ += pulled;
+    if (!lowerer_) {
+      // lower_to_native=false: gates pass through verbatim; the baseline
+      // is the ASAP latency of the raw stream (DecomposePass semantics).
+      for (const Gate& gate : raw_) tracker_.push(gate);
+      pending_ = std::move(raw_);
+      raw_.clear();
+      return;
+    }
+    lowerer_->lower_chunk(raw_, scratch_);
+    baseline_lowerer_->lower_chunk(raw_, baseline_scratch_);
+    track_baseline_scratch();
+    pending_ = scratch_.take_gates();
+  }
+
+  void track_baseline_scratch() {
+    for (const Gate& gate : baseline_scratch_) tracker_.push(gate);
+    std::vector<Gate> drained = baseline_scratch_.take_gates();
+    drained.clear();
+    baseline_scratch_.set_gates(std::move(drained));
+  }
+
+  GateSource* inner_;
+  std::size_t chunk_gates_;
+  std::optional<StreamingLowerer> lowerer_;
+  std::optional<StreamingLowerer> baseline_lowerer_;
+  Circuit scratch_;
+  Circuit baseline_scratch_;
+  AsapLatencyTracker tracker_;
+  std::vector<Gate> raw_;
+  std::vector<Gate> pending_;
+  std::size_t pos_ = 0;
+  std::size_t raw_in_ = 0;
+  bool done_ = false;
+};
+
+/// GateSink adapter running the token-swap finisher at end-of-stream:
+/// forwards the routed stream, buffering only the current trailing run of
+/// Measure/Barrier gates (O(trailing suffix), not O(circuit)). The
+/// upstream flush is swallowed — the final placement is not known until
+/// route_stream returns, so the driver triggers the cleanup via finish(),
+/// which emits the SWAPs, the remapped suffix, and the downstream flush.
+class TokenSwapFinisherSink final : public GateSink {
+ public:
+  explicit TokenSwapFinisherSink(GateSink& downstream)
+      : downstream_(&downstream) {}
+
+  void put(Gate gate) override {
+    if (gate.kind == GateKind::Measure || gate.kind == GateKind::Barrier) {
+      suffix_.push_back(std::move(gate));
+      return;
+    }
+    forward_suffix();
+    ++forwarded_;
+    downstream_->put(std::move(gate));
+  }
+
+  void put_chunk(std::vector<Gate>& gates) override {
+    for (Gate& gate : gates) put(std::move(gate));
+  }
+
+  void flush() override {}
+
+  /// End of routing: plans the cleanup against the routed stream's final
+  /// placement (mutating it, like the materialized pass), emits SWAPs +
+  /// remapped suffix, and flushes downstream.
+  void finish(Placement& final_placement, const Placement& initial,
+              const Device& device, const ArchArtifacts* artifacts) {
+    TokenSwapCleanup cleanup =
+        plan_token_swap_cleanup(final_placement, initial, device, artifacts);
+    rounds_ = cleanup.rounds;
+    swaps_ = cleanup.total_swaps();
+    if (!cleanup.swaps.empty()) {
+      for (Gate& gate : suffix_) {
+        for (int& q : gate.qubits) {
+          q = cleanup.position_of[static_cast<std::size_t>(q)];
+        }
+      }
+      forwarded_ += cleanup.swaps.size();
+      downstream_->put_chunk(cleanup.swaps);
+    }
+    forward_suffix();
+    downstream_->flush();
+  }
+
+  [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::size_t swaps() const noexcept { return swaps_; }
+  /// Gates forwarded downstream (program gates + cleanup SWAPs + suffix).
+  [[nodiscard]] std::size_t forwarded() const noexcept { return forwarded_; }
+
+ private:
+  void forward_suffix() {
+    if (suffix_.empty()) return;
+    forwarded_ += suffix_.size();
+    downstream_->put_chunk(suffix_);
+    suffix_.clear();
+  }
+
+  GateSink* downstream_;
+  std::vector<Gate> suffix_;
+  std::size_t rounds_ = 0;
+  std::size_t swaps_ = 0;
+  std::size_t forwarded_ = 0;
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool decompose_lowers_to_native(const PipelineSpec& spec, int index) {
+  const Json& options = spec.passes()[static_cast<std::size_t>(index)].options;
+  if (options.is_null()) return true;
+  const Json* value = options.find("lower_to_native");
+  return value ? value->as_bool() : true;
+}
+
+}  // namespace
+
+StreamReport PassManager::run_stream(GateSource& source, const Device& device,
+                                     GateSink& sink,
+                                     const PipelineRuntime& runtime,
+                                     const StreamPipelineOptions& options) const {
+  StreamReport report;
+  StreamStats& stats = report.stream;
+  const StageLayout layout = analyze(spec_);
+
+  bool router_streams = false;
+  std::string router_alg;
+  if (layout.standard && layout.router >= 0) {
+    router_alg = spec_.router_name();
+    router_streams = make_router(router_alg)->supports_streaming();
+  }
+  const bool full_fallback = !router_streams;
+  const bool stream_head =
+      !full_fallback && layout.placer >= 0 && spec_.placer_name() == "identity";
+
+  obs::Observer* obs = runtime.obs;
+  obs::Span compile_span(obs, "compile_stream", "core",
+                         runtime.obs_parent_span);
+  if (compile_span.active()) {
+    compile_span.arg("circuit", source.name());
+    if (!placer_label_.empty()) compile_span.arg("placer", placer_label_);
+    if (!router_label_.empty()) compile_span.arg("router", router_label_);
+    compile_span.arg("mode", full_fallback  ? "materialized"
+                             : stream_head ? "streamed"
+                                           : "streamed-route");
+  }
+  obs::add(obs, "compile.stream_runs");
+
+  // --- Input: materialize unless the whole head streams. ---
+  Circuit input = stream_head ? Circuit(source.num_qubits(), source.name())
+                              : materialize_source(source, options.chunk_gates);
+  if (!stream_head) {
+    stats.materialized_input = true;
+    stats.gates_in = input.size();
+  }
+  CompileContext ctx(input, device, runtime);
+
+  if (full_fallback) {
+    for (const std::unique_ptr<Pass>& pass : passes_) {
+      stats.materialized_passes.push_back(pass->name());
+    }
+    run(ctx);
+    const Circuit& product = ctx.postrouted ? ctx.result.final_circuit
+                             : ctx.routed   ? ctx.result.routing.circuit
+                                            : ctx.result.lowered;
+    stats.gates_out = push_circuit(product, sink, options.chunk_gates);
+    report.result = std::move(ctx.result);
+    return report;
+  }
+
+  if (layout.placer < 0) {
+    throw MappingError(
+        "pass 'router' needs an initial placement: add a 'placer' pass "
+        "earlier in the pipeline");
+  }
+
+  // Ceremony identical to run() for every pass executed materialized.
+  obs::Span stage_span;
+  const auto run_materialized = [&](int index) {
+    Pass& pass = *passes_[static_cast<std::size_t>(index)];
+    const std::string name = pass.name();
+    if (pass.is_stage_boundary()) {
+      ctx.checkpoint();
+      if (ctx.runtime().stage_hook) ctx.runtime().stage_hook(name.c_str());
+      stage_span.end();
+      stage_span = obs::Span(obs, name, "stage");
+    }
+    const auto start = std::chrono::steady_clock::now();
+    pass.run(ctx);
+    ctx.timings.push_back({name, ms_since(start)});
+    stats.materialized_passes.push_back(name);
+  };
+  const auto streamed_stage_boundary = [&](const char* name) {
+    ctx.checkpoint();
+    if (ctx.runtime().stage_hook) ctx.runtime().stage_hook(name);
+    stage_span.end();
+    stage_span = obs::Span(obs, name, "stage");
+  };
+
+  // --- Head: decompose + placer, streamed or materialized. ---
+  std::optional<LoweringSource> lowering;
+  std::optional<CircuitSource> lowered_source;
+  GateSource* route_source = &source;
+  if (stream_head) {
+    if (layout.decompose >= 0) {
+      lowering.emplace(source, device,
+                       decompose_lowers_to_native(spec_, layout.decompose),
+                       options.chunk_gates);
+      route_source = &*lowering;
+    }
+    streamed_stage_boundary("placer");
+    ctx.placement =
+        Placement::identity(source.num_qubits(), device.num_qubits());
+    ctx.placed = true;
+  } else {
+    if (layout.decompose >= 0) run_materialized(layout.decompose);
+    run_materialized(layout.placer);
+    lowered_source.emplace(ctx.result.lowered);
+    route_source = &*lowered_source;
+  }
+
+  // --- Route: always through the bounded window. ---
+  streamed_stage_boundary("router");
+  std::unique_ptr<Router> router = make_router(router_alg);
+  router->set_cancel_token(ctx.cancel());
+  router->set_observer(obs);
+  router->set_artifacts(&ctx.artifacts());
+  StreamRouteOptions route_options;
+  route_options.chunk_gates = options.chunk_gates;
+  route_options.spill_gates = options.spill_gates;
+
+  const bool tail_materializes =
+      layout.postroute >= 0 || layout.schedule >= 0;
+  std::optional<CircuitSink> collect;
+  GateSink* route_dest = &sink;
+  if (tail_materializes) {
+    collect.emplace(device.num_qubits(),
+                    route_source->name() + "@" + device.name());
+    route_dest = &*collect;
+  }
+  std::optional<TokenSwapFinisherSink> token_swap_sink;
+  if (layout.token_swap >= 0) {
+    token_swap_sink.emplace(*route_dest);
+    route_dest = &*token_swap_sink;
+  }
+
+  const auto route_start = std::chrono::steady_clock::now();
+  StreamRouteStats route_stats = router->route_stream(
+      *route_source, device, ctx.placement, *route_dest, route_options);
+  ctx.timings.push_back({"router", ms_since(route_start)});
+  stats.streamed_route = true;
+  stats.window_peak_gates = route_stats.window_peak_gates;
+  if (stream_head) {
+    stats.gates_in =
+        lowering ? lowering->raw_gates_in() : route_stats.gates_in;
+    if (lowering) ctx.result.baseline_cycles = lowering->baseline_cycles();
+  }
+
+  if (token_swap_sink) {
+    streamed_stage_boundary("token_swap_finisher");
+    const auto start = std::chrono::steady_clock::now();
+    token_swap_sink->finish(route_stats.final, route_stats.initial, device,
+                            &ctx.artifacts());
+    obs::add(obs, "router.bridge.token_swap_rounds",
+             token_swap_sink->rounds());
+    obs::add(obs, "router.bridge.token_swap_swaps", token_swap_sink->swaps());
+    route_stats.added_swaps += token_swap_sink->swaps();
+    ctx.timings.push_back({"token_swap_finisher", ms_since(start)});
+  }
+
+  RoutingResult& routing = ctx.result.routing;
+  routing.initial = std::move(route_stats.initial);
+  routing.final = std::move(route_stats.final);
+  routing.added_swaps = route_stats.added_swaps;
+  routing.added_moves = route_stats.added_moves;
+  routing.added_bridges = route_stats.added_bridges;
+  routing.direction_fixes = route_stats.direction_fixes;
+  routing.runtime_ms = route_stats.runtime_ms;
+  if (collect) routing.circuit = std::move(*collect).take();
+  ctx.routed = true;
+
+  // --- Tail: postroute/schedule on the collected circuit. ---
+  if (layout.postroute >= 0) run_materialized(layout.postroute);
+  if (layout.schedule >= 0) run_materialized(layout.schedule);
+  stage_span.end();
+  obs::observe(obs, "compile.final_two_qubit_gates",
+               static_cast<double>(ctx.result.final_metrics.two_qubit_gates));
+
+  if (tail_materializes) {
+    const Circuit& product = ctx.postrouted ? ctx.result.final_circuit
+                                            : ctx.result.routing.circuit;
+    stats.gates_out = push_circuit(product, sink, options.chunk_gates);
+  } else {
+    stats.gates_out =
+        token_swap_sink ? token_swap_sink->forwarded() : route_stats.gates_out;
+  }
+  report.result = std::move(ctx.result);
+  return report;
+}
+
+}  // namespace qmap

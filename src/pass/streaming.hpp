@@ -1,0 +1,72 @@
+// Streaming execution mode for the pass pipeline (out-of-core
+// compilation).
+//
+// PassManager::run_stream threads a GateSource through the pipeline into a
+// GateSink. The window-capable chain — decompose, route, and the token-swap
+// finisher — runs chunk-by-chunk with peak memory proportional to the
+// routing window, so million-gate circuits compile without ever being
+// resident. Everything else falls back transparently:
+//
+//   * a placer other than "identity" needs the whole interaction graph, so
+//     the source is materialized and the pre-route stages run normally;
+//     routing still streams (byte-identical to the materialized route);
+//   * postroute/schedule passes are whole-circuit analyses, so the routed
+//     stream is collected back into memory before they run;
+//   * a non-streamable router (or a non-standard pipeline shape) runs the
+//     entire materialized pipeline and forwards its product to the sink.
+//
+// In every mode the sink receives the pipeline's product — the final
+// circuit when a postroute pass is present, the routed (plus token-swap
+// cleanup) stream otherwise — followed by one flush(). StreamStats records
+// which passes fell back, so callers can assert a pipeline really ran
+// out-of-core.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pass/context.hpp"
+
+namespace qmap {
+
+/// Knobs of a streaming pipeline run.
+struct StreamPipelineOptions {
+  /// Pull granularity from the source (and the router's window-extension
+  /// chunk size).
+  std::size_t chunk_gates = 4096;
+  /// Routed-output gates buffered in the emitter before being pushed
+  /// downstream.
+  std::size_t spill_gates = 4096;
+};
+
+/// What actually streamed. A fully out-of-core run has streamed_route true,
+/// materialized_input false, and materialized_passes empty.
+struct StreamStats {
+  /// True when routing ran through the bounded window (route_stream).
+  bool streamed_route = false;
+  /// True when the source was drained into an in-memory circuit before the
+  /// pipeline ran (non-streamable placer or full fallback).
+  bool materialized_input = false;
+  /// Names of the passes that ran on a materialized circuit.
+  std::vector<std::string> materialized_passes;
+  /// Program gates pulled from the source.
+  std::size_t gates_in = 0;
+  /// Gates pushed to the sink.
+  std::size_t gates_out = 0;
+  /// Router window high-water mark (0 when routing did not stream).
+  std::size_t window_peak_gates = 0;
+};
+
+/// Product of a streaming run. `result` carries the same placements,
+/// routing counters, metrics, and latency numbers a materialized run
+/// produces; circuit-valued fields are only populated for the stages that
+/// fell back to materialization (a fully streamed run leaves
+/// original/lowered/routing.circuit/final_circuit empty — the gates went to
+/// the sink).
+struct StreamReport {
+  CompilationResult result;
+  StreamStats stream;
+};
+
+}  // namespace qmap

@@ -4,6 +4,7 @@
 // registers are flattened into one contiguous qubit index space.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 
@@ -11,10 +12,16 @@
 
 namespace qmap {
 
-/// Parses OpenQASM 2.0 source text. Throws ParseError with line info.
+/// Parses OpenQASM 2.0 source text. Throws ParseError carrying the
+/// 1-based line and column of the offending statement.
 [[nodiscard]] Circuit parse_openqasm(std::string_view source);
 
-/// Reads and parses a .qasm file.
+/// Parses OpenQASM 2.0 incrementally from a stream: the source is lexed
+/// statement-at-a-time and never fully resident. Same grammar, same
+/// diagnostics, same result as the string overload.
+[[nodiscard]] Circuit parse_openqasm(std::istream& in);
+
+/// Reads and parses a .qasm file (streamed, not slurped).
 [[nodiscard]] Circuit load_openqasm(const std::string& path);
 
 /// Serializes the circuit as OpenQASM 2.0 (single register q[n]).

@@ -1,0 +1,144 @@
+// Internal OpenQASM 2.0 parser machinery, shared by the materializing
+// front end (openqasm.cpp) and the chunked streaming source (stream.cpp).
+//
+// The parser is statement-incremental: a StatementLexer cuts an
+// std::istream into statements without ever holding more than one
+// statement in memory, and OpenQasmParser consumes them one at a time,
+// appending gates to an internal Circuit that a streaming caller may
+// drain between statements. parse_openqasm() is the degenerate loop
+// "lex, handle, repeat, finalize, take everything" — so the streaming
+// and materialized paths are the same code and stay byte-identical.
+//
+// Not part of the public API; include only from within src/qasm/.
+#pragma once
+
+#include <istream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qmap {
+namespace qasm_detail {
+
+/// Splits an OpenQASM character stream into statements. A statement ends
+/// at a ';' at brace depth 0 or at the '}' closing a gate-definition
+/// body. Line comments are skipped inline, with newlines still counted,
+/// so diagnostics carry the true line/column even after comment lines
+/// (the old slurp-and-strip front end lost them).
+class StatementLexer {
+ public:
+  explicit StatementLexer(std::istream& in) : in_(&in) {}
+
+  /// Reads the next statement into `statement` (leading whitespace
+  /// dropped). On success fills the 1-based line/column of the
+  /// statement's first character and returns true; returns false at
+  /// end-of-stream. Throws ParseError on unbalanced braces or trailing
+  /// content without a ';'.
+  bool next(std::string& statement, int& line, int& column);
+
+  /// Position of the next unread character (for end-of-stream errors).
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  /// One character, comment-skipped; EOF at end. Records the consumed
+  /// character's own position in char_line_/char_column_.
+  int get();
+  int raw_get();
+
+  std::istream* in_;
+  int line_ = 1;       // position of the next unread character
+  int column_ = 1;
+  int char_line_ = 1;  // position of the last character returned by get()
+  int char_column_ = 1;
+};
+
+/// Statement-at-a-time OpenQASM 2.0 parser. Feed statements from a
+/// StatementLexer via handle_statement(); call finalize() after the last
+/// one. Gates accumulate in circuit(); a streaming caller drains them
+/// with drain_gates() between statements, a materializing caller calls
+/// take() once at the end.
+class OpenQasmParser {
+ public:
+  OpenQasmParser() = default;
+
+  void handle_statement(std::string_view statement, int line, int column);
+
+  /// Header check + circuit construction for gate-free programs. Throws
+  /// ParseError when the 'OPENQASM 2.0;' header never appeared.
+  void finalize();
+
+  /// True once the first gate-producing statement froze the register
+  /// layout and constructed the circuit.
+  [[nodiscard]] bool circuit_started() const noexcept {
+    return circuit_initialized_;
+  }
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] int num_cbits() const noexcept { return num_cbits_; }
+
+  /// Moves the gates parsed so far out of the internal circuit (empty
+  /// if the circuit has not started). Register metadata is retained.
+  [[nodiscard]] std::vector<Gate> drain_gates();
+
+  /// Moves the finished circuit out (materializing path).
+  [[nodiscard]] Circuit take() && { return std::move(circuit_); }
+
+ private:
+  struct Register {
+    int offset = 0;
+    int size = 0;
+  };
+
+  /// One operand: a whole register or a single element of one.
+  struct Operand {
+    Register reg;
+    int element = -1;  // -1 = whole register (broadcast)
+  };
+
+  /// User gate definition: "gate name(p1, p2) a, b { body; }" — stored as
+  /// raw body statements and expanded by textual substitution at call
+  /// sites (the OpenQASM 2.0 macro semantics).
+  struct GateDefinition {
+    std::vector<std::string> params;
+    std::vector<std::string> args;
+    std::vector<std::string> body;
+  };
+
+  [[noreturn]] void fail(const std::string& message, int line) const;
+
+  void declare_register(std::string_view rest, int line, bool quantum);
+  [[nodiscard]] Operand parse_operand(std::string_view text, int line,
+                                      bool quantum) const;
+  void ensure_circuit();
+  void handle_measure(std::string_view rest, int line);
+  void handle_barrier(std::string_view rest, int line);
+  void define_gate(std::string_view rest, int line);
+  void expand_definition(const std::string& name,
+                         const GateDefinition& definition,
+                         const std::vector<double>& params,
+                         const std::vector<std::string>& operand_texts,
+                         int line);
+  void handle_gate(std::string_view statement, int line);
+
+  Circuit circuit_;
+  bool circuit_initialized_ = false;
+  bool saw_header_ = false;
+  std::map<std::string, Register> qregs_;
+  std::map<std::string, Register> cregs_;
+  std::map<std::string, GateDefinition> gate_definitions_;
+  int expansion_depth_ = 0;
+  int num_qubits_ = 0;
+  int num_cbits_ = 0;
+  int column_ = 1;  // column of the statement currently being handled
+};
+
+/// Appends one gate as an OpenQASM 2.0 line (trailing "\n" included) —
+/// the single formatter behind to_openqasm() and QasmStreamSink, so the
+/// streamed writer is byte-identical to the materialized one.
+void append_openqasm_gate(std::string& out, const Gate& gate);
+
+}  // namespace qasm_detail
+}  // namespace qmap

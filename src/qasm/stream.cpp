@@ -1,0 +1,109 @@
+#include "qasm/stream.hpp"
+
+#include <ostream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "qasm/openqasm_parser.hpp"
+
+namespace qmap {
+
+namespace {
+// Sink-side text buffer flush threshold. Large enough to amortize the
+// ostream virtual-call cost, small enough to stay cache-friendly.
+constexpr std::size_t kSinkFlushBytes = 64 * 1024;
+}  // namespace
+
+QasmStreamSource::QasmStreamSource(std::istream& in, std::string name)
+    : lexer_(std::make_unique<qasm_detail::StatementLexer>(in)),
+      parser_(std::make_unique<qasm_detail::OpenQasmParser>()),
+      name_(std::move(name)) {
+  // Prime: parse up to the first gate-producing statement so the
+  // register layout (and hence num_qubits) is frozen before consumers
+  // size their state. A gate-free program primes to EOF and finalizes.
+  while (!parser_->circuit_started() && pump()) {
+  }
+}
+
+QasmStreamSource::~QasmStreamSource() = default;
+
+int QasmStreamSource::num_qubits() const { return parser_->num_qubits(); }
+
+int QasmStreamSource::num_cbits() const { return parser_->num_cbits(); }
+
+bool QasmStreamSource::pump() {
+  if (done_) return false;
+  int line = 1;
+  int column = 1;
+  if (!lexer_->next(statement_, line, column)) {
+    parser_->finalize();
+    done_ = true;
+    return false;
+  }
+  parser_->handle_statement(statement_, line, column);
+  return true;
+}
+
+std::size_t QasmStreamSource::pull(std::vector<Gate>& out,
+                                   std::size_t max_gates) {
+  std::size_t pulled = 0;
+  for (;;) {
+    while (pending_pos_ < pending_.size() && pulled < max_gates) {
+      out.push_back(std::move(pending_[pending_pos_++]));
+      ++pulled;
+    }
+    if (pulled == max_gates) break;
+    if (pending_pos_ == pending_.size()) {
+      pending_.clear();
+      pending_pos_ = 0;
+      std::vector<Gate> drained = parser_->drain_gates();
+      if (!drained.empty()) {
+        pending_ = std::move(drained);
+        continue;
+      }
+    }
+    if (!pump()) break;
+  }
+  return pulled;
+}
+
+QasmStreamSink::QasmStreamSink(std::ostream& out, int num_qubits,
+                               int num_cbits)
+    : out_(&out), num_cbits_(num_cbits) {
+  buffer_ = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  buffer_ += "qreg q[" + std::to_string(num_qubits) + "];\n";
+  if (num_cbits_ > 0) {
+    buffer_ += "creg c[" + std::to_string(num_cbits_) + "];\n";
+  }
+}
+
+void QasmStreamSink::append(const Gate& gate) {
+  if (gate.kind == GateKind::Measure && gate.cbit >= num_cbits_) {
+    throw CircuitError(
+        "QasmStreamSink: measure into classical bit " +
+        std::to_string(gate.cbit) + " but only " + std::to_string(num_cbits_) +
+        " declared; pass the final num_cbits at construction");
+  }
+  qasm_detail::append_openqasm_gate(buffer_, gate);
+  ++gates_;
+  if (buffer_.size() >= kSinkFlushBytes) {
+    out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+}
+
+void QasmStreamSink::put(Gate gate) { append(gate); }
+
+void QasmStreamSink::put_chunk(std::vector<Gate>& gates) {
+  for (const Gate& gate : gates) append(gate);
+}
+
+void QasmStreamSink::flush() {
+  if (!buffer_.empty()) {
+    out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  out_->flush();
+}
+
+}  // namespace qmap

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <limits>
 
 #include "common/error.hpp"
 #include "route/route_ir.hpp"
+#include "route/sabre_loop.hpp"
+#include "route/stream_core.hpp"
 
 namespace qmap {
 
@@ -25,153 +26,34 @@ RoutingResult BridgeRouter::route(const Circuit& circuit, const Device& device,
   emitter.reserve(circuit.size() * 3 + 16);
 
   const int num_phys = device.num_qubits();
-  double* decay = arena.alloc<double>(num_phys);
-  std::fill(decay, decay + num_phys, 1.0);
-  std::uint8_t* relevant = arena.alloc<std::uint8_t>(num_phys);
   const std::size_t ext_cap =
       std::min(static_cast<std::size_t>(options_.extended_window),
                static_cast<std::size_t>(core.ir.num_two_qubit));
-  std::uint32_t* extended = arena.alloc<std::uint32_t>(ext_cap);
-  std::uint32_t* to_bridge = arena.alloc<std::uint32_t>(core.ir.num_two_qubit);
+  const std::size_t front_cap = core.ir.num_two_qubit;
+  SabreLoopBuffers buffers;
+  buffers.decay = arena.alloc<double>(num_phys);
+  buffers.relevant = arena.alloc<std::uint8_t>(num_phys);
+  buffers.extended = arena.alloc<std::uint32_t>(ext_cap);
+  buffers.to_bridge = arena.alloc<std::uint32_t>(core.ir.num_two_qubit);
   // Endpoint pairs of the front/extended gates, recollected per swap
   // decision: invariant across candidate edges and across the bridge
-  // decisions below (pure reads, placement untouched).
-  const std::size_t front_cap = core.ir.num_two_qubit;
-  std::int32_t* front_pa = arena.alloc<std::int32_t>(front_cap);
-  std::int32_t* front_pb = arena.alloc<std::int32_t>(front_cap);
-  std::int32_t* ext_pa = arena.alloc<std::int32_t>(ext_cap);
-  std::int32_t* ext_pb = arena.alloc<std::int32_t>(ext_cap);
-  int swaps_since_reset = 0;
-  int swaps_since_progress = 0;
-  const int stall_limit = 10 * std::max(1, num_phys);
+  // decisions (pure reads, placement untouched).
+  buffers.front_pa = arena.alloc<std::int32_t>(front_cap);
+  buffers.front_pb = arena.alloc<std::int32_t>(front_cap);
+  buffers.ext_pa = arena.alloc<std::int32_t>(ext_cap);
+  buffers.ext_pb = arena.alloc<std::int32_t>(ext_cap);
 
-  std::uint64_t iterations = 0;
-  std::uint64_t rescues = 0;
-  std::uint64_t swaps_avoided = 0;
+  SabreLoopParams params;
+  params.extended_weight = options_.extended_weight;
+  params.decay_increment = options_.decay_increment;
+  params.decay_reset_interval = options_.decay_reset_interval;
+  params.enable_bridge = true;
+  params.label = "bridge";
 
-  while (!core.front.all_scheduled()) {
-    check_cancelled();
-    ++iterations;
-    if (core.flush_executable(emitter, [](std::uint32_t) {})) {
-      swaps_since_progress = 0;
-      continue;
-    }
-    core.refresh_front();
-    if (core.front_size == 0) {
-      throw MappingError("bridge: stalled with no ready two-qubit gate");
-    }
-
-    // Extended lookahead: the next unscheduled 2q gates in program order
-    // beyond the front layer.
-    const std::uint32_t num_extended = core.collect_extended(ext_cap, extended);
-
-    // Candidate SWAPs: edges touching a physical qubit that currently holds
-    // an operand of a front-layer gate.
-    core.mark_relevant(relevant);
-    core.collect_endpoints(core.front_gates, core.front_size, front_pa,
-                           front_pb);
-    core.collect_endpoints(extended, num_extended, ext_pa, ext_pb);
-
-    double best_score = std::numeric_limits<double>::infinity();
-    int best_a = -1;
-    int best_b = -1;
-    for (const auto& edge : coupling.edges()) {
-      if (!relevant[edge.a] && !relevant[edge.b]) continue;
-      double front_term = 0.0;
-      for (std::uint32_t k = 0; k < core.front_size; ++k) {
-        front_term += core.dist_pair_swapped(front_pa[k], front_pb[k],
-                                             edge.a, edge.b);
-      }
-      front_term /= static_cast<double>(core.front_size);
-      double extended_term = 0.0;
-      if (num_extended > 0) {
-        for (std::uint32_t k = 0; k < num_extended; ++k) {
-          extended_term += core.dist_pair_swapped(ext_pa[k], ext_pb[k],
-                                                  edge.a, edge.b);
-        }
-        extended_term /= static_cast<double>(num_extended);
-      }
-      const double decay_factor = std::max(decay[edge.a], decay[edge.b]);
-      const double score =
-          decay_factor *
-          (front_term + options_.extended_weight * extended_term);
-      if (score < best_score) {
-        best_score = score;
-        best_a = edge.a;
-        best_b = edge.b;
-      }
-    }
-    if (best_a < 0) {
-      throw MappingError("bridge: no candidate SWAP found");
-    }
-
-    // BRIDGE decision: a front-layer CX at distance exactly 2 runs in
-    // place when the best SWAP would not improve the score of the *other*
-    // front gates plus the lookahead window — then the SWAP's only value
-    // was this gate, and the bridge gets it for free without perturbing
-    // the placement. Decisions are pure reads, emission follows, so one
-    // round may bridge several front gates (placement never changes).
-    std::uint32_t num_to_bridge = 0;
-    for (std::uint32_t k = 0; k < core.front_size; ++k) {
-      const std::uint32_t node = core.front_gates[k];
-      if (core.ir.gate_kind(node) != GateKind::CX) continue;
-      if (core.gate_dist(node) != 2) continue;
-      double rest_now = 0.0;
-      double rest_swapped = 0.0;
-      for (std::uint32_t j = 0; j < core.front_size; ++j) {
-        if (core.front_gates[j] == node) continue;
-        rest_now += core.dist_pair(front_pa[j], front_pb[j]);
-        rest_swapped +=
-            core.dist_pair_swapped(front_pa[j], front_pb[j], best_a, best_b);
-      }
-      for (std::uint32_t j = 0; j < num_extended; ++j) {
-        rest_now +=
-            options_.extended_weight * core.dist_pair(ext_pa[j], ext_pb[j]);
-        rest_swapped += options_.extended_weight *
-                        core.dist_pair_swapped(ext_pa[j], ext_pb[j], best_a,
-                                               best_b);
-      }
-      if (rest_swapped < rest_now) continue;  // the SWAP helps others too
-      to_bridge[num_to_bridge++] = node;
-    }
-    if (num_to_bridge > 0) {
-      for (std::uint32_t k = 0; k < num_to_bridge; ++k) {
-        const std::uint32_t node = to_bridge[k];
-        const int phys_c = core.phys_of(core.ir.q0[node]);
-        const int phys_t = core.phys_of(core.ir.q1[node]);
-        const std::vector<int> path = core.shortest_path(phys_c, phys_t);
-        emitter.emit_bridge(phys_c, path[1], phys_t);
-        core.front.mark_scheduled(node);
-      }
-      swaps_avoided += num_to_bridge;
-      swaps_since_progress = 0;
-      continue;
-    }
-
-    ++swaps_since_progress;
-    if (swaps_since_progress > stall_limit) {
-      // Safeguard: force progress by walking the first front gate together
-      // along a shortest path (the naive step). Guarantees termination.
-      const std::uint32_t gate = core.front_gates[0];
-      const int pa = core.phys_of(core.ir.q0[gate]);
-      const int pb = core.phys_of(core.ir.q1[gate]);
-      const std::vector<int> path = core.shortest_path(pa, pb);
-      for (std::size_t i = 0; i + 2 < path.size(); ++i) {
-        core.emit_swap(emitter, path[i], path[i + 1]);
-      }
-      ++rescues;
-      swaps_since_progress = 0;
-      continue;
-    }
-
-    core.emit_swap(emitter, best_a, best_b);
-    decay[best_a] += options_.decay_increment;
-    decay[best_b] += options_.decay_increment;
-    if (++swaps_since_reset >= options_.decay_reset_interval) {
-      std::fill(decay, decay + num_phys, 1.0);
-      swaps_since_reset = 0;
-    }
-  }
+  MaterializedLoopCore loop_core(core, ext_cap, buffers);
+  const SabreLoopStats stats = run_sabre_loop(
+      loop_core, emitter, coupling, num_phys, params,
+      [this] { check_cancelled(); });
 
   const double runtime_ms =
       std::chrono::duration<double, std::milli>(
@@ -180,13 +62,38 @@ RoutingResult BridgeRouter::route(const Circuit& circuit, const Device& device,
   RoutingResult result = std::move(emitter).finish(initial, runtime_ms);
   // One flush per route() keeps the loop body free of locking.
   obs::add(observer(), "router.bridge.routes");
-  obs::add(observer(), "router.bridge.iterations", iterations);
-  obs::add(observer(), "router.bridge.rescues", rescues);
+  obs::add(observer(), "router.bridge.iterations", stats.iterations);
+  obs::add(observer(), "router.bridge.rescues", stats.rescues);
   obs::add(observer(), "router.bridge.bridges", result.added_bridges);
-  obs::add(observer(), "router.bridge.swaps_avoided", swaps_avoided);
+  obs::add(observer(), "router.bridge.swaps_avoided", stats.swaps_avoided);
   obs::observe(observer(), "route.swaps_inserted",
                static_cast<double>(result.added_swaps));
   return result;
+}
+
+StreamRouteStats BridgeRouter::route_stream(
+    GateSource& source, const Device& device, const Placement& initial,
+    GateSink& sink, const StreamRouteOptions& options) {
+  SabreLoopParams params;
+  params.extended_weight = options_.extended_weight;
+  params.decay_increment = options_.decay_increment;
+  params.decay_reset_interval = options_.decay_reset_interval;
+  params.enable_bridge = true;
+  params.label = "bridge";
+  SabreLoopStats loop_stats;
+  const StreamRouteStats stats = run_sabre_stream(
+      source, device, artifacts(), initial, sink, options,
+      static_cast<std::size_t>(std::max(options_.extended_window, 0)), params,
+      [this] { check_cancelled(); }, &loop_stats);
+  obs::add(observer(), "router.bridge.routes");
+  obs::add(observer(), "router.bridge.iterations", loop_stats.iterations);
+  obs::add(observer(), "router.bridge.rescues", loop_stats.rescues);
+  obs::add(observer(), "router.bridge.bridges", stats.added_bridges);
+  obs::add(observer(), "router.bridge.swaps_avoided",
+           loop_stats.swaps_avoided);
+  obs::observe(observer(), "route.swaps_inserted",
+               static_cast<double>(stats.added_swaps));
+  return stats;
 }
 
 }  // namespace qmap

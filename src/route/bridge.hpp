@@ -34,6 +34,11 @@ class BridgeRouter final : public Router {
                                     const Device& device,
                                     const Placement& initial) override;
 
+  [[nodiscard]] bool supports_streaming() const override { return true; }
+  StreamRouteStats route_stream(GateSource& source, const Device& device,
+                                const Placement& initial, GateSink& sink,
+                                const StreamRouteOptions& options) override;
+
  private:
   Options options_;
 };

@@ -38,14 +38,23 @@ std::string RoutingResult::to_string() const {
   return buffer;
 }
 
+StreamRouteStats Router::route_stream(GateSource& /*source*/,
+                                      const Device& /*device*/,
+                                      const Placement& /*initial*/,
+                                      GateSink& /*sink*/,
+                                      const StreamRouteOptions& /*options*/) {
+  throw MappingError("router '" + name() +
+                     "' does not support streaming; materialize the circuit "
+                     "and call route()");
+}
+
 RoutingEmitter::RoutingEmitter(const Device& device, Placement placement,
                                std::string circuit_name)
     : device_(&device),
       placement_(std::move(placement)),
       circuit_(device.num_qubits(), std::move(circuit_name)) {}
 
-void RoutingEmitter::emit_program_gate(const Gate& gate) {
-  Gate physical = gate;
+void RoutingEmitter::emit_mapped(Gate physical) {
   for (int& q : physical.qubits) q = placement_.phys_of_program(q);
   if (!physical.is_two_qubit()) {
     circuit_.add_unchecked(std::move(physical));
@@ -144,6 +153,23 @@ void RoutingEmitter::emit_physical_cx(int phys_control, int phys_target) {
     return;
   }
   push2(circuit_, GateKind::CX, phys_control, phys_target);
+}
+
+void RoutingEmitter::spill_if_needed() {
+  if (sink_ == nullptr || circuit_.size() < spill_gates_) return;
+  spill_all();
+}
+
+void RoutingEmitter::spill_all() {
+  if (sink_ == nullptr || circuit_.empty()) return;
+  // take / push / give back: put_chunk moves the gates out but leaves the
+  // vector's capacity, so the emitter's output buffer is recycled and the
+  // steady state allocates nothing.
+  spill_buf_ = circuit_.take_gates();
+  spilled_gates_ += spill_buf_.size();
+  sink_->put_chunk(spill_buf_);
+  spill_buf_.clear();
+  circuit_.set_gates(std::move(spill_buf_));
 }
 
 RoutingResult RoutingEmitter::finish(const Placement& initial,

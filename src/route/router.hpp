@@ -15,6 +15,7 @@
 #include "arch/device.hpp"
 #include "engine/cancel.hpp"
 #include "ir/circuit.hpp"
+#include "ir/gate_stream.hpp"
 #include "layout/placement.hpp"
 #include "obs/obs.hpp"
 
@@ -35,6 +36,32 @@ struct RoutingResult {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Knobs of a streaming route (Router::route_stream).
+struct StreamRouteOptions {
+  /// Pull granularity from the GateSource: how many gates each window
+  /// extension requests at once. A value >= the circuit size degenerates
+  /// to the materialized window (useful for parity testing).
+  std::size_t chunk_gates = 4096;
+  /// Emitter-to-sink spill threshold: routed output gates buffered
+  /// before being pushed downstream.
+  std::size_t spill_gates = 4096;
+};
+
+/// Result of a streaming route: the RoutingResult counters without the
+/// circuit (which went to the sink, chunk by chunk).
+struct StreamRouteStats {
+  Placement initial;    // wire -> physical at circuit start
+  Placement final;      // wire -> physical at circuit end
+  std::size_t added_swaps = 0;
+  std::size_t added_moves = 0;
+  std::size_t added_bridges = 0;
+  std::size_t direction_fixes = 0;
+  std::size_t gates_in = 0;           // program gates consumed
+  std::size_t gates_out = 0;          // physical gates emitted
+  std::size_t window_peak_gates = 0;  // resident-window high-water mark
+  double runtime_ms = 0.0;
+};
+
 class Router {
  public:
   virtual ~Router() = default;
@@ -42,6 +69,21 @@ class Router {
   [[nodiscard]] virtual RoutingResult route(const Circuit& circuit,
                                             const Device& device,
                                             const Placement& initial) = 0;
+
+  /// True when this router implements route_stream().
+  [[nodiscard]] virtual bool supports_streaming() const { return false; }
+
+  /// Routes a gate stream through a bounded window: program gates are
+  /// pulled from `source` chunk by chunk, routed output is pushed to
+  /// `sink` (including a final sink.flush()), and peak memory is
+  /// O(window), not O(circuit). Streaming routers produce byte-identical
+  /// output to route() on the materialized circuit. The base
+  /// implementation throws MappingError; check supports_streaming().
+  virtual StreamRouteStats route_stream(GateSource& source,
+                                        const Device& device,
+                                        const Placement& initial,
+                                        GateSink& sink,
+                                        const StreamRouteOptions& options);
 
   /// Attaches a cooperative cancellation token (engine/cancel.hpp, header
   /// only — no dependency on the engine library). Not owned; null detaches.
@@ -118,8 +160,12 @@ class RoutingEmitter {
   /// Emits a program-qubit gate at its current physical location.
   /// Two-qubit gates must be physically adjacent; directional gates with a
   /// forbidden orientation are wrapped in Hadamards. Throws MappingError on
-  /// non-adjacent operands.
-  void emit_program_gate(const Gate& gate);
+  /// non-adjacent operands. The rvalue overload moves the gate's operand
+  /// and parameter storage straight into the output — the streaming path
+  /// (and any caller done with its copy) emits without per-gate
+  /// allocations.
+  void emit_program_gate(const Gate& gate) { emit_mapped(gate); }
+  void emit_program_gate(Gate&& gate) { emit_mapped(std::move(gate)); }
 
   /// Emits a SWAP between two adjacent physical qubits and updates the
   /// placement.
@@ -142,14 +188,52 @@ class RoutingEmitter {
   [[nodiscard]] RoutingResult finish(const Placement& initial,
                                      double runtime_ms) &&;
 
+  /// Streaming mode: attaches a downstream sink. Once set, accumulated
+  /// output gates are moved to the sink whenever spill_if_needed() sees
+  /// `spill_gates` or more of them (and unconditionally by spill_all()),
+  /// keeping the emitter's resident state O(spill threshold). finish()
+  /// then returns an empty circuit — the gates went downstream.
+  void set_sink(GateSink* sink, std::size_t spill_gates) noexcept {
+    sink_ = sink;
+    spill_gates_ = spill_gates;
+  }
+  void spill_if_needed();
+  /// Pushes any remaining buffered gates to the sink (no sink.flush() —
+  /// the driver owns stream termination).
+  void spill_all();
+
+  /// Total gates emitted: spilled to the sink plus still buffered.
+  [[nodiscard]] std::size_t total_emitted() const noexcept {
+    return spilled_gates_ + circuit_.size();
+  }
+  [[nodiscard]] std::size_t added_swaps() const noexcept {
+    return added_swaps_;
+  }
+  [[nodiscard]] std::size_t added_moves() const noexcept {
+    return added_moves_;
+  }
+  [[nodiscard]] std::size_t added_bridges() const noexcept {
+    return added_bridges_;
+  }
+  [[nodiscard]] std::size_t direction_fixes() const noexcept {
+    return direction_fixes_;
+  }
+
  private:
   // One coupling-legal CX, wrapped in Hadamards when the orientation is
   // forbidden (shared by the four bridge legs).
   void emit_physical_cx(int phys_control, int phys_target);
+  // Maps program operands to physical and appends (both emit_program_gate
+  // overloads funnel here; by-value so moved-in gates stay allocation-free).
+  void emit_mapped(Gate gate);
 
   const Device* device_;
   Placement placement_;
   Circuit circuit_;
+  GateSink* sink_ = nullptr;
+  std::size_t spill_gates_ = 0;
+  std::size_t spilled_gates_ = 0;
+  std::vector<Gate> spill_buf_;  // recycled between spills
   std::size_t added_swaps_ = 0;
   std::size_t added_moves_ = 0;
   std::size_t added_bridges_ = 0;

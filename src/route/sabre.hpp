@@ -31,6 +31,15 @@ class SabreRouter final : public Router {
                                     const Device& device,
                                     const Placement& initial) override;
 
+  /// Streaming is supported on the sequential DAG only: the
+  /// commutation-aware dependency rule needs unbounded lookahead.
+  [[nodiscard]] bool supports_streaming() const override {
+    return !options_.use_commutation;
+  }
+  StreamRouteStats route_stream(GateSource& source, const Device& device,
+                                const Placement& initial, GateSink& sink,
+                                const StreamRouteOptions& options) override;
+
  private:
   Options options_;
 };

@@ -1,0 +1,304 @@
+// The sabre-family main loop, shared by the materialized routers
+// (sabre.cpp, bridge.cpp over RouteCore) and the streaming drivers
+// (stream_core.cpp over StreamRouteCore).
+//
+// This is a pure extraction: the loop body is the exact decision
+// sequence the two routers previously duplicated — flush-to-fixpoint,
+// front refresh, extended lookahead, per-edge swap scoring with decay,
+// the optional BRIDGE decision, the stall rescue, and the decay-reset
+// bookkeeping. Keeping it in one template is what makes the streamed
+// and materialized paths byte-identical by construction: both
+// instantiations run the same statements in the same order, only the
+// Core behind them differs (full CSR DAG vs sliding window). The golden
+// fingerprint matrix (tests/test_route_ir.cpp) pins that neither
+// instantiation drifts.
+//
+// Core concept (duck-typed):
+//   bool all_scheduled();
+//   bool flush(RoutingEmitter&);              // emit executables, fixpoint
+//   void refresh_front();
+//   std::uint32_t front_size() const;
+//   const std::uint32_t* front_gates() const; // ready 2q nodes, ascending
+//   std::size_t ext_cap() const;              // lookahead quota this round
+//   std::uint32_t collect_extended(std::size_t cap, std::uint32_t* out);
+//   void mark_relevant(std::uint8_t* relevant) const;
+//   void collect_endpoints(const std::uint32_t* nodes, std::uint32_t count,
+//                          std::int32_t* pa, std::int32_t* pb) const;
+//   int dist_pair(std::int32_t pa, std::int32_t pb) const;
+//   int dist_pair_swapped(std::int32_t pa, std::int32_t pb, int ea, int eb);
+//   GateKind kind_of(std::uint32_t node) const;
+//   int gate_dist(std::uint32_t node) const;
+//   int phys_q0(std::uint32_t node) const;    // phys of first operand
+//   int phys_q1(std::uint32_t node) const;
+//   std::vector<int> shortest_path(int a, int b) const;
+//   void emit_swap(RoutingEmitter&, int phys_a, int phys_b);
+//   void mark_front_scheduled(std::uint32_t node);  // bridge bookkeeping
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "common/error.hpp"
+#include "route/route_ir.hpp"
+#include "route/router.hpp"
+
+namespace qmap {
+
+struct SabreLoopParams {
+  double extended_weight = 0.5;
+  double decay_increment = 0.1;
+  int decay_reset_interval = 5;
+  bool enable_bridge = false;
+  const char* label = "sabre";  // error-message prefix
+};
+
+/// Scratch buffers for the loop, owned by the core (arena-backed for the
+/// materialized routers, vector-backed for the streaming ones) and
+/// exposed via Core::buffers(). `extended`, `ext_pa`, `ext_pb` need
+/// capacity >= the largest ext_cap() the core will report; `front_pa`/
+/// `front_pb` capacity >= the current front layer and `to_bridge`
+/// likewise (null unless enable_bridge) — a streaming core may grow
+/// those (and so move the pointers) inside refresh_front(), which is why
+/// the loop re-reads buffers() after each refresh. `decay` and
+/// `relevant` are num_phys-sized and must stay stable across the whole
+/// loop (decay accumulates state between iterations).
+struct SabreLoopBuffers {
+  double* decay = nullptr;          // num_phys
+  std::uint8_t* relevant = nullptr; // num_phys
+  std::uint32_t* extended = nullptr;
+  std::uint32_t* to_bridge = nullptr;
+  std::int32_t* front_pa = nullptr;
+  std::int32_t* front_pb = nullptr;
+  std::int32_t* ext_pa = nullptr;
+  std::int32_t* ext_pb = nullptr;
+};
+
+struct SabreLoopStats {
+  std::uint64_t iterations = 0;
+  std::uint64_t rescues = 0;
+  std::uint64_t swaps_avoided = 0;  // bridged front gates
+};
+
+template <class Core, class CheckCancel>
+SabreLoopStats run_sabre_loop(Core& core, RoutingEmitter& emitter,
+                              const CouplingGraph& coupling, int num_phys,
+                              const SabreLoopParams& params,
+                              CheckCancel&& check_cancelled) {
+  double* const decay = core.buffers().decay;
+  std::fill(decay, decay + num_phys, 1.0);
+  int swaps_since_reset = 0;
+  int swaps_since_progress = 0;
+  const int stall_limit = 10 * std::max(1, num_phys);
+
+  SabreLoopStats stats;
+
+  while (!core.all_scheduled()) {
+    check_cancelled();
+    ++stats.iterations;
+    if (core.flush(emitter)) {
+      swaps_since_progress = 0;
+      continue;
+    }
+    core.refresh_front();
+    const std::uint32_t front_size = core.front_size();
+    if (front_size == 0) {
+      throw MappingError(std::string(params.label) +
+                         ": stalled with no ready two-qubit gate");
+    }
+    const std::uint32_t* front_gates = core.front_gates();
+    const SabreLoopBuffers& buffers = core.buffers();
+
+    // Extended lookahead: the next unscheduled 2q gates in program order
+    // beyond the front layer.
+    const std::uint32_t num_extended =
+        core.collect_extended(core.ext_cap(), buffers.extended);
+
+    // Candidate SWAPs: edges touching a physical qubit that currently holds
+    // an operand of a front-layer gate.
+    core.mark_relevant(buffers.relevant);
+    core.collect_endpoints(front_gates, front_size, buffers.front_pa,
+                           buffers.front_pb);
+    core.collect_endpoints(buffers.extended, num_extended, buffers.ext_pa,
+                           buffers.ext_pb);
+
+    double best_score = std::numeric_limits<double>::infinity();
+    int best_a = -1;
+    int best_b = -1;
+    for (const auto& edge : coupling.edges()) {
+      if (!buffers.relevant[edge.a] && !buffers.relevant[edge.b]) continue;
+      double front_term = 0.0;
+      for (std::uint32_t k = 0; k < front_size; ++k) {
+        front_term += core.dist_pair_swapped(buffers.front_pa[k],
+                                             buffers.front_pb[k], edge.a,
+                                             edge.b);
+      }
+      front_term /= static_cast<double>(front_size);
+      double extended_term = 0.0;
+      if (num_extended > 0) {
+        for (std::uint32_t k = 0; k < num_extended; ++k) {
+          extended_term += core.dist_pair_swapped(buffers.ext_pa[k],
+                                                  buffers.ext_pb[k], edge.a,
+                                                  edge.b);
+        }
+        extended_term /= static_cast<double>(num_extended);
+      }
+      const double decay_factor =
+          std::max(decay[edge.a], decay[edge.b]);
+      const double score =
+          decay_factor * (front_term + params.extended_weight * extended_term);
+      if (score < best_score) {
+        best_score = score;
+        best_a = edge.a;
+        best_b = edge.b;
+      }
+    }
+    if (best_a < 0) {
+      throw MappingError(std::string(params.label) +
+                         ": no candidate SWAP found");
+    }
+
+    if (params.enable_bridge) {
+      // BRIDGE decision: a front-layer CX at distance exactly 2 runs in
+      // place when the best SWAP would not improve the score of the *other*
+      // front gates plus the lookahead window — then the SWAP's only value
+      // was this gate, and the bridge gets it for free without perturbing
+      // the placement. Decisions are pure reads, emission follows, so one
+      // round may bridge several front gates (placement never changes).
+      std::uint32_t num_to_bridge = 0;
+      for (std::uint32_t k = 0; k < front_size; ++k) {
+        const std::uint32_t node = front_gates[k];
+        if (core.kind_of(node) != GateKind::CX) continue;
+        if (core.gate_dist(node) != 2) continue;
+        double rest_now = 0.0;
+        double rest_swapped = 0.0;
+        for (std::uint32_t j = 0; j < front_size; ++j) {
+          if (front_gates[j] == node) continue;
+          rest_now += core.dist_pair(buffers.front_pa[j], buffers.front_pb[j]);
+          rest_swapped += core.dist_pair_swapped(
+              buffers.front_pa[j], buffers.front_pb[j], best_a, best_b);
+        }
+        for (std::uint32_t j = 0; j < num_extended; ++j) {
+          rest_now += params.extended_weight *
+                      core.dist_pair(buffers.ext_pa[j], buffers.ext_pb[j]);
+          rest_swapped += params.extended_weight *
+                          core.dist_pair_swapped(buffers.ext_pa[j],
+                                                 buffers.ext_pb[j], best_a,
+                                                 best_b);
+        }
+        if (rest_swapped < rest_now) continue;  // the SWAP helps others too
+        buffers.to_bridge[num_to_bridge++] = node;
+      }
+      if (num_to_bridge > 0) {
+        for (std::uint32_t k = 0; k < num_to_bridge; ++k) {
+          const std::uint32_t node = buffers.to_bridge[k];
+          const int phys_c = core.phys_q0(node);
+          const int phys_t = core.phys_q1(node);
+          const std::vector<int> path = core.shortest_path(phys_c, phys_t);
+          emitter.emit_bridge(phys_c, path[1], phys_t);
+          core.mark_front_scheduled(node);
+        }
+        stats.swaps_avoided += num_to_bridge;
+        swaps_since_progress = 0;
+        continue;
+      }
+    }
+
+    ++swaps_since_progress;
+    if (swaps_since_progress > stall_limit) {
+      // Safeguard: force progress by walking the first front gate together
+      // along a shortest path (the naive step). Guarantees termination.
+      const std::uint32_t gate = front_gates[0];
+      const int pa = core.phys_q0(gate);
+      const int pb = core.phys_q1(gate);
+      const std::vector<int> path = core.shortest_path(pa, pb);
+      for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+        core.emit_swap(emitter, path[i], path[i + 1]);
+      }
+      ++stats.rescues;
+      swaps_since_progress = 0;
+      continue;
+    }
+
+    core.emit_swap(emitter, best_a, best_b);
+    decay[best_a] += params.decay_increment;
+    decay[best_b] += params.decay_increment;
+    if (++swaps_since_reset >= params.decay_reset_interval) {
+      std::fill(decay, decay + num_phys, 1.0);
+      swaps_since_reset = 0;
+    }
+  }
+  return stats;
+}
+
+/// RouteCore adapter for run_sabre_loop: the materialized path. ext_cap
+/// is fixed at min(extended_window, total two-qubit gates) — the whole
+/// circuit is resident, so the quota never changes mid-route.
+class MaterializedLoopCore {
+ public:
+  MaterializedLoopCore(RouteCore& core, std::size_t ext_cap,
+                       const SabreLoopBuffers& buffers)
+      : core_(&core), ext_cap_(ext_cap), buffers_(buffers) {}
+
+  [[nodiscard]] const SabreLoopBuffers& buffers() const { return buffers_; }
+  [[nodiscard]] bool all_scheduled() const {
+    return core_->front.all_scheduled();
+  }
+  bool flush(RoutingEmitter& emitter) {
+    return core_->flush_executable(emitter, [](std::uint32_t) {});
+  }
+  void refresh_front() { core_->refresh_front(); }
+  [[nodiscard]] std::uint32_t front_size() const { return core_->front_size; }
+  [[nodiscard]] const std::uint32_t* front_gates() const {
+    return core_->front_gates;
+  }
+  [[nodiscard]] std::size_t ext_cap() const { return ext_cap_; }
+  std::uint32_t collect_extended(std::size_t cap, std::uint32_t* out) {
+    return core_->collect_extended(cap, out);
+  }
+  void mark_relevant(std::uint8_t* relevant) const {
+    core_->mark_relevant(relevant);
+  }
+  void collect_endpoints(const std::uint32_t* nodes, std::uint32_t count,
+                         std::int32_t* pa, std::int32_t* pb) const {
+    core_->collect_endpoints(nodes, count, pa, pb);
+  }
+  [[nodiscard]] int dist_pair(std::int32_t pa, std::int32_t pb) const {
+    return core_->dist_pair(pa, pb);
+  }
+  [[nodiscard]] int dist_pair_swapped(std::int32_t pa, std::int32_t pb,
+                                      int ea, int eb) const {
+    return core_->dist_pair_swapped(pa, pb, ea, eb);
+  }
+  [[nodiscard]] GateKind kind_of(std::uint32_t node) const {
+    return core_->ir.gate_kind(node);
+  }
+  [[nodiscard]] int gate_dist(std::uint32_t node) const {
+    return core_->gate_dist(node);
+  }
+  [[nodiscard]] int phys_q0(std::uint32_t node) const {
+    return core_->phys_of(core_->ir.q0[node]);
+  }
+  [[nodiscard]] int phys_q1(std::uint32_t node) const {
+    return core_->phys_of(core_->ir.q1[node]);
+  }
+  [[nodiscard]] std::vector<int> shortest_path(int a, int b) const {
+    return core_->shortest_path(a, b);
+  }
+  void emit_swap(RoutingEmitter& emitter, int phys_a, int phys_b) {
+    core_->emit_swap(emitter, phys_a, phys_b);
+  }
+  void mark_front_scheduled(std::uint32_t node) {
+    core_->front.mark_scheduled(node);
+  }
+
+ private:
+  RouteCore* core_;
+  std::size_t ext_cap_;
+  SabreLoopBuffers buffers_;
+};
+
+}  // namespace qmap

@@ -21,6 +21,7 @@
 
 #include "arch/artifacts.hpp"
 #include "arch/device.hpp"
+#include "ir/gate.hpp"
 #include "layout/placement.hpp"
 
 namespace qmap {
@@ -50,5 +51,28 @@ struct TokenSwapPlan {
                                              const Device& device,
                                              const ArchArtifacts* artifacts,
                                              int escape_budget = -1);
+
+/// A token-swap plan flattened into circuit form: the SWAPs as gates in
+/// emission order, plus the wire-position remap a trailing
+/// measurement/barrier suffix must be routed through (position_of[p] is
+/// where the wire sitting on physical qubit p before the cleanup ends up
+/// afterwards). Shared by the materialized TokenSwapFinisherPass and the
+/// streaming finisher sink so both emit byte-identical cleanups.
+struct TokenSwapCleanup {
+  std::vector<Gate> swaps;
+  std::vector<int> position_of;
+  std::size_t rounds = 0;
+
+  [[nodiscard]] std::size_t total_swaps() const noexcept {
+    return swaps.size();
+  }
+};
+
+/// Plans the cleanup returning `current` to `target` and applies the
+/// resulting SWAPs to `current` (mirroring what emitting them does to the
+/// routing state).
+[[nodiscard]] TokenSwapCleanup plan_token_swap_cleanup(
+    Placement& current, const Placement& target, const Device& device,
+    const ArchArtifacts* artifacts);
 
 }  // namespace qmap

@@ -1,0 +1,57 @@
+#include "workloads/stream_workloads.hpp"
+
+#include <algorithm>
+
+#include "workloads/workloads.hpp"
+
+namespace qmap::workloads {
+
+RepeatedBlockSource::RepeatedBlockSource(Circuit block, std::size_t repeats)
+    : block_(std::move(block)), repeats_(repeats) {}
+
+std::size_t RepeatedBlockSource::pull(std::vector<Gate>& out,
+                                      std::size_t max_gates) {
+  std::size_t appended = 0;
+  while (appended < max_gates && blocks_served_ < repeats_) {
+    if (block_pos_ >= block_.size()) {
+      block_pos_ = 0;
+      ++blocks_served_;
+      continue;
+    }
+    out.push_back(block_.gate(block_pos_++));
+    ++appended;
+  }
+  return appended;
+}
+
+namespace {
+
+std::size_t repeats_for(std::size_t block_gates, std::size_t min_gates) {
+  if (block_gates == 0) return 0;
+  return std::max<std::size_t>(
+      1, (min_gates + block_gates - 1) / block_gates);
+}
+
+}  // namespace
+
+RepeatedBlockSource qft_stream(int n, std::size_t min_gates) {
+  Circuit block = qft(n, /*with_swaps=*/false);
+  const std::size_t repeats = repeats_for(block.size(), min_gates);
+  return RepeatedBlockSource(std::move(block), repeats);
+}
+
+RepeatedBlockSource cuccaro_stream(int n, std::size_t min_gates) {
+  Circuit block = cuccaro_adder(n);
+  const std::size_t repeats = repeats_for(block.size(), min_gates);
+  return RepeatedBlockSource(std::move(block), repeats);
+}
+
+RepeatedBlockSource random_stream(int n, std::size_t min_gates,
+                                  std::uint64_t seed, int block_gates) {
+  Rng rng(seed);
+  Circuit block = random_circuit(n, block_gates, rng);
+  const std::size_t repeats = repeats_for(block.size(), min_gates);
+  return RepeatedBlockSource(std::move(block), repeats);
+}
+
+}  // namespace qmap::workloads

@@ -1,0 +1,61 @@
+// Streaming workload generators for out-of-core benchmarks.
+//
+// A RepeatedBlockSource materializes ONE block circuit and serves it
+// `repeats` times back-to-back as a GateSource — a million-gate workload
+// costs the memory of a single block, so peak-RSS measurements of the
+// streaming pipeline see the window, not the generator. Every qubit of a
+// block is touched by the block's gates, so the router's bounded window
+// retires steadily (the repeated structure never forces unbounded
+// lookahead).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ir/circuit.hpp"
+#include "ir/gate_stream.hpp"
+
+namespace qmap::workloads {
+
+/// Serves `repeats` back-to-back copies of `block` as a gate stream.
+class RepeatedBlockSource final : public GateSource {
+ public:
+  RepeatedBlockSource(Circuit block, std::size_t repeats);
+
+  [[nodiscard]] int num_qubits() const override {
+    return block_.num_qubits();
+  }
+  [[nodiscard]] int num_cbits() const override { return block_.num_cbits(); }
+  [[nodiscard]] std::string name() const override { return block_.name(); }
+
+  std::size_t pull(std::vector<Gate>& out, std::size_t max_gates) override;
+
+  /// Gates the full stream will deliver.
+  [[nodiscard]] std::size_t total_gates() const noexcept {
+    return block_.size() * repeats_;
+  }
+
+ private:
+  Circuit block_;
+  std::size_t repeats_;
+  std::size_t block_pos_ = 0;
+  std::size_t blocks_served_ = 0;
+};
+
+/// Repeated n-qubit QFT blocks (without the final reversal SWAPs, so every
+/// repeat has the same all-to-all phase-ladder structure), totalling at
+/// least `min_gates` gates.
+[[nodiscard]] RepeatedBlockSource qft_stream(int n, std::size_t min_gates);
+
+/// Repeated Cuccaro ripple-carry adder blocks (2n+2 qubits), totalling at
+/// least `min_gates` gates.
+[[nodiscard]] RepeatedBlockSource cuccaro_stream(int n, std::size_t min_gates);
+
+/// Repeated random-circuit blocks (CNOTs + random rotations, seeded),
+/// totalling at least `min_gates` gates. `block_gates` sets the block
+/// size.
+[[nodiscard]] RepeatedBlockSource random_stream(int n, std::size_t min_gates,
+                                                std::uint64_t seed,
+                                                int block_gates = 512);
+
+}  // namespace qmap::workloads
